@@ -1,0 +1,30 @@
+"""Helpers shared by the benchmark modules.
+
+Each bench regenerates one paper exhibit, checks its qualitative shape,
+and writes the rendered text to ``benchmarks/results/<exhibit>.txt`` so
+EXPERIMENTS.md can reference concrete artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_exhibit(name: str, text: str) -> Path:
+    """Write a rendered exhibit and return its path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def once(benchmark, fn):
+    """Run an expensive exhibit builder exactly once under the timer.
+
+    Simulation-backed exhibits take seconds to minutes; re-running them
+    for statistical timing would multiply the suite's cost for no
+    insight (the interesting output is the exhibit itself).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Figure 2: analytical snoop-miss energy fractions (Appendix A model)."""
+
+from benchmarks._shared import save_exhibit
+from repro.analysis.analytical import AnalyticalEnergyModel
+from repro.analysis.figures import build_figure2
+from repro.analysis.report import render_figure
+
+
+def bench_figure2_32byte(benchmark):
+    data = benchmark(lambda: build_figure2(block_bytes=32))
+    save_exhibit("figure2a_32B", render_figure(data))
+
+    # Shape: monotone decreasing along both axes; paper anchor ~33% at
+    # L=0.5, R=10%.
+    model = AnalyticalEnergyModel(block_bytes=32)
+    assert abs(model.fraction(0.5, 0.1) - 0.33) < 0.035
+    top = data.series[0]
+    values = list(top.values.values())
+    assert values == sorted(values, reverse=True)
+
+
+def bench_figure2_64byte(benchmark):
+    data = benchmark(lambda: build_figure2(block_bytes=64))
+    save_exhibit("figure2b_64B", render_figure(data))
+
+    # Shape: 64-byte-line curves sit below the 32-byte ones (the data
+    # array is relatively more expensive).
+    small = AnalyticalEnergyModel(block_bytes=32)
+    large = AnalyticalEnergyModel(block_bytes=64)
+    for local in (0.1, 0.5, 0.9):
+        assert large.fraction(local, 0.1) < small.fraction(local, 0.1)

@@ -1,0 +1,36 @@
+"""Figure 4: exclude-JETTY and vector-exclude-JETTY coverage."""
+
+from benchmarks._shared import once, save_exhibit
+from repro.analysis.experiments import coverage_for
+from repro.analysis.figures import build_figure4a, build_figure4b
+from repro.analysis.report import render_figure
+
+
+def bench_figure4a(benchmark):
+    data = once(benchmark, build_figure4a)
+    save_exhibit("figure4a", render_figure(data))
+
+    by_label = {series.label: series for series in data.series}
+    # Shape (paper §4.3.1): more sets / higher associativity never hurts
+    # much, and EJ-32x4 performs best on average.
+    averages = {label: s.average for label, s in by_label.items()}
+    assert max(averages, key=averages.get) == "EJ-32x4"
+    assert averages["EJ-32x4"] >= averages["EJ-8x2"]
+    assert averages["EJ-16x4"] >= averages["EJ-8x4"] - 0.02
+    # Every configuration filters a useful fraction on average.
+    assert averages["EJ-8x2"] > 0.10
+    assert 0.25 < averages["EJ-32x4"] < 0.60  # paper: 45%
+
+
+def bench_figure4b(benchmark):
+    data = once(benchmark, build_figure4b)
+    save_exhibit("figure4b", render_figure(data))
+
+    averages = {series.label: series.average for series in data.series}
+    # Shape (paper §4.3.2): presence vectors improve coverage over the
+    # same-geometry EJ on average, most visibly for streaming apps.
+    assert averages["VEJ-32x4-8"] >= averages["EJ-32x4"]
+    assert averages["VEJ-16x4-8"] >= averages["EJ-16x4"] - 0.02
+    em3d_vej = coverage_for("em3d", "VEJ-32x4-8")
+    em3d_ej = coverage_for("em3d", "EJ-32x4")
+    assert em3d_vej > em3d_ej  # spatial locality of the sweep

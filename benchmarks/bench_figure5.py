@@ -1,0 +1,42 @@
+"""Figure 5: include-JETTY and hybrid-JETTY coverage."""
+
+from benchmarks._shared import once, save_exhibit
+from repro.analysis.experiments import coverage_for
+from repro.analysis.figures import build_figure5a, build_figure5b
+from repro.analysis.report import render_figure
+from repro.traces.workloads import WORKLOADS
+
+
+def bench_figure5a(benchmark):
+    data = once(benchmark, build_figure5a)
+    save_exhibit("figure5a", render_figure(data))
+
+    averages = {series.label: series.average for series in data.series}
+    # Shape (paper §4.3.3): the largest IJ performs best on average, and
+    # coverage decreases with sub-array size.
+    assert max(averages, key=averages.get) == "IJ-10x4x7"
+    assert averages["IJ-10x4x7"] >= averages["IJ-8x4x7"] >= averages["IJ-6x5x6"]
+    # raytrace: the IJ captures virtually all snoops that miss (paper
+    # highlights this as the IJ/EJ contrast case).
+    assert coverage_for("raytrace", "IJ-10x4x7") > 0.85
+    assert coverage_for("raytrace", "IJ-10x4x7") > coverage_for(
+        "raytrace", "EJ-32x4"
+    ) + 0.3
+
+
+def bench_figure5b(benchmark):
+    data = once(benchmark, build_figure5b)
+    save_exhibit("figure5b", render_figure(data))
+
+    averages = {series.label: series.average for series in data.series}
+    best = "HJ(IJ-10x4x7, EJ-32x4)"
+    small = "HJ(IJ-8x4x7, EJ-16x2)"
+    # Shape (paper §4.3.4): the hybrid beats both of its components on
+    # every workload, the big HJ is best on average, and even the small
+    # HJ stays competitive.
+    assert max(averages, key=averages.get) == best
+    assert averages[best] - averages[small] < 0.15
+    for workload in WORKLOADS:
+        hj = coverage_for(workload, best)
+        assert hj >= coverage_for(workload, "IJ-10x4x7") - 1e-9, workload
+        assert hj >= coverage_for(workload, "EJ-32x4") - 1e-9, workload

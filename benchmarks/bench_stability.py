@@ -1,0 +1,36 @@
+"""Seed stability of the reproduction's headline quantities.
+
+Not a paper exhibit, but a reproduction-quality check: the numbers we
+compare against the paper must not be artefacts of one RNG seed.
+"""
+
+from benchmarks._shared import once, save_exhibit
+from repro.analysis.stability import coverage_stability, snoop_miss_stability
+from repro.utils.text import format_percent
+
+WORKLOADS = ("em3d", "lu", "raytrace")
+BEST_HJ = "HJ(IJ-10x4x7, EJ-32x4)"
+SEEDS = (1, 2, 3)
+
+
+def bench_seed_stability(benchmark):
+    def compute():
+        rows = []
+        for workload in WORKLOADS:
+            rows.append(coverage_stability(workload, BEST_HJ, seeds=SEEDS))
+            rows.append(snoop_miss_stability(workload, seeds=SEEDS))
+        return rows
+
+    rows = once(benchmark, compute)
+    lines = [f"seed stability over seeds {SEEDS}:"]
+    for stats in rows:
+        lines.append(
+            f"  {stats.label:45s} mean {format_percent(stats.mean)} "
+            f"spread {format_percent(stats.spread)} "
+            f"stddev {stats.stddev * 100:.2f}pp"
+        )
+    save_exhibit("stability", "\n".join(lines))
+
+    # Headline quantities move by at most a few points across seeds.
+    for stats in rows:
+        assert stats.spread < 0.06, stats.label

@@ -1,0 +1,17 @@
+"""Table 1: Xeon power breakdown (input data with recomputed ratios)."""
+
+from benchmarks._shared import save_exhibit
+from repro.analysis.report import render_table_rows
+from repro.analysis.tables import build_table1
+
+
+def bench_table1(benchmark):
+    headers, rows = benchmark(build_table1)
+    text = render_table_rows(headers, rows, title="Table 1: Xeon power breakdown")
+    save_exhibit("table1", text)
+
+    # Shape: the L2's share of power grows with its size, reaching about
+    # a third (with pads in the total) at 2 MB.
+    shares = [int(row[4].rstrip("%")) for row in rows]
+    assert shares == sorted(shares)
+    assert 30 <= shares[-1] <= 40

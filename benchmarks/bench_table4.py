@@ -1,0 +1,23 @@
+"""Table 4: include-JETTY storage requirements."""
+
+from benchmarks._shared import save_exhibit
+from repro.analysis.report import render_table_rows
+from repro.analysis.tables import build_table4
+from repro.core.config import IJConfig
+
+
+def bench_table4(benchmark):
+    headers, rows = benchmark(build_table4)
+    text = render_table_rows(headers, rows, title="Table 4: IJ storage")
+    save_exhibit("table4", text)
+
+    # Exact arithmetic reproduction for the rows whose paper values agree
+    # with the caption's stated 14-bit counters.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["IJ-10x4x7"][3] == "7168"
+    assert by_name["IJ-8x4x7"][3] == "1792"
+    # p-bit arrays stay tiny in every configuration (<= 512 bytes).
+    assert IJConfig(10, 4, 7).pbit_bits() // 8 == 512
+    # Storage shrinks strictly down the table.
+    sizes = [int(row[3]) for row in rows]
+    assert sizes == sorted(sizes, reverse=True)

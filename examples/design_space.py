@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""JETTY design-space exploration: coverage vs storage vs energy.
+
+Sweeps the whole configuration family of the paper (all EJ, VEJ, IJ, HJ
+variants) over a pair of contrasting workloads and prints a frontier
+table: storage cost, average coverage, and serial-mode energy savings.
+This is the table a designer would use to pick a configuration.
+
+    python examples/design_space.py
+"""
+
+from repro import (
+    PAPER_EJ_NAMES,
+    PAPER_HJ_NAMES,
+    PAPER_IJ_NAMES,
+    PAPER_VEJ_NAMES,
+    coverage_for,
+    energy_reduction_for,
+    evaluate_filter,
+)
+from repro.utils.text import render_table
+
+WORKLOADS = ("fmm", "em3d")  # private-heavy vs streaming/snoop-dominated
+ALL_CONFIGS = (
+    PAPER_EJ_NAMES + PAPER_VEJ_NAMES + PAPER_IJ_NAMES + PAPER_HJ_NAMES
+)
+
+
+def main() -> None:
+    print(f"Sweeping {len(ALL_CONFIGS)} JETTY configurations over "
+          f"{', '.join(WORKLOADS)} ...\n")
+
+    rows = []
+    for name in ALL_CONFIGS:
+        coverages = [coverage_for(w, name) for w in WORKLOADS]
+        mean_coverage = sum(coverages) / len(coverages)
+        reductions = [
+            energy_reduction_for(w, name).over_snoops_serial for w in WORKLOADS
+        ]
+        mean_reduction = sum(reductions) / len(reductions)
+        storage_bits = evaluate_filter(WORKLOADS[0], name).storage_bits
+        rows.append((name, storage_bits, mean_coverage, mean_reduction))
+
+    rows.sort(key=lambda r: r[1])
+    table_rows = [
+        [
+            name,
+            f"{bits / 8 / 1024:.2f}",
+            f"{coverage:.1%}",
+            f"{reduction:.1%}",
+        ]
+        for name, bits, coverage, reduction in rows
+    ]
+    print(render_table(
+        ["config", "KiB", "avg coverage", "snoop-energy saved (serial)"],
+        table_rows,
+        title="JETTY design space (sorted by storage)",
+    ))
+
+    # Identify the frontier: configs no other config dominates.
+    frontier = []
+    for name, bits, coverage, reduction in rows:
+        dominated = any(
+            other_bits <= bits
+            and other_cov >= coverage
+            and other_red >= reduction
+            and (other_bits, other_cov, other_red) != (bits, coverage, reduction)
+            for _n, other_bits, other_cov, other_red in rows
+        )
+        if not dominated:
+            frontier.append(name)
+    print("\nPareto frontier (storage vs coverage vs savings):")
+    for name in frontier:
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main()

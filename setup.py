@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed editable (``pip install -e . --no-build-isolation
+--no-use-pep517``) in offline environments that lack the ``wheel`` package
+required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

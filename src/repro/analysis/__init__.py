@@ -1,0 +1,69 @@
+"""Reproduction harness: analytical models, experiments, tables, figures.
+
+Every exhibit in the paper's evaluation maps to one builder here (see the
+per-experiment index in DESIGN.md):
+
+* Table 1  — :func:`repro.analysis.tables.build_table1`
+* Figure 2 — :func:`repro.analysis.figures.build_figure2`
+* Table 2  — :func:`repro.analysis.tables.build_table2`
+* Table 3  — :func:`repro.analysis.tables.build_table3`
+* Figure 4 — :func:`repro.analysis.figures.build_figure4a` / ``4b``
+* Figure 5 — :func:`repro.analysis.figures.build_figure5a` / ``5b``
+* Table 4  — :func:`repro.analysis.tables.build_table4`
+* Figure 6 — :func:`repro.analysis.figures.build_figure6`
+* §4.3.4 8-way summary — :func:`repro.analysis.experiments.summarize_nway`
+
+Simulation results are cached per (workload, system, seed) so that the
+benches and examples can share runs.
+"""
+
+from repro.analysis.analytical import (
+    AnalyticalEnergyModel,
+    SnoopEnergyInputs,
+    snoop_miss_energy_fraction,
+)
+from repro.analysis.experiments import (
+    coverage_for,
+    energy_reduction_for,
+    evaluate_filter,
+    run_workload,
+    summarize_nway,
+)
+from repro.analysis.figures import (
+    build_figure2,
+    build_figure4a,
+    build_figure4b,
+    build_figure5a,
+    build_figure5b,
+    build_figure6,
+)
+from repro.analysis.report import render_figure, render_table_rows
+from repro.analysis.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+)
+
+__all__ = [
+    "AnalyticalEnergyModel",
+    "SnoopEnergyInputs",
+    "build_figure2",
+    "build_figure4a",
+    "build_figure4b",
+    "build_figure5a",
+    "build_figure5b",
+    "build_figure6",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "coverage_for",
+    "energy_reduction_for",
+    "evaluate_filter",
+    "render_figure",
+    "render_table_rows",
+    "run_workload",
+    "snoop_miss_energy_fraction",
+    "summarize_nway",
+]

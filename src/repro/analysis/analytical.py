@@ -1,0 +1,101 @@
+"""The paper's Appendix-A analytical snoop-miss energy model (Figure 2).
+
+The model expresses, per local L2 access, the energy of snoop-induced tag
+lookups that miss as a fraction of all L2 energy, given:
+
+* ``TAG`` / ``DATA`` — per-access energies of the tag and data arrays;
+* ``n_cpus`` — SMP width;
+* ``L`` — local hit rate, ``R`` — remote hit rate.
+
+Equations (Appendix A, writeback traffic ignored by design):
+
+.. code-block:: text
+
+    TagSnoopMiss = TAG * (Ncpu-1) * (1-L) * (1-R)
+    Data         = DATA * (1 + (Ncpu-1) * (1-L) * R)
+    SnoopE       = TagSnoopMiss + TAG * (Ncpu-1) * (1-L) * R
+    TagAll       = SnoopE + TAG * (1 + (1-L))
+    SnoopMissE   = TagSnoopMiss / (Data + TagAll)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.config import CacheConfig
+from repro.energy.components import CacheEnergyModel
+from repro.energy.technology import TECH_180NM, TechnologyParams
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SnoopEnergyInputs:
+    """Per-access energies feeding the Appendix-A equations."""
+
+    tag_j: float
+    data_j: float
+    n_cpus: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tag_j <= 0 or self.data_j <= 0:
+            raise ConfigurationError("per-access energies must be positive")
+        if self.n_cpus < 2:
+            raise ConfigurationError("the model needs an SMP (>= 2 CPUs)")
+
+
+def snoop_miss_energy_fraction(
+    inputs: SnoopEnergyInputs, local_hit: float, remote_hit: float
+) -> float:
+    """Evaluate SnoopMissE for one (L, R) point."""
+    if not 0.0 <= local_hit <= 1.0 or not 0.0 <= remote_hit <= 1.0:
+        raise ConfigurationError("hit rates must be within [0, 1]")
+    tag, data, n = inputs.tag_j, inputs.data_j, inputs.n_cpus
+    snoops = (n - 1) * (1.0 - local_hit)
+    tag_snoop_miss = tag * snoops * (1.0 - remote_hit)
+    data_energy = data * (1.0 + snoops * remote_hit)
+    snoop_energy = tag_snoop_miss + tag * snoops * remote_hit
+    tag_all = snoop_energy + tag * (1.0 + (1.0 - local_hit))
+    return tag_snoop_miss / (data_energy + tag_all)
+
+
+class AnalyticalEnergyModel:
+    """Appendix-A model wired to the Kamble-Ghose per-access energies.
+
+    The paper's Figure 2 uses a 1 MB 4-way set-associative L2 with 32- or
+    64-byte blocks in a 36-bit physical address space (IA-32-like) plus 2
+    bits of MOSI state.
+    """
+
+    def __init__(
+        self,
+        block_bytes: int = 32,
+        capacity_bytes: int = 1 << 20,
+        ways: int = 4,
+        n_cpus: int = 4,
+        address_bits: int = 36,
+        tech: TechnologyParams = TECH_180NM,
+    ) -> None:
+        config = CacheConfig(
+            capacity_bytes=capacity_bytes,
+            block_bytes=block_bytes,
+            subblock_bytes=block_bytes,
+            ways=ways,
+        )
+        self.cache_model = CacheEnergyModel(config, address_bits, 2, tech)
+        self.inputs = SnoopEnergyInputs(
+            tag_j=self.cache_model.tag_probe(),
+            data_j=self.cache_model.data_read(),
+            n_cpus=n_cpus,
+        )
+
+    def fraction(self, local_hit: float, remote_hit: float) -> float:
+        """SnoopMissE at one (L, R) point."""
+        return snoop_miss_energy_fraction(self.inputs, local_hit, remote_hit)
+
+    def curve(
+        self, remote_hit: float, local_hits: list[float] | None = None
+    ) -> list[tuple[float, float]]:
+        """One Figure 2 curve: (L, SnoopMissE) points at fixed R."""
+        if local_hits is None:
+            local_hits = [i / 20 for i in range(21)]
+        return [(l, self.fraction(l, remote_hit)) for l in local_hits]

@@ -1,0 +1,47 @@
+"""CSV export of reproduced exhibits, for external plotting tools.
+
+The text renderings in ``benchmarks/results/`` are for humans; this
+module writes the same data as machine-readable CSV so the figures can
+be replotted against the paper's with any plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.analysis.figures import FigureData
+
+
+def figure_to_csv(data: FigureData) -> str:
+    """Serialise a figure: one row per config, one column per x-label."""
+    x_labels = data.workloads()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["config"] + x_labels + ["avg"])
+    for series in data.series:
+        row = [series.label]
+        for label in x_labels:
+            value = series.values.get(label)
+            row.append("" if value is None else f"{value:.6f}")
+        row.append(f"{series.average:.6f}")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_to_csv(headers: list[str], rows: list[list[str]]) -> str:
+    """Serialise a (headers, rows) table pair."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(path: str | Path, content: str) -> Path:
+    """Write serialised CSV to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path

@@ -1,0 +1,178 @@
+"""Builders for the paper's tables (1-4).
+
+Each builder returns ``(headers, rows)`` ready for
+:func:`repro.utils.text.render_table`; rows carry measured values next to
+the paper's published values wherever the paper reports one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiments import run_workload
+from repro.coherence.config import SCALED_SYSTEM, SystemConfig
+from repro.core.config import IJConfig, PAPER_IJ_NAMES, parse_filter_name
+from repro.traces.workloads import WORKLOADS
+from repro.utils.text import format_percent
+
+
+@dataclass(frozen=True)
+class XeonPowerEntry:
+    """One row of the paper's Table 1 (source: Microprocessor Report)."""
+
+    l2_kbytes: int
+    core_watts: float
+    l2_watts: float
+    l2_pad_watts: float
+
+
+#: Published peak-power figures for the 400 MHz Pentium II Xeon.
+XEON_POWER = (
+    XeonPowerEntry(512, 23.3, 4.5, 3.0),
+    XeonPowerEntry(1024, 23.3, 9.0, 6.0),
+    XeonPowerEntry(2048, 23.3, 18.0, 12.0),
+)
+
+#: The relative columns Table 1 prints for the rows above.
+TABLE1_PAPER_RELATIVE = ((0.14, 0.16), (0.23, 0.28), (0.34, 0.43))
+
+
+def build_table1() -> tuple[list[str], list[list[str]]]:
+    """Table 1: Xeon power breakdown with recomputed relative columns.
+
+    ``L2`` counts pad power in the total; ``L2 w/o pads`` excludes pad
+    power from the total, approximating an on-chip L2.
+    """
+    headers = [
+        "L2 size", "Core W", "L2 W", "L2 pads W",
+        "L2 share", "L2 share (paper)",
+        "L2 w/o pads", "L2 w/o pads (paper)",
+    ]
+    rows = []
+    for entry, paper in zip(XEON_POWER, TABLE1_PAPER_RELATIVE):
+        # "L2" column: L2 array power over core + L2 + pads (pads counted
+        # in the total).  "L2 w/o pads": pad power excluded from the total
+        # — the paper's proxy for a hypothetical on-chip L2.
+        with_pads = entry.l2_watts / (
+            entry.core_watts + entry.l2_watts + entry.l2_pad_watts
+        )
+        without_pads = entry.l2_watts / (entry.core_watts + entry.l2_watts)
+        label = f"{entry.l2_kbytes // 1024}M" if entry.l2_kbytes >= 1024 else "512K"
+        rows.append([
+            label,
+            f"{entry.core_watts:.1f}",
+            f"{entry.l2_watts:.1f}",
+            f"{entry.l2_pad_watts:.1f}",
+            format_percent(with_pads, 0),
+            format_percent(paper[0], 0),
+            format_percent(without_pads, 0),
+            format_percent(paper[1], 0),
+        ])
+    return headers, rows
+
+
+def build_table2(
+    system: SystemConfig = SCALED_SYSTEM, seed: int = 1
+) -> tuple[list[str], list[list[str]]]:
+    """Table 2: workload characteristics, measured vs paper."""
+    headers = [
+        "App", "Ab", "Accesses", "MA (MB)",
+        "L1 hit", "L1 (paper)", "L2 hit", "L2 (paper)",
+        "L2 snoop accesses", "Snoops (paper, M)",
+    ]
+    rows = []
+    for name, spec in WORKLOADS.items():
+        result = run_workload(name, system, seed)
+        agg = result.aggregate
+        rows.append([
+            name,
+            spec.abbrev,
+            f"{result.accesses:,}",
+            f"{spec.memory_bytes(system.n_cpus) / 2**20:.1f}",
+            format_percent(agg.l1_hit_rate),
+            format_percent(spec.paper.l1_hit_rate),
+            format_percent(agg.l2_local_hit_rate),
+            format_percent(spec.paper.l2_hit_rate),
+            f"{agg.snoop_tag_probes:,}",
+            f"{spec.paper.snoop_accesses_millions:.1f}",
+        ])
+    return headers, rows
+
+
+def build_table3(
+    system: SystemConfig = SCALED_SYSTEM, seed: int = 1
+) -> tuple[list[str], list[list[str]]]:
+    """Table 3: snoop remote-hit distribution and snoop-miss shares."""
+    max_hits = system.n_cpus - 1
+    headers = (
+        ["App"]
+        + [str(i) for i in range(max_hits + 1)]
+        + [f"{i}p" for i in range(min(4, max_hits + 1))]
+        + ["miss/snoop", "m/s (p)", "miss/all", "m/a (p)"]
+    )
+    rows = []
+    sums = [0.0] * (max_hits + 1)
+    miss_snoop_sum = miss_all_sum = 0.0
+    for name, spec in WORKLOADS.items():
+        result = run_workload(name, system, seed)
+        fracs = result.bus.remote_hit_fractions()
+        for i, frac in enumerate(fracs):
+            sums[i] += frac
+        miss_snoop = result.snoop_miss_fraction_of_snoops
+        miss_all = result.snoop_miss_fraction_of_all
+        miss_snoop_sum += miss_snoop
+        miss_all_sum += miss_all
+        rows.append(
+            [name]
+            + [format_percent(f, 0) for f in fracs]
+            + [format_percent(p, 0) for p in spec.paper.remote_hits[: min(4, max_hits + 1)]]
+            + [
+                format_percent(miss_snoop, 0),
+                format_percent(spec.paper.snoop_miss_of_snoops, 0),
+                format_percent(miss_all, 0),
+                format_percent(spec.paper.snoop_miss_of_all, 0),
+            ]
+        )
+    count = len(WORKLOADS)
+    rows.append(
+        ["AVERAGE"]
+        + [format_percent(s / count, 1) for s in sums]
+        + [""] * min(4, max_hits + 1)
+        + [
+            format_percent(miss_snoop_sum / count, 0), "91%",
+            format_percent(miss_all_sum / count, 0), "55%",
+        ]
+    )
+    return headers, rows
+
+
+#: Table 4's published storage column (bytes); IJ-9x4x7 (3548) and the
+#: two small configs disagree with the 14-bit arithmetic the table's own
+#: caption implies — we print both and flag the deltas in EXPERIMENTS.md.
+TABLE4_PAPER_BYTES = {
+    "IJ-10x4x7": 7168,
+    "IJ-9x4x7": 3548,
+    "IJ-8x4x7": 1792,
+    "IJ-7x5x6": 869,
+    "IJ-6x5x6": 448,
+}
+
+
+def build_table4(counter_bits: int = 14) -> tuple[list[str], list[list[str]]]:
+    """Table 4: IJ storage requirements (p-bit bits, cnt bytes)."""
+    headers = [
+        "IJ", "p-bit bits", "p-bit org", "cnt bytes", "cnt bytes (paper)",
+    ]
+    rows = []
+    for name in PAPER_IJ_NAMES:
+        config = parse_filter_name(name)
+        assert isinstance(config, IJConfig)
+        n_arrays, p_rows, p_cols = config.pbit_organization()
+        rows.append([
+            name,
+            f"{config.n_arrays} x {1 << config.entry_bits}",
+            f"{n_arrays} x {p_rows} x {p_cols}",
+            str(config.cnt_bytes(counter_bits)),
+            str(TABLE4_PAPER_BYTES[name]),
+        ])
+    return headers, rows

@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate any exhibit from the terminal.
+
+Examples::
+
+    jetty-repro workloads
+    jetty-repro table 3
+    jetty-repro figure 5b
+    jetty-repro coverage raytrace "HJ(IJ-10x4x7, EJ-32x4)"
+    jetty-repro energy lu "HJ(IJ-9x4x7, EJ-32x4)"
+    jetty-repro nway 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments, figures, report, tables
+from repro.coherence.config import SCALED_SYSTEM
+from repro.traces.workloads import WORKLOADS
+from repro.utils.text import format_percent, render_table
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    headers = ["name", "ab", "accesses", "repeat", "description"]
+    rows = [
+        [s.name, s.abbrev, f"{s.n_accesses:,}", f"{s.repeat_frac:.2f}", s.description]
+        for s in WORKLOADS.values()
+    ]
+    print(render_table(headers, rows, title="Workloads (paper Table 2)"))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    builders = {
+        "1": tables.build_table1,
+        "2": lambda: tables.build_table2(seed=args.seed),
+        "3": lambda: tables.build_table3(seed=args.seed),
+        "4": tables.build_table4,
+    }
+    builder = builders.get(args.which)
+    if builder is None:
+        print(f"unknown table {args.which!r}; choose 1-4", file=sys.stderr)
+        return 2
+    headers, rows = builder()
+    print(report.render_table_rows(headers, rows, title=f"Table {args.which}"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    which = args.which.lower()
+    if which in ("2", "2a", "2b"):
+        block = 64 if which == "2b" else 32
+        print(report.render_figure(figures.build_figure2(block_bytes=block)))
+        return 0
+    builders = {
+        "4a": figures.build_figure4a,
+        "4b": figures.build_figure4b,
+        "5a": figures.build_figure5a,
+        "5b": figures.build_figure5b,
+    }
+    if which in builders:
+        print(report.render_figure(builders[which](seed=args.seed)))
+        return 0
+    if which in ("6", "6a", "6b", "6c", "6d"):
+        panels = figures.build_figure6(seed=args.seed)
+        wanted = panels if which == "6" else {which[-1]: panels[which[-1]]}
+        for panel in wanted.values():
+            print(report.render_figure(panel))
+            print()
+        return 0
+    print(f"unknown figure {args.which!r}; choose 2, 4a, 4b, 5a, 5b, 6[a-d]",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    value = experiments.coverage_for(args.workload, args.filter, seed=args.seed)
+    print(f"{args.filter} on {args.workload}: coverage {format_percent(value)}")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    reduction = experiments.energy_reduction_for(
+        args.workload, args.filter, seed=args.seed
+    )
+    headers = ["metric", "reduction"]
+    rows = [
+        ["over snoops, serial L2", format_percent(reduction.over_snoops_serial)],
+        ["over all L2, serial L2", format_percent(reduction.over_all_serial)],
+        ["over snoops, parallel L2", format_percent(reduction.over_snoops_parallel)],
+        ["over all L2, parallel L2", format_percent(reduction.over_all_parallel)],
+    ]
+    print(render_table(headers, rows, title=f"{args.filter} on {args.workload}"))
+    return 0
+
+
+def _cmd_nway(args: argparse.Namespace) -> int:
+    summary = experiments.summarize_nway(args.cpus, seed=args.seed)
+    print(
+        f"{summary.n_cpus}-way SMP: snoop misses are "
+        f"{format_percent(summary.snoop_miss_of_all)} of all L2 accesses; "
+        f"best-HJ coverage {format_percent(summary.mean_coverage)}"
+    )
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    from repro.core.sizing import smallest_covering_config
+
+    result = smallest_covering_config(
+        args.workloads, args.target, seed=args.seed
+    )
+    if result is None:
+        print(f"no evaluated configuration reaches {args.target:.0%} "
+              "coverage on all given workloads", file=sys.stderr)
+        return 1
+    print(f"smallest configuration covering >= {args.target:.0%}: "
+          f"{result.config_name} ({result.storage_bits / 8 / 1024:.2f} KiB)")
+    for workload, coverage in result.per_workload.items():
+        print(f"  {workload:14s} {format_percent(coverage)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces.io import save_trace, trace_length
+    from repro.traces.workloads import build_workload_stream
+
+    stream = build_workload_stream(
+        args.workload, n_accesses=args.accesses, seed=args.seed
+    )
+    count = save_trace(args.path, stream)
+    print(f"wrote {count:,} accesses ({trace_length(args.path):,} verified) "
+          f"to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jetty-repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the ten workloads").set_defaults(
+        func=_cmd_workloads
+    )
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("which", help="table number: 1, 2, 3 or 4")
+    p_table.set_defaults(func=_cmd_table)
+
+    p_figure = sub.add_parser("figure", help="regenerate a paper figure")
+    p_figure.add_argument("which", help="figure id: 2, 4a, 4b, 5a, 5b, 6[a-d]")
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_cov = sub.add_parser("coverage", help="coverage of one filter on one workload")
+    p_cov.add_argument("workload")
+    p_cov.add_argument("filter")
+    p_cov.set_defaults(func=_cmd_coverage)
+
+    p_energy = sub.add_parser("energy", help="energy reduction of one filter")
+    p_energy.add_argument("workload")
+    p_energy.add_argument("filter")
+    p_energy.set_defaults(func=_cmd_energy)
+
+    p_nway = sub.add_parser("nway", help="SMP-width scaling summary (Section 4.3.4)")
+    p_nway.add_argument("cpus", type=int)
+    p_nway.set_defaults(func=_cmd_nway)
+
+    p_size = sub.add_parser(
+        "size", help="smallest JETTY meeting a coverage target"
+    )
+    p_size.add_argument("target", type=float, help="coverage target in (0, 1]")
+    p_size.add_argument("workloads", nargs="+", help="workload names")
+    p_size.set_defaults(func=_cmd_size)
+
+    p_trace = sub.add_parser("trace", help="archive a workload trace (.npz)")
+    p_trace.add_argument("workload")
+    p_trace.add_argument("path")
+    p_trace.add_argument("--accesses", type=int, default=None,
+                         help="override the workload's access count")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

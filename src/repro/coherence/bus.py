@@ -1,0 +1,91 @@
+"""Shared-bus transaction types and per-transaction snoop bookkeeping.
+
+The bus model is functional: a transaction is broadcast to every other
+node, each snoops synchronously, and the aggregated response (was any copy
+found? did an owner supply data?) returns to the requester.  No timing is
+modelled — JETTY does not change protocol behaviour or performance
+(paper §2.2), so cycle accounting would not affect any reproduced result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class BusOp(Enum):
+    """Snoopable bus transaction kinds of the write-invalidate protocol."""
+
+    #: Read miss: requester wants a shared copy.
+    READ = "BusRd"
+    #: Write miss: requester wants an exclusive copy; others invalidate.
+    READ_X = "BusRdX"
+    #: Write hit on a shared subblock: invalidate other copies, no data.
+    UPGRADE = "BusUpgr"
+
+
+@dataclass
+class SnoopReply:
+    """One node's answer to a snoop."""
+
+    #: The snooped subblock was valid in this node's hierarchy (L2 or WB).
+    hit: bool = False
+    #: This node owned the dirty copy and supplies the data.
+    supplied: bool = False
+
+
+@dataclass
+class BusResult:
+    """Aggregated outcome of one bus transaction."""
+
+    op: BusOp
+    #: Number of other nodes that held a valid copy of the subblock.
+    remote_hits: int = 0
+    #: True when some owner cache (or WB) supplied the data.
+    data_supplied: bool = False
+
+
+@dataclass
+class BusStatsCounter:
+    """Raw transaction counts the bus accumulates."""
+
+    transactions: dict[BusOp, int] = field(
+        default_factory=lambda: {op: 0 for op in BusOp}
+    )
+    writebacks: int = 0
+    #: Histogram of remote-hit counts per snoopable transaction, indexed by
+    #: the number of other caches holding a copy (0 .. n_cpus-1).
+    remote_hit_histogram: list[int] = field(default_factory=list)
+
+    def ensure_cpus(self, n_cpus: int) -> None:
+        if not self.remote_hit_histogram:
+            self.remote_hit_histogram = [0] * n_cpus
+
+    @property
+    def snoopable(self) -> int:
+        return sum(self.transactions.values())
+
+
+class Bus:
+    """The shared snoopy bus connecting all nodes and memory.
+
+    The bus does not know about nodes directly; :class:`repro.coherence.smp.
+    SMPSystem` wires broadcasting.  This class owns transaction statistics
+    so they are counted in exactly one place.
+    """
+
+    def __init__(self, n_cpus: int) -> None:
+        self.n_cpus = n_cpus
+        self.stats = BusStatsCounter()
+        self.stats.ensure_cpus(n_cpus)
+
+    def record_transaction(self, op: BusOp, replies: list[SnoopReply]) -> BusResult:
+        """Fold snoop replies into a result and update statistics."""
+        remote_hits = sum(1 for r in replies if r.hit)
+        supplied = any(r.supplied for r in replies)
+        self.stats.transactions[op] += 1
+        self.stats.remote_hit_histogram[remote_hits] += 1
+        return BusResult(op=op, remote_hits=remote_hits, data_supplied=supplied)
+
+    def record_writeback(self) -> None:
+        self.stats.writebacks += 1

@@ -1,0 +1,257 @@
+"""Set-associative cache models with subblocking.
+
+Two structures live here:
+
+* :class:`SetAssocCache` — the L2 model: one tag per block, a MOESI state
+  per subblock, an ``in_l1`` inclusion hint per subblock, LRU replacement.
+* :class:`L1Cache` — the L1 model: direct-mapped (or set-associative)
+  array of blocks sized to the L2 coherence unit, with dirty and writable
+  bits.  Coherence state proper lives in the L2; the L1 ``writable`` bit
+  mirrors whether the L2 granted write permission (M/E).
+
+Addresses handed to these classes are **block numbers** (byte address
+shifted right by the block offset), produced by :class:`CacheGeometry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.config import CacheConfig
+from repro.coherence.states import MOESI
+from repro.utils.bitops import mask
+from repro.utils.lru import LRUTracker
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Address decomposition helper for one cache level."""
+
+    config: CacheConfig
+
+    def block_number(self, address: int) -> int:
+        """Byte address -> block number."""
+        return address >> self.config.block_offset_bits
+
+    def subblock_index(self, address: int) -> int:
+        """Byte address -> subblock index within its block."""
+        if not self.config.subblocked:
+            return 0
+        sub_bits = self.config.block_offset_bits - self.config.subblock_offset_bits
+        return (address >> self.config.subblock_offset_bits) & mask(sub_bits)
+
+    def set_index(self, block_number: int) -> int:
+        return block_number & mask(self.config.index_bits)
+
+
+class Frame:
+    """One allocated L2 block frame."""
+
+    __slots__ = ("block", "states", "in_l1")
+
+    def __init__(self, block: int, n_subblocks: int) -> None:
+        self.block = block
+        self.states: list[MOESI] = [MOESI.I] * n_subblocks
+        self.in_l1: list[bool] = [False] * n_subblocks
+
+    def any_valid(self) -> bool:
+        """True when at least one subblock holds a copy."""
+        return any(s is not MOESI.I for s in self.states)
+
+    def dirty_subblocks(self) -> list[tuple[int, MOESI]]:
+        """``(index, state)`` of subblocks whose copy differs from memory.
+
+        The state travels with the data into the write buffer so a
+        reclaimed Owned copy is restored as Owned, never promoted to
+        Modified (which would manufacture exclusivity).
+        """
+        return [(i, s) for i, s in enumerate(self.states) if s.dirty]
+
+
+@dataclass
+class EvictedBlock:
+    """Description of a block displaced by :meth:`SetAssocCache.allocate`."""
+
+    block: int
+    dirty_subblocks: tuple[tuple[int, MOESI], ...]
+    l1_subblocks: tuple[int, ...]
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.dirty_subblocks)
+
+
+class SetAssocCache:
+    """Set-associative, subblocked cache with LRU replacement (the L2)."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.geometry = CacheGeometry(config)
+        self._sets: list[list[Frame | None]] = [
+            [None] * config.ways for _ in range(config.n_sets)
+        ]
+        self._lru: list[LRUTracker] = [
+            LRUTracker(config.ways) for _ in range(config.n_sets)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def find(self, block: int, touch: bool = False) -> Frame | None:
+        """Return the frame holding ``block``, or None on a tag miss.
+
+        ``touch=True`` refreshes LRU state (local accesses do; snoops in
+        this model do not perturb replacement order).
+        """
+        set_index = self.geometry.set_index(block)
+        ways = self._sets[set_index]
+        for way, frame in enumerate(ways):
+            if frame is not None and frame.block == block:
+                if touch:
+                    self._lru[set_index].touch(way)
+                return frame
+        return None
+
+    def allocate(self, block: int) -> tuple[Frame, EvictedBlock | None]:
+        """Allocate a frame for ``block``, evicting the LRU victim if needed.
+
+        Returns the fresh frame (all subblocks Invalid) and a description
+        of the displaced block, or None if a way was free.  The caller owns
+        writing back dirty victim subblocks and maintaining L1 inclusion.
+        """
+        set_index = self.geometry.set_index(block)
+        ways = self._sets[set_index]
+        lru = self._lru[set_index]
+
+        victim_way = None
+        for way, frame in enumerate(ways):
+            if frame is None:
+                victim_way = way
+                break
+        evicted = None
+        if victim_way is None:
+            victim_way = lru.victim()
+            victim = ways[victim_way]
+            assert victim is not None
+            evicted = EvictedBlock(
+                block=victim.block,
+                dirty_subblocks=tuple(victim.dirty_subblocks()),
+                l1_subblocks=tuple(
+                    i for i, present in enumerate(victim.in_l1) if present
+                ),
+            )
+
+        frame = Frame(block, self.config.subblocks_per_block)
+        ways[victim_way] = frame
+        lru.touch(victim_way)
+        return frame, evicted
+
+    def deallocate(self, block: int) -> None:
+        """Drop the frame holding ``block`` (used when reclaiming via WB)."""
+        set_index = self.geometry.set_index(block)
+        ways = self._sets[set_index]
+        for way, frame in enumerate(ways):
+            if frame is not None and frame.block == block:
+                ways[way] = None
+                return
+
+    # ------------------------------------------------------------------
+
+    def resident_blocks(self) -> list[int]:
+        """All currently allocated block numbers (tests/inspection)."""
+        return [
+            frame.block
+            for ways in self._sets
+            for frame in ways
+            if frame is not None
+        ]
+
+    def valid_subblock_count(self) -> int:
+        """Total subblocks in a valid state across the cache."""
+        return sum(
+            1
+            for ways in self._sets
+            for frame in ways
+            if frame is not None
+            for s in frame.states
+            if s is not MOESI.I
+        )
+
+
+class L1Frame:
+    """One L1 block (equal to the L2 coherence unit)."""
+
+    __slots__ = ("block", "dirty", "writable")
+
+    def __init__(self, block: int, writable: bool) -> None:
+        self.block = block
+        self.dirty = False
+        self.writable = writable
+
+
+class L1Cache:
+    """The first-level cache: valid/dirty/writable per block, LRU."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.geometry = CacheGeometry(config)
+        self._sets: list[list[L1Frame | None]] = [
+            [None] * config.ways for _ in range(config.n_sets)
+        ]
+        self._lru: list[LRUTracker] = [
+            LRUTracker(config.ways) for _ in range(config.n_sets)
+        ]
+
+    def find(self, block: int, touch: bool = True) -> L1Frame | None:
+        set_index = self.geometry.set_index(block)
+        ways = self._sets[set_index]
+        for way, frame in enumerate(ways):
+            if frame is not None and frame.block == block:
+                if touch:
+                    self._lru[set_index].touch(way)
+                return frame
+        return None
+
+    def fill(self, block: int, writable: bool) -> L1Frame | None:
+        """Install ``block``; return the displaced frame (for writeback).
+
+        Re-filling a resident block (e.g. after a write-permission upgrade)
+        refreshes its permission in place instead of installing a duplicate.
+        """
+        set_index = self.geometry.set_index(block)
+        ways = self._sets[set_index]
+        lru = self._lru[set_index]
+        for way, frame in enumerate(ways):
+            if frame is not None and frame.block == block:
+                frame.writable = writable
+                lru.touch(way)
+                return None
+        victim_way = None
+        for way, frame in enumerate(ways):
+            if frame is None:
+                victim_way = way
+                break
+        displaced = None
+        if victim_way is None:
+            victim_way = lru.victim()
+            displaced = ways[victim_way]
+        ways[victim_way] = L1Frame(block, writable)
+        lru.touch(victim_way)
+        return displaced
+
+    def invalidate(self, block: int) -> L1Frame | None:
+        """Remove ``block`` if present; return the dropped frame."""
+        set_index = self.geometry.set_index(block)
+        ways = self._sets[set_index]
+        for way, frame in enumerate(ways):
+            if frame is not None and frame.block == block:
+                ways[way] = None
+                return frame
+        return None
+
+    def resident_blocks(self) -> list[int]:
+        return [
+            frame.block
+            for ways in self._sets
+            for frame in ways
+            if frame is not None
+        ]

@@ -1,0 +1,372 @@
+"""One SMP processor node: L1 + L2 + write buffer, and its JETTY viewpoint.
+
+The node implements both sides of the protocol:
+
+* :meth:`CacheNode.local_access` — the processor-side path: L1 lookup,
+  L2 lookup, bus transaction on a miss or on a write to a shared subblock,
+  fills, replacements, write-buffer reclaim, and L1 inclusion maintenance.
+* :meth:`CacheNode.snoop` — the bus-side path: the write-buffer CAM probe,
+  the L2 tag probe with MOESI response, L1 invalidation/downgrade when the
+  inclusion hints say the L1 may hold a copy.
+
+While snooping, the node records the event stream a JETTY at its bus
+interface would observe (snoops with ground-truth outcome, block
+allocations and evictions).  The simulation itself always performs the tag
+probe — a JETTY changes energy, never behaviour — and filters are applied
+afterwards by replaying the stream (:func:`repro.core.stats.replay_events`).
+
+Modelling notes (kept deliberately explicit):
+
+* L1 coherence permission is a ``writable`` bit granted by the L2 (M/E).
+  A store that hits a writable L1 line dirties it; the model mirrors the
+  M-state into the L2 immediately (hardware defers this until the L1
+  writeback, but mirrors it logically via the inclusion bits) so snoop
+  responses are always computed against up-to-date state.  The mirror is
+  free: no L2 access is counted for it.
+* The write buffer stores evicted dirty subblocks with their states, so a
+  local reclaim restores O as O (not M) and cannot manufacture exclusivity.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.bus import BusOp, BusResult, SnoopReply
+from repro.coherence.cache import Frame, L1Cache, SetAssocCache
+from repro.coherence.config import SystemConfig
+from repro.coherence.metrics import NodeStats
+from repro.coherence.states import MOESI
+from repro.coherence.writebuffer import WriteBuffer
+from repro.core.stats import NodeEventStream
+from repro.errors import CoherenceError
+from typing import Callable
+
+Broadcast = Callable[[BusOp, int], BusResult]
+
+
+class CacheNode:
+    """A processor node on the snoopy bus."""
+
+    def __init__(self, node_id: int, config: SystemConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.l1 = L1Cache(config.l1)
+        self.l2 = SetAssocCache(config.l2)
+        self.wb = WriteBuffer(config.wb_entries)
+        self.stats = NodeStats()
+        self.events = NodeEventStream(node_id)
+        #: Set by the SMPSystem: callable that broadcasts a transaction to
+        #: all other nodes and returns the aggregated bus result.
+        self.broadcast: Broadcast | None = None
+        #: Called on each memory writeback (bus statistics).
+        self.on_writeback: Callable[[], None] | None = None
+
+    # ==================================================================
+    # Processor side
+    # ==================================================================
+
+    def local_access(self, address: int, is_write: bool) -> None:
+        """Perform one load or store issued by the local processor."""
+        stats = self.stats
+        if is_write:
+            stats.local_writes += 1
+        else:
+            stats.local_reads += 1
+
+        l1_block = self.l1.geometry.block_number(address)
+        frame1 = self.l1.find(l1_block)
+        if frame1 is not None and (not is_write or frame1.writable):
+            stats.l1_hits += 1
+            if is_write and not frame1.dirty:
+                frame1.dirty = True
+                self._mirror_l1_write(address)
+            elif is_write:
+                frame1.dirty = True
+            return
+
+        stats.l1_misses += 1
+        self._access_l2(address, is_write)
+
+    def _access_l2(self, address: int, is_write: bool) -> None:
+        """Service an L1 miss (or write-permission miss) at the L2."""
+        stats = self.stats
+        l2_block = self.l2.geometry.block_number(address)
+        sub = self.l2.geometry.subblock_index(address)
+
+        stats.l2_local_accesses += 1
+        stats.l2_local_tag_probes += 1
+
+        frame = self.l2.find(l2_block, touch=True)
+        if frame is None:
+            frame = self._handle_tag_miss(l2_block)
+        self._service_subblock(frame, address, sub, is_write)
+
+    def _handle_tag_miss(self, l2_block: int) -> Frame:
+        """Allocate an L2 frame, reclaiming from the WB when possible."""
+        stats = self.stats
+        wb_entry = self.wb.remove(l2_block)
+
+        frame, evicted = self.l2.allocate(l2_block)
+        stats.l2_block_allocs += 1
+        if evicted is not None:
+            self._retire_victim(evicted)
+        self.events.alloc(l2_block)
+
+        if wb_entry is not None:
+            # Reclaim the dirty subblocks with their original states so an
+            # Owned copy is not silently promoted to Modified.
+            stats.wb_reclaims += 1
+            for sub_index, state in wb_entry.dirty_subblocks:
+                frame.states[sub_index] = state
+        return frame
+
+    def _retire_victim(self, evicted) -> None:
+        """Push a displaced block towards memory and keep L1 inclusion."""
+        stats = self.stats
+        stats.l2_block_evictions += 1
+        self.events.evict(evicted.block)
+
+        # Inclusion: drop every L1 copy of the victim's subblocks.  Dirty
+        # L1 data is newer than the L2 copy; pulling it back is an L1
+        # writeback that merges into the outgoing block.
+        for sub_index in evicted.l1_subblocks:
+            l1_block = self._l1_block_of(evicted.block, sub_index)
+            dropped = self.l1.invalidate(l1_block)
+            if dropped is not None and dropped.dirty:
+                stats.l1_writebacks += 1
+
+        if evicted.dirty:
+            stats.l2_dirty_evictions += 1
+            if self.wb.full:
+                self._drain_one()
+            self.wb.push(evicted.block, evicted.dirty_subblocks)
+            stats.wb_pushes += 1
+
+    def _service_subblock(
+        self, frame: Frame, address: int, sub: int, is_write: bool
+    ) -> None:
+        """Complete the access now that a frame for the block exists."""
+        stats = self.stats
+        state = frame.states[sub]
+
+        if state.valid and (not is_write or state.writable):
+            stats.l2_local_hits += 1
+            stats.l2_local_data_reads += 1
+            if is_write:
+                frame.states[sub] = MOESI.M
+            self._fill_l1(frame, address, sub, is_write)
+            return
+
+        if state.valid and is_write:
+            # Write hit on a shared subblock (S or O): bus upgrade.
+            stats.l2_local_hits += 1
+            stats.upgrades_issued += 1
+            self._broadcast(BusOp.UPGRADE, address)
+            frame.states[sub] = MOESI.M
+            stats.l2_local_tag_updates += 1
+            stats.l2_local_data_reads += 1
+            self._fill_l1(frame, address, sub, is_write)
+            return
+
+        # Subblock miss (tag may or may not have just been allocated).
+        stats.l2_local_misses += 1
+        op = BusOp.READ_X if is_write else BusOp.READ
+        result = self._broadcast(op, address)
+        if is_write:
+            frame.states[sub] = MOESI.M
+        elif result.remote_hits > 0:
+            frame.states[sub] = MOESI.S
+        else:
+            frame.states[sub] = MOESI.E
+        stats.l2_local_tag_updates += 1
+        stats.l2_local_data_writes += 1
+        self._fill_l1(frame, address, sub, is_write)
+
+    def _fill_l1(self, frame: Frame, address: int, sub: int, is_write: bool) -> None:
+        """Install the serviced subblock into the L1 and track inclusion."""
+        l1_block = self.l1.geometry.block_number(address)
+        writable = frame.states[sub].writable
+        displaced = self.l1.fill(l1_block, writable)
+        frame.in_l1[sub] = True
+        if is_write:
+            installed = self.l1.find(l1_block, touch=False)
+            assert installed is not None
+            installed.dirty = True
+
+        if displaced is not None:
+            self._handle_l1_displacement(displaced)
+
+    def _handle_l1_displacement(self, displaced) -> None:
+        """An L1 fill displaced another block: write back and un-hint."""
+        stats = self.stats
+        address = displaced.block << self.l1.geometry.config.block_offset_bits
+        l2_block = self.l2.geometry.block_number(address)
+        sub = self.l2.geometry.subblock_index(address)
+        frame = self.l2.find(l2_block, touch=False)
+        if frame is None:
+            raise CoherenceError(
+                f"L1 inclusion violated on node {self.node_id}: displaced L1 "
+                f"block {displaced.block:#x} has no L2 frame"
+            )
+        frame.in_l1[sub] = False
+        if displaced.dirty:
+            stats.l1_writebacks += 1
+            stats.l2_local_data_writes += 1
+            # The mirror already holds M for dirty L1 lines.
+            if frame.states[sub] is not MOESI.M:
+                raise CoherenceError(
+                    f"dirty L1 block {displaced.block:#x} on node "
+                    f"{self.node_id} backed by L2 state {frame.states[sub].name}"
+                )
+
+    def _mirror_l1_write(self, address: int) -> None:
+        """Reflect a silent E->M upgrade of a writable L1 line into the L2."""
+        l2_block = self.l2.geometry.block_number(address)
+        sub = self.l2.geometry.subblock_index(address)
+        frame = self.l2.find(l2_block, touch=False)
+        if frame is None or not frame.states[sub].valid:
+            raise CoherenceError(
+                f"L1 writable line {address:#x} on node {self.node_id} "
+                "not backed by a valid L2 subblock"
+            )
+        frame.states[sub] = MOESI.M
+
+    def _broadcast(self, op: BusOp, address: int) -> BusResult:
+        if self.broadcast is None:
+            raise CoherenceError("node is not attached to a bus")
+        return self.broadcast(op, address)
+
+    def _drain_one(self) -> None:
+        """Retire the oldest write-buffer entry to memory."""
+        self.wb.drain_oldest()
+        self.stats.wb_drains += 1
+        if self.on_writeback is not None:
+            self.on_writeback()
+
+    def drain_write_buffer(self) -> None:
+        """Flush all pending writebacks (end of simulation)."""
+        for _entry in self.wb.drain_all():
+            self.stats.wb_drains += 1
+            if self.on_writeback is not None:
+                self.on_writeback()
+
+    def _l1_block_of(self, l2_block: int, sub: int) -> int:
+        """Global L1 block number of subblock ``sub`` of an L2 block."""
+        ratio_bits = (
+            self.l2.geometry.config.block_offset_bits
+            - self.l1.geometry.config.block_offset_bits
+        )
+        return (l2_block << ratio_bits) | sub
+
+    # ==================================================================
+    # Bus side
+    # ==================================================================
+
+    def snoop(self, op: BusOp, address: int) -> SnoopReply:
+        """React to another node's bus transaction."""
+        stats = self.stats
+        l2_block = self.l2.geometry.block_number(address)
+        sub = self.l2.geometry.subblock_index(address)
+        reply = SnoopReply()
+
+        # --- Write buffer: probed on every snoop, never filtered -------
+        stats.wb_probes += 1
+        wb_entry = self.wb.probe(l2_block)
+        wb_states = dict(wb_entry.dirty_subblocks) if wb_entry is not None else {}
+        if sub in wb_states:
+            stats.wb_hits += 1
+            reply.hit = True
+            reply.supplied = True
+            if op in (BusOp.READ_X, BusOp.UPGRADE):
+                self._cancel_wb_subblock(l2_block, sub)
+
+        # --- L2 tag probe (ground truth; filtering is modelled at replay)
+        frame = self.l2.find(l2_block, touch=False)
+        block_present = frame is not None
+        state = frame.states[sub] if frame is not None else MOESI.I
+        sub_hit = state.valid
+
+        flag = (1 if sub_hit else 0) | (2 if block_present else 0)
+        self.events.snoop(l2_block, flag)
+
+        stats.snoops_observed += 1
+        stats.snoop_tag_probes += 1
+        if block_present:
+            stats.snoop_block_present += 1
+        if sub_hit:
+            stats.snoop_hits += 1
+        else:
+            stats.snoop_misses += 1
+            return reply
+
+        assert frame is not None
+        reply.hit = True
+        if op is BusOp.READ:
+            self._snoop_read(frame, sub, state, reply)
+        else:
+            self._snoop_invalidate(frame, l2_block, sub, state, op, reply)
+        return reply
+
+    def _snoop_read(
+        self, frame: Frame, sub: int, state: MOESI, reply: SnoopReply
+    ) -> None:
+        """BusRd: supply data if owner, downgrade exclusivity."""
+        stats = self.stats
+        if state.owner:
+            reply.supplied = True
+            stats.snoop_data_supplies += 1
+        if frame.in_l1[sub]:
+            # The L1 may hold write permission; revoke it.  If the L1 line
+            # is dirty its data is pulled into the L2 as part of the
+            # supply, leaving the L1 copy clean.
+            stats.l1_snoop_probes += 1
+            l1_block = self._l1_block_of(frame.block, sub)
+            l1_frame = self.l1.find(l1_block, touch=False)
+            if l1_frame is not None:
+                l1_frame.writable = False
+                if l1_frame.dirty:
+                    l1_frame.dirty = False
+                    stats.l1_writebacks += 1
+        new_state = {
+            MOESI.M: MOESI.O,
+            MOESI.O: MOESI.O,
+            MOESI.E: MOESI.S,
+            MOESI.S: MOESI.S,
+        }[state]
+        if new_state is not state:
+            frame.states[sub] = new_state
+            stats.snoop_state_updates += 1
+
+    def _snoop_invalidate(
+        self,
+        frame: Frame,
+        l2_block: int,
+        sub: int,
+        state: MOESI,
+        op: BusOp,
+        reply: SnoopReply,
+    ) -> None:
+        """BusRdX / BusUpgr: invalidate our copy, supplying data for RdX."""
+        stats = self.stats
+        if op is BusOp.READ_X and state.owner:
+            reply.supplied = True
+            stats.snoop_data_supplies += 1
+        if frame.in_l1[sub]:
+            stats.l1_snoop_probes += 1
+            self.l1.invalidate(self._l1_block_of(l2_block, sub))
+            frame.in_l1[sub] = False
+        frame.states[sub] = MOESI.I
+        stats.snoop_state_updates += 1
+
+    def _cancel_wb_subblock(self, l2_block: int, sub: int) -> None:
+        """Drop a write-buffered subblock whose ownership a snoop took."""
+        entry = self.wb.remove(l2_block)
+        if entry is None:
+            return
+        remaining = tuple(
+            (sub_index, state)
+            for sub_index, state in entry.dirty_subblocks
+            if sub_index != sub
+        )
+        if remaining:
+            if self.wb.full:
+                self._drain_one()
+            self.wb.push(l2_block, remaining)

@@ -1,0 +1,215 @@
+"""The top-level SMP system: nodes, bus, and the trace-driven run loop.
+
+:class:`SMPSystem` wires :class:`~repro.coherence.node.CacheNode` objects
+to a shared :class:`~repro.coherence.bus.Bus` and consumes an interleaved
+access stream.  :func:`simulate` is the one-call entry point used by the
+experiment harness.
+
+The module also provides :func:`check_coherence_invariants`, used by the
+integration and property-based tests to assert protocol correctness after
+(or during) a run:
+
+* at most one node holds a subblock in M or E, and then no other node
+  holds any valid copy;
+* at most one node holds a subblock in O;
+* L1 contents are included in the L2 (and writable L1 lines are backed by
+  an L2 subblock in M);
+* write-buffered copies do not coexist with another cache's M/E copy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.coherence.bus import Bus, BusOp, BusStatsCounter
+from repro.coherence.config import SystemConfig
+from repro.coherence.metrics import BusStats, NodeStats, SimResult
+from repro.coherence.node import CacheNode
+from repro.coherence.states import MOESI
+from repro.errors import CoherenceError, TraceError
+
+
+class SMPSystem:
+    """A bus-based symmetric multiprocessor."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.bus = Bus(config.n_cpus)
+        self.nodes = [CacheNode(i, config) for i in range(config.n_cpus)]
+        for node in self.nodes:
+            node.broadcast = self._make_broadcast(node.node_id)
+            node.on_writeback = self.bus.record_writeback
+        self.accesses = 0
+
+    def _make_broadcast(self, requester: int):
+        """Build the closure a node uses to put a transaction on the bus."""
+
+        def broadcast(op: BusOp, address: int):
+            replies = [
+                node.snoop(op, address)
+                for node in self.nodes
+                if node.node_id != requester
+            ]
+            return self.bus.record_transaction(op, replies)
+
+        return broadcast
+
+    # ------------------------------------------------------------------
+
+    def access(self, cpu: int, address: int, is_write: bool) -> None:
+        """Run one processor access to completion."""
+        if not 0 <= cpu < self.config.n_cpus:
+            raise TraceError(
+                f"access for CPU {cpu} on a {self.config.n_cpus}-way system"
+            )
+        self.accesses += 1
+        self.nodes[cpu].local_access(address, is_write)
+
+    def run(self, accesses: Iterable[tuple[int, int, bool]]) -> None:
+        """Consume an interleaved stream of ``(cpu, address, is_write)``."""
+        nodes = self.nodes
+        n_cpus = self.config.n_cpus
+        count = 0
+        for cpu, address, is_write in accesses:
+            if not 0 <= cpu < n_cpus:
+                raise TraceError(
+                    f"access for CPU {cpu} on a {n_cpus}-way system"
+                )
+            nodes[cpu].local_access(address, is_write)
+            count += 1
+        self.accesses += count
+
+    def begin_measurement(self) -> None:
+        """End the cache warm-up phase: zero statistics, keep all state.
+
+        Cache, write-buffer, and filter-relevant state (the event streams'
+        ALLOC/EVICT history) are preserved; only counters restart, so the
+        reported rates reflect steady-state behaviour rather than the
+        compulsory misses of a cold L2.
+        """
+        for node in self.nodes:
+            node.stats = NodeStats()
+            node.events.marker()
+        self.bus.stats = BusStatsCounter()
+        self.bus.stats.ensure_cpus(self.config.n_cpus)
+        self.accesses = 0
+
+    def finish(self) -> None:
+        """Drain all write buffers (call once, at end of trace)."""
+        for node in self.nodes:
+            node.drain_write_buffer()
+
+    def result(self, workload: str = "") -> SimResult:
+        """Package statistics and event streams for analysis."""
+        bus_counts = self.bus.stats
+        bus = BusStats(
+            reads=bus_counts.transactions[BusOp.READ],
+            read_exclusives=bus_counts.transactions[BusOp.READ_X],
+            upgrades=bus_counts.transactions[BusOp.UPGRADE],
+            writebacks=bus_counts.writebacks,
+            remote_hit_histogram=tuple(bus_counts.remote_hit_histogram),
+        )
+        return SimResult(
+            workload=workload,
+            n_cpus=self.config.n_cpus,
+            node_stats=[node.stats for node in self.nodes],
+            bus=bus,
+            event_streams=[node.events for node in self.nodes],
+            accesses=self.accesses,
+        )
+
+
+def simulate(
+    config: SystemConfig,
+    accesses: Iterable[tuple[int, int, bool]],
+    workload: str = "",
+    warmup: int = 0,
+) -> SimResult:
+    """Build a system, run ``accesses``, drain, and return the result.
+
+    The first ``warmup`` accesses warm the caches; statistics (node, bus,
+    and filter-replay coverage) cover only the remainder.
+    """
+    system = SMPSystem(config)
+    if warmup > 0:
+        iterator = iter(accesses)
+        warm = itertools.islice(iterator, warmup)
+        system.run(warm)
+        system.begin_measurement()
+        system.run(iterator)
+    else:
+        system.run(accesses)
+    system.finish()
+    return system.result(workload)
+
+
+def check_coherence_invariants(system: SMPSystem) -> None:
+    """Assert global MOESI and inclusion invariants; raise on violation."""
+    per_subblock: dict[tuple[int, int], list[tuple[int, MOESI]]] = {}
+    for node in system.nodes:
+        for ways in node.l2._sets:
+            for frame in ways:
+                if frame is None:
+                    continue
+                for sub, state in enumerate(frame.states):
+                    if state is not MOESI.I:
+                        key = (frame.block, sub)
+                        per_subblock.setdefault(key, []).append(
+                            (node.node_id, state)
+                        )
+        _check_inclusion(node)
+
+    wb_copies: dict[tuple[int, int], list[int]] = {}
+    for node in system.nodes:
+        for block in node.wb.blocks():
+            entry = node.wb.probe(block)
+            assert entry is not None
+            for sub, _state in entry.dirty_subblocks:
+                wb_copies.setdefault((block, sub), []).append(node.node_id)
+
+    for key, holders in per_subblock.items():
+        states = [state for _node, state in holders]
+        exclusive = [s for s in states if s in (MOESI.M, MOESI.E)]
+        owners = [s for s in states if s is MOESI.O]
+        if exclusive and len(states) > 1:
+            raise CoherenceError(
+                f"subblock {key} held exclusively ({exclusive[0].name}) "
+                f"while {len(states)} caches hold copies: {holders}"
+            )
+        if len(owners) > 1:
+            raise CoherenceError(f"subblock {key} has {len(owners)} owners")
+        if exclusive and key in wb_copies:
+            raise CoherenceError(
+                f"subblock {key} is M/E in a cache but also write-buffered "
+                f"on nodes {wb_copies[key]}"
+            )
+
+
+def _check_inclusion(node: CacheNode) -> None:
+    """Every L1 block must be backed by a valid L2 subblock on its node."""
+    ratio_bits = (
+        node.l2.geometry.config.block_offset_bits
+        - node.l1.geometry.config.block_offset_bits
+    )
+    for l1_block in node.l1.resident_blocks():
+        l2_block = l1_block >> ratio_bits
+        sub = l1_block & ((1 << ratio_bits) - 1)
+        frame = node.l2.find(l2_block, touch=False)
+        if frame is None or not frame.states[sub].valid:
+            raise CoherenceError(
+                f"inclusion violated on node {node.node_id}: L1 block "
+                f"{l1_block:#x} lacks a valid L2 backing subblock"
+            )
+        l1_frame = node.l1.find(l1_block, touch=False)
+        assert l1_frame is not None
+        if l1_frame.writable and frame.states[sub] not in (MOESI.M, MOESI.E):
+            raise CoherenceError(
+                f"writable L1 block {l1_block:#x} on node {node.node_id} "
+                f"backed by L2 state {frame.states[sub].name}"
+            )
+        if l1_frame.dirty and frame.states[sub] is not MOESI.M:
+            raise CoherenceError(
+                f"dirty L1 block {l1_block:#x} on node {node.node_id} "
+                f"backed by L2 state {frame.states[sub].name}"
+            )

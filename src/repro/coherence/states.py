@@ -1,0 +1,49 @@
+"""MOESI coherence states and classification helpers.
+
+Coherence is maintained per 32-byte subblock (paper §4.1).  The five
+states have the usual meaning:
+
+* ``M`` (Modified) — sole dirty copy; memory stale.
+* ``O`` (Owned) — dirty copy shared with others; this cache responds.
+* ``E`` (Exclusive) — sole clean copy; silent upgrade to M on write.
+* ``S`` (Shared) — clean copy, possibly replicated.
+* ``I`` (Invalid) — no copy.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class MOESI(IntEnum):
+    """Subblock coherence state."""
+
+    I = 0
+    S = 1
+    E = 2
+    O = 3
+    M = 4
+
+    @property
+    def valid(self) -> bool:
+        """True for any state holding a copy (not I)."""
+        return self is not MOESI.I
+
+    @property
+    def dirty(self) -> bool:
+        """True when this cache's copy differs from memory (M or O)."""
+        return self in (MOESI.M, MOESI.O)
+
+    @property
+    def writable(self) -> bool:
+        """True when a store may proceed without a bus transaction.
+
+        Writes to E upgrade silently to M; writes to S or O require a bus
+        upgrade to invalidate other copies first.
+        """
+        return self in (MOESI.M, MOESI.E)
+
+    @property
+    def owner(self) -> bool:
+        """True when this cache must supply data on a bus read (M or O)."""
+        return self in (MOESI.M, MOESI.O)

@@ -1,0 +1,87 @@
+"""The write-back buffer between the L2 and the bus.
+
+Dirty blocks displaced from the L2 wait here until the bus writes them to
+memory.  Two properties matter for the paper's evaluation:
+
+* every bus snoop probes the WB *in addition to* any filtered/unfiltered
+  L2 tag probe — a JETTY never filters WB lookups (paper §2, Figure 1b),
+  so WB probe energy is charged on every snoop;
+* a block sitting in the WB can still service snoops (it is the only
+  up-to-date copy), and a local re-reference can reclaim it before the
+  writeback drains.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.coherence.states import MOESI
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class WBEntry:
+    """A dirty block awaiting writeback.
+
+    ``dirty_subblocks`` pairs each dirty subblock index with the MOESI
+    state it held at eviction (M or O), so a local reclaim can restore the
+    state faithfully.
+    """
+
+    block: int
+    dirty_subblocks: tuple[tuple[int, MOESI], ...]
+
+
+class WriteBuffer:
+    """FIFO write-back buffer with CAM-style lookup."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ConfigurationError(f"write buffer needs >= 1 entry, got {entries}")
+        self.capacity = entries
+        self._entries: OrderedDict[int, WBEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, block: int, dirty_subblocks: tuple[tuple[int, MOESI], ...]) -> None:
+        """Queue a displaced dirty block.  The caller drains first if full."""
+        if self.full:
+            raise ConfigurationError("write buffer overflow; drain before push")
+        if block in self._entries:
+            # Re-eviction of a block pushed earlier: the newer states win.
+            previous = self._entries.pop(block)
+            merged = dict(previous.dirty_subblocks)
+            merged.update(dict(dirty_subblocks))
+            dirty_subblocks = tuple(sorted(merged.items()))
+        self._entries[block] = WBEntry(block, dirty_subblocks)
+
+    def probe(self, block: int) -> WBEntry | None:
+        """CAM lookup used by snoops and local reclaim (no reordering)."""
+        return self._entries.get(block)
+
+    def remove(self, block: int) -> WBEntry | None:
+        """Take a block out (local reclaim or invalidating snoop)."""
+        return self._entries.pop(block, None)
+
+    def drain_oldest(self) -> WBEntry:
+        """Pop the oldest entry for its memory writeback."""
+        if not self._entries:
+            raise ConfigurationError("drain on empty write buffer")
+        _block, entry = self._entries.popitem(last=False)
+        return entry
+
+    def drain_all(self) -> list[WBEntry]:
+        """Flush everything (end of simulation)."""
+        drained = list(self._entries.values())
+        self._entries.clear()
+        return drained
+
+    def blocks(self) -> tuple[int, ...]:
+        """Currently buffered block numbers (tests/inspection)."""
+        return tuple(self._entries.keys())

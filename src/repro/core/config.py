@@ -1,0 +1,303 @@
+"""Named JETTY configurations and the paper's naming schemes.
+
+The paper names structures as:
+
+* ``EJ-SxA`` — exclude-JETTY with S sets, A ways (e.g. ``EJ-32x4``);
+* ``VEJ-SxA-V`` — vector-exclude with V-bit presence vectors;
+* ``IJ-ExNxS`` — include-JETTY with N sub-arrays of 2**E entries and
+  index fields S bits apart (e.g. ``IJ-10x4x7``);
+* ``HJ(IJ-..., EJ-...)`` — hybrid of an IJ and an exclude-style filter.
+
+This module parses those names into frozen config dataclasses, builds
+filter instances from them, and computes the storage arithmetic behind the
+paper's Table 4.  The special names ``"null"`` and ``"oracle"`` give the
+reference filters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.base import SnoopFilter
+from repro.core.exclude import ExcludeJetty
+from repro.core.hashed_include import HashedIncludeJetty
+from repro.core.hybrid import HybridJetty
+from repro.core.include import IncludeJetty
+from repro.core.null import NullFilter, OracleFilter
+from repro.core.vector_exclude import VectorExcludeJetty
+from repro.errors import FilterNameError
+
+#: Block-address width at paper scale: 36-bit physical addresses with
+#: 64-byte L2 blocks leave 30 block-number bits.
+PAPER_BLOCK_ADDRESS_BITS = 30
+
+#: Counter width at paper scale: a 1 MB L2 with 64-byte blocks holds 2**14
+#: blocks, and the paper pessimistically sizes counters to log2 of that.
+PAPER_COUNTER_BITS = 14
+
+
+@dataclass(frozen=True)
+class EJConfig:
+    """Configuration of an :class:`~repro.core.exclude.ExcludeJetty`."""
+
+    sets: int
+    ways: int
+
+    @property
+    def name(self) -> str:
+        return f"EJ-{self.sets}x{self.ways}"
+
+    def build(self, tag_bits: int = PAPER_BLOCK_ADDRESS_BITS) -> ExcludeJetty:
+        return ExcludeJetty(self.sets, self.ways, tag_bits=tag_bits)
+
+    def storage_bits(self, tag_bits: int = PAPER_BLOCK_ADDRESS_BITS) -> int:
+        return self.build(tag_bits).storage_bits()
+
+
+@dataclass(frozen=True)
+class VEJConfig:
+    """Configuration of a :class:`~repro.core.vector_exclude.VectorExcludeJetty`."""
+
+    sets: int
+    ways: int
+    vector_bits: int
+
+    @property
+    def name(self) -> str:
+        return f"VEJ-{self.sets}x{self.ways}-{self.vector_bits}"
+
+    def build(self, tag_bits: int = PAPER_BLOCK_ADDRESS_BITS) -> VectorExcludeJetty:
+        return VectorExcludeJetty(
+            self.sets, self.ways, self.vector_bits, tag_bits=tag_bits
+        )
+
+    def storage_bits(self, tag_bits: int = PAPER_BLOCK_ADDRESS_BITS) -> int:
+        return self.build(tag_bits).storage_bits()
+
+
+@dataclass(frozen=True)
+class IJConfig:
+    """Configuration of an :class:`~repro.core.include.IncludeJetty`."""
+
+    entry_bits: int
+    n_arrays: int
+    skip: int
+
+    @property
+    def name(self) -> str:
+        return f"IJ-{self.entry_bits}x{self.n_arrays}x{self.skip}"
+
+    def build(
+        self,
+        counter_bits: int = PAPER_COUNTER_BITS,
+        addr_bits: int = PAPER_BLOCK_ADDRESS_BITS,
+    ) -> IncludeJetty:
+        return IncludeJetty(
+            self.entry_bits,
+            self.n_arrays,
+            self.skip,
+            counter_bits=counter_bits,
+            addr_bits=addr_bits,
+        )
+
+    # -- Table 4 arithmetic --------------------------------------------
+
+    def pbit_bits(self) -> int:
+        """Total presence bits: ``n_arrays * 2**entry_bits`` (Table 4)."""
+        return self.n_arrays * (1 << self.entry_bits)
+
+    def cnt_bits(self, counter_bits: int = PAPER_COUNTER_BITS) -> int:
+        """Total counter bits with the paper's pessimistic width."""
+        return self.n_arrays * (1 << self.entry_bits) * counter_bits
+
+    def cnt_bytes(self, counter_bits: int = PAPER_COUNTER_BITS) -> int:
+        """Counter storage in bytes — the number Table 4 reports."""
+        return self.cnt_bits(counter_bits) // 8
+
+    def pbit_organization(self) -> tuple[int, int, int]:
+        """Physical p-bit array shape ``(n_arrays, rows, columns)``.
+
+        The paper organises each 2**E-bit array as a near-square RAM with
+        at least 16 columns (Table 4: IJ-10x4x7 uses four 32x32 arrays,
+        IJ-6x5x6 five 4x16 arrays).  Shape only affects the energy model,
+        not capacity.
+        """
+        entries = 1 << self.entry_bits
+        cols = max(16, 1 << ((self.entry_bits + 1) // 2))
+        cols = min(cols, entries)
+        return self.n_arrays, entries // cols, cols
+
+
+@dataclass(frozen=True)
+class HIJConfig:
+    """Configuration of a :class:`~repro.core.hashed_include.HashedIncludeJetty`.
+
+    The paper's footnote-3 design: one p-bit/counter array probed through
+    ``k`` hash functions (a counting Bloom filter).
+    """
+
+    entry_bits: int
+    k: int
+
+    @property
+    def name(self) -> str:
+        return f"HIJ-{self.entry_bits}x{self.k}"
+
+    def build(self, counter_bits: int = PAPER_COUNTER_BITS) -> HashedIncludeJetty:
+        return HashedIncludeJetty(self.entry_bits, self.k, counter_bits=counter_bits)
+
+    def pbit_bits(self) -> int:
+        return 1 << self.entry_bits
+
+    def cnt_bits(self, counter_bits: int = PAPER_COUNTER_BITS) -> int:
+        return (1 << self.entry_bits) * counter_bits
+
+
+@dataclass(frozen=True)
+class HJConfig:
+    """Configuration of a :class:`~repro.core.hybrid.HybridJetty`."""
+
+    include: IJConfig
+    exclude: EJConfig | VEJConfig
+
+    @property
+    def name(self) -> str:
+        return f"HJ({self.include.name}, {self.exclude.name})"
+
+    def build(
+        self,
+        counter_bits: int = PAPER_COUNTER_BITS,
+        addr_bits: int = PAPER_BLOCK_ADDRESS_BITS,
+    ) -> HybridJetty:
+        return HybridJetty(
+            self.include.build(counter_bits=counter_bits, addr_bits=addr_bits),
+            self.exclude.build(tag_bits=addr_bits),
+        )
+
+
+@dataclass(frozen=True)
+class NullConfig:
+    """Configuration of the pass-through baseline filter."""
+
+    @property
+    def name(self) -> str:
+        return "null"
+
+    def build(self) -> NullFilter:
+        return NullFilter()
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Configuration of the perfect-filter upper bound."""
+
+    @property
+    def name(self) -> str:
+        return "oracle"
+
+    def build(self) -> OracleFilter:
+        return OracleFilter()
+
+
+FilterConfig = (
+    EJConfig | VEJConfig | IJConfig | HIJConfig | HJConfig
+    | NullConfig | OracleConfig
+)
+
+
+_EJ_RE = re.compile(r"^EJ-(\d+)x(\d+)$")
+_VEJ_RE = re.compile(r"^VEJ-(\d+)x(\d+)-(\d+)$")
+_IJ_RE = re.compile(r"^IJ-(\d+)x(\d+)x(\d+)$")
+_HIJ_RE = re.compile(r"^HIJ-(\d+)x(\d+)$")
+_HJ_RE = re.compile(r"^HJ\((.+),(.+)\)$")
+
+
+def parse_filter_name(name: str) -> FilterConfig:
+    """Parse a paper-style configuration name into a config object.
+
+    Raises :class:`~repro.errors.FilterNameError` for malformed names.
+    """
+    text = name.strip()
+    lowered = text.lower()
+    if lowered == "null":
+        return NullConfig()
+    if lowered == "oracle":
+        return OracleConfig()
+
+    match = _EJ_RE.match(text)
+    if match:
+        return EJConfig(sets=int(match.group(1)), ways=int(match.group(2)))
+    match = _VEJ_RE.match(text)
+    if match:
+        return VEJConfig(
+            sets=int(match.group(1)),
+            ways=int(match.group(2)),
+            vector_bits=int(match.group(3)),
+        )
+    match = _IJ_RE.match(text)
+    if match:
+        return IJConfig(
+            entry_bits=int(match.group(1)),
+            n_arrays=int(match.group(2)),
+            skip=int(match.group(3)),
+        )
+    match = _HIJ_RE.match(text)
+    if match:
+        return HIJConfig(entry_bits=int(match.group(1)), k=int(match.group(2)))
+    match = _HJ_RE.match(text)
+    if match:
+        include = parse_filter_name(match.group(1))
+        exclude = parse_filter_name(match.group(2))
+        if not isinstance(include, IJConfig):
+            raise FilterNameError(
+                f"HJ include component must be an IJ, got {match.group(1)!r}"
+            )
+        if not isinstance(exclude, (EJConfig, VEJConfig)):
+            raise FilterNameError(
+                f"HJ exclude component must be an EJ or VEJ, got {match.group(2)!r}"
+            )
+        return HJConfig(include=include, exclude=exclude)
+    raise FilterNameError(f"unrecognised JETTY configuration name: {name!r}")
+
+
+def build_filter(
+    spec: str | FilterConfig,
+    counter_bits: int = PAPER_COUNTER_BITS,
+    addr_bits: int = PAPER_BLOCK_ADDRESS_BITS,
+) -> SnoopFilter:
+    """Build a filter instance from a name or config.
+
+    ``counter_bits`` and ``addr_bits`` let the simulator size structures to
+    a scaled system; defaults match the paper's full-scale parameters.
+    """
+    config = parse_filter_name(spec) if isinstance(spec, str) else spec
+    if isinstance(config, (NullConfig, OracleConfig)):
+        return config.build()
+    if isinstance(config, (EJConfig, VEJConfig)):
+        return config.build(tag_bits=addr_bits)
+    if isinstance(config, HIJConfig):
+        return config.build(counter_bits=counter_bits)
+    return config.build(counter_bits=counter_bits, addr_bits=addr_bits)
+
+
+#: The six EJ configurations of Figure 4(a).
+PAPER_EJ_NAMES = ("EJ-32x4", "EJ-32x2", "EJ-16x4", "EJ-16x2", "EJ-8x4", "EJ-8x2")
+
+#: The four VEJ configurations of Figure 4(b).
+PAPER_VEJ_NAMES = ("VEJ-32x4-8", "VEJ-32x4-4", "VEJ-16x4-8", "VEJ-16x4-4")
+
+#: The five IJ configurations of Figure 5(a) / Table 4.  Note the paper's
+#: Section 4.3.3 once writes "IJ-7x5x7" for the configuration Table 4 calls
+#: IJ-7x5x6; we follow Table 4.
+PAPER_IJ_NAMES = ("IJ-10x4x7", "IJ-9x4x7", "IJ-8x4x7", "IJ-7x5x6", "IJ-6x5x6")
+
+#: The six HJ configurations of Figure 5(b) / Figure 6(a).
+PAPER_HJ_NAMES = (
+    "HJ(IJ-10x4x7, EJ-32x4)",
+    "HJ(IJ-9x4x7, EJ-32x4)",
+    "HJ(IJ-8x4x7, EJ-32x4)",
+    "HJ(IJ-10x4x7, EJ-16x2)",
+    "HJ(IJ-9x4x7, EJ-16x2)",
+    "HJ(IJ-8x4x7, EJ-16x2)",
+)

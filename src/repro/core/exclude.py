@@ -1,0 +1,114 @@
+"""Exclude-JETTY (EJ): a record of blocks known to be absent (paper §3.1).
+
+The EJ is a small set-associative array of ``(tag, present)`` entries.  A
+valid entry for block B is a *guarantee* that B is not cached in the local
+L2.  Entries are:
+
+* **allocated** when a snoop misses the whole block in the local L2 (the
+  block tag was absent) — subsequent snoops to the same block are filtered
+  while the entry survives;
+* **invalidated** when a local miss fills the corresponding block — this is
+  the safety-critical update: the moment the block becomes cached the EJ
+  must stop claiming it is absent.
+
+Block evictions need no EJ update: an absent block simply has no entry,
+which is always safe (the EJ only errs by failing to filter).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SnoopFilter
+from repro.errors import ConfigurationError
+from repro.utils.bitops import ilog2, mask
+from repro.utils.lru import LRUTracker
+
+
+class ExcludeJetty(SnoopFilter):
+    """Set-associative exclude-JETTY, named ``EJ-<sets>x<ways>``.
+
+    Args:
+        sets: number of sets (power of two).
+        ways: associativity.
+        tag_bits: width of the stored tag, used only for storage accounting
+            (the model stores full block numbers; hardware would store
+            ``block_address_bits - log2(sets)`` bits).
+    """
+
+    def __init__(self, sets: int, ways: int, tag_bits: int = 30) -> None:
+        super().__init__()
+        if ways <= 0:
+            raise ConfigurationError(f"EJ associativity must be >= 1, got {ways}")
+        self.sets = sets
+        self.ways = ways
+        self.tag_bits = tag_bits
+        self._index_bits = ilog2(sets)
+        self._index_mask = mask(self._index_bits)
+        self.name = f"EJ-{sets}x{ways}"
+        # Per set: list of block numbers (None = invalid way) plus LRU state.
+        self._tags: list[list[int | None]] = [[None] * ways for _ in range(sets)]
+        self._lru: list[LRUTracker] = [LRUTracker(ways) for _ in range(sets)]
+
+    # ------------------------------------------------------------------
+
+    def _set_index(self, block: int) -> int:
+        return block & self._index_mask
+
+    def _probe(self, block: int) -> bool:
+        """Return False (guaranteed absent) on an EJ hit."""
+        set_tags = self._tags[self._set_index(block)]
+        for way in range(self.ways):
+            if set_tags[way] == block:
+                self._lru[self._set_index(block)].touch(way)
+                return False
+        return True
+
+    def _on_snoop_outcome(self, block: int, present: bool) -> None:
+        """Allocate an entry when the snoop missed the whole block."""
+        if present:
+            return
+        index = self._set_index(block)
+        set_tags = self._tags[index]
+        lru = self._lru[index]
+        # Refresh an existing entry rather than duplicating it.
+        for way in range(self.ways):
+            if set_tags[way] == block:
+                lru.touch(way)
+                return
+        way = self._find_victim(index)
+        set_tags[way] = block
+        lru.touch(way)
+        self.counts.entry_writes += 1
+
+    def _find_victim(self, index: int) -> int:
+        """Prefer an invalid way; otherwise evict the LRU entry."""
+        set_tags = self._tags[index]
+        for way in range(self.ways):
+            if set_tags[way] is None:
+                return way
+        return self._lru[index].victim()
+
+    def _on_block_allocated(self, block: int) -> None:
+        """Safety-critical: drop any entry claiming ``block`` is absent."""
+        set_tags = self._tags[self._set_index(block)]
+        for way in range(self.ways):
+            if set_tags[way] == block:
+                set_tags[way] = None
+                self.counts.entry_writes += 1
+                return
+
+    # ------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Tag plus present bit per entry (paper §3.1)."""
+        per_entry = (self.tag_bits - self._index_bits) + 1
+        return self.sets * self.ways * per_entry
+
+    def valid_entries(self) -> int:
+        """Number of currently valid entries (for tests/inspection)."""
+        return sum(
+            1 for set_tags in self._tags for t in set_tags if t is not None
+        )
+
+    def contains(self, block: int) -> bool:
+        """True if the EJ currently records ``block`` as absent."""
+        return block in self._tags[self._set_index(block)]

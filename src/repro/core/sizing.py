@@ -1,0 +1,83 @@
+"""Design automation: pick the smallest JETTY meeting a coverage target.
+
+A system designer's actual question is rarely "what does EJ-32x4 cover"
+but "what is the cheapest structure that covers X% of my workloads".
+:func:`smallest_covering_config` answers it by sweeping a candidate list
+in increasing storage order and returning the first configuration whose
+*minimum* coverage over the given workloads clears the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.analysis.experiments import coverage_for, evaluate_filter
+from repro.coherence.config import SCALED_SYSTEM, SystemConfig
+from repro.core.config import (
+    PAPER_EJ_NAMES,
+    PAPER_HJ_NAMES,
+    PAPER_IJ_NAMES,
+    PAPER_VEJ_NAMES,
+)
+from repro.errors import ConfigurationError
+
+#: Default candidate pool: every configuration the paper evaluates.
+DEFAULT_CANDIDATES: tuple[str, ...] = (
+    PAPER_EJ_NAMES + PAPER_VEJ_NAMES + PAPER_IJ_NAMES + PAPER_HJ_NAMES
+)
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of a sizing search."""
+
+    config_name: str
+    storage_bits: int
+    min_coverage: float
+    mean_coverage: float
+    per_workload: dict[str, float]
+
+
+def smallest_covering_config(
+    workloads: Sequence[str],
+    target_coverage: float,
+    candidates: Sequence[str] = DEFAULT_CANDIDATES,
+    system: SystemConfig = SCALED_SYSTEM,
+    seed: int = 1,
+) -> SizingResult | None:
+    """Return the smallest candidate whose worst-case coverage >= target.
+
+    Returns None when no candidate reaches the target.  "Smallest" is by
+    storage bits at the simulated system's address width.
+    """
+    if not workloads:
+        raise ConfigurationError("sizing needs at least one workload")
+    if not 0.0 < target_coverage <= 1.0:
+        raise ConfigurationError(
+            f"target coverage must be in (0, 1], got {target_coverage}"
+        )
+
+    sized = sorted(
+        candidates,
+        key=lambda name: evaluate_filter(
+            workloads[0], name, system, seed
+        ).storage_bits,
+    )
+    for name in sized:
+        per_workload = {
+            workload: coverage_for(workload, name, system, seed)
+            for workload in workloads
+        }
+        worst = min(per_workload.values())
+        if worst >= target_coverage:
+            return SizingResult(
+                config_name=name,
+                storage_bits=evaluate_filter(
+                    workloads[0], name, system, seed
+                ).storage_bits,
+                min_coverage=worst,
+                mean_coverage=sum(per_workload.values()) / len(per_workload),
+                per_workload=per_workload,
+            )
+    return None

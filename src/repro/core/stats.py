@@ -1,0 +1,201 @@
+"""Filter evaluation: event streams, replay, and coverage statistics.
+
+A JETTY never alters coherence behaviour — it only decides whether the L2
+tag array is probed on a snoop (paper §2.2).  The simulator therefore runs
+once per workload and records, per node, the *event stream* a JETTY would
+observe; every filter configuration is then evaluated by replaying that
+stream.  This separation makes sweeping dozens of configurations cheap and
+guarantees all filters see exactly the same input.
+
+Events come in three kinds:
+
+* ``SNOOP`` — a bus snoop for a block, annotated with the ground-truth L2
+  outcome (would the tag probe have hit?);
+* ``ALLOC`` — the L2 allocated a frame for a block;
+* ``EVICT`` — the L2 deallocated a block.
+
+The replay cross-checks the JETTY safety guarantee on every filtered snoop
+and raises :class:`~repro.errors.FilterSafetyError` on a violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import FilterEventCounts, SnoopFilter
+from repro.errors import FilterSafetyError
+
+#: Event kind tags.  Events are plain tuples ``(kind, block, flag)`` for
+#: speed.  For SNOOP events ``flag`` is a two-bit mask: bit 0 = the snooped
+#: subblock was valid (the tag probe would hit), bit 1 = the block tag was
+#: allocated (the JETTY safety reference).  MARKER separates the cache
+#: warm-up prefix from the measured region: filter *state* accumulates
+#: through it, statistics restart at it.
+SNOOP = 0
+ALLOC = 1
+EVICT = 2
+MARKER = 3
+
+Event = tuple[int, int, int]
+
+
+@dataclass
+class NodeEventStream:
+    """The per-node event stream recorded by the coherence simulator."""
+
+    node_id: int
+    events: list[Event] = field(default_factory=list)
+
+    def snoop(self, block: int, flag: int) -> None:
+        self.events.append((SNOOP, block, flag))
+
+    def alloc(self, block: int) -> None:
+        self.events.append((ALLOC, block, 0))
+
+    def evict(self, block: int) -> None:
+        self.events.append((EVICT, block, 0))
+
+    def marker(self) -> None:
+        """Mark the end of warm-up; replay statistics restart here."""
+        self.events.append((MARKER, 0, 0))
+
+    def counts(self) -> tuple[int, int, int]:
+        """Return ``(snoops, allocs, evicts)`` totals over all events."""
+        snoops = allocs = evicts = 0
+        for kind, _block, _flag in self.events:
+            if kind == SNOOP:
+                snoops += 1
+            elif kind == ALLOC:
+                allocs += 1
+            elif kind == EVICT:
+                evicts += 1
+        return snoops, allocs, evicts
+
+
+@dataclass
+class CoverageStats:
+    """Coverage accounting for one filter over one event stream.
+
+    *Coverage* (paper §4.3) is the fraction of snoop-induced L2 tag lookups
+    that would miss that the filter eliminated.
+    """
+
+    snoops: int = 0
+    snoop_would_miss: int = 0
+    snoop_would_hit: int = 0
+    filtered: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Filtered snoops over would-miss snoops (0 when no misses)."""
+        if self.snoop_would_miss == 0:
+            return 0.0
+        return self.filtered / self.snoop_would_miss
+
+    @property
+    def unfiltered_tag_probes(self) -> int:
+        """Snoop-induced L2 tag probes that still happen with this filter."""
+        return self.snoops - self.filtered
+
+    def merged_with(self, other: "CoverageStats") -> "CoverageStats":
+        """Return the elementwise sum of two coverage records."""
+        return CoverageStats(
+            snoops=self.snoops + other.snoops,
+            snoop_would_miss=self.snoop_would_miss + other.snoop_would_miss,
+            snoop_would_hit=self.snoop_would_hit + other.snoop_would_hit,
+            filtered=self.filtered + other.filtered,
+        )
+
+
+@dataclass
+class FilterEvaluation:
+    """The full result of replaying one event stream through one filter."""
+
+    filter_name: str
+    coverage: CoverageStats
+    events: FilterEventCounts
+    storage_bits: int
+    allocs: int = 0
+    evicts: int = 0
+
+
+def merge_evaluations(evaluations: list[FilterEvaluation]) -> FilterEvaluation:
+    """Aggregate per-node evaluations of the *same* configuration.
+
+    The paper reports system-wide numbers; this sums coverage statistics
+    and event counts over all nodes' JETTYs.
+    """
+    if not evaluations:
+        raise ValueError("nothing to merge")
+    names = {e.filter_name for e in evaluations}
+    if len(names) > 1:
+        raise ValueError(f"refusing to merge different configurations: {names}")
+    merged = FilterEvaluation(
+        filter_name=evaluations[0].filter_name,
+        coverage=CoverageStats(),
+        events=FilterEventCounts(),
+        storage_bits=evaluations[0].storage_bits,
+    )
+    for evaluation in evaluations:
+        merged.coverage = merged.coverage.merged_with(evaluation.coverage)
+        merged.events = merged.events.merged_with(evaluation.events)
+        merged.allocs += evaluation.allocs
+        merged.evicts += evaluation.evicts
+    return merged
+
+
+def replay_events(
+    snoop_filter: SnoopFilter, stream: NodeEventStream
+) -> FilterEvaluation:
+    """Replay ``stream`` through ``snoop_filter`` and collect statistics.
+
+    The filter is mutated (it accumulates state and event counts); pass a
+    freshly built filter for independent evaluations.  Raises
+    :class:`FilterSafetyError` if the filter ever claims a cached block is
+    absent.
+    """
+    stats = CoverageStats()
+    allocs = evicts = 0
+    probe = snoop_filter.probe
+    outcome = snoop_filter.on_snoop_outcome
+    on_alloc = snoop_filter.on_block_allocated
+    on_evict = snoop_filter.on_block_evicted
+
+    for kind, block, flag in stream.events:
+        if kind == SNOOP:
+            would_hit = flag & 1
+            block_present = flag & 2
+            stats.snoops += 1
+            if would_hit:
+                stats.snoop_would_hit += 1
+            else:
+                stats.snoop_would_miss += 1
+            if probe(block):
+                outcome(block, bool(block_present))
+            else:
+                if block_present:
+                    raise FilterSafetyError(
+                        f"{snoop_filter.name} filtered a snoop for block "
+                        f"{block:#x} on node {stream.node_id}, but the block "
+                        "is cached — JETTY safety guarantee violated"
+                    )
+                stats.filtered += 1
+        elif kind == ALLOC:
+            allocs += 1
+            on_alloc(block)
+        elif kind == EVICT:
+            evicts += 1
+            on_evict(block)
+        else:  # MARKER: warm-up ends, statistics restart, state persists.
+            stats = CoverageStats()
+            allocs = evicts = 0
+            snoop_filter.reset_counts()
+
+    return FilterEvaluation(
+        filter_name=snoop_filter.name,
+        coverage=stats,
+        events=snoop_filter.energy_counts(),
+        storage_bits=snoop_filter.storage_bits(),
+        allocs=allocs,
+        evicts=evicts,
+    )

@@ -1,0 +1,129 @@
+"""Vector-Exclude-JETTY (VEJ): EJ with presence vectors (paper §3.1).
+
+A VEJ entry covers a *chunk* of ``vector_bits`` consecutive L2 blocks.  The
+entry stores the chunk tag plus an n-bit present-vector (PV); PV bit *i*
+set means block ``chunk_base + i`` is guaranteed absent from the local L2.
+This exploits spatial locality in the snoop stream (e.g. another processor
+streaming through a region none of which is cached here): one entry filters
+snoops to n neighbouring blocks.
+
+The paper's Figure 3(a) example — 40-bit PA, 256-byte blocks, 4-bit PV —
+stores the upper 30 tag bits and uses the low 2 block-number bits to select
+the PV bit.  We generalise to any power-of-two vector length.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SnoopFilter
+from repro.errors import ConfigurationError
+from repro.utils.bitops import ilog2, mask
+from repro.utils.lru import LRUTracker
+
+
+class VectorExcludeJetty(SnoopFilter):
+    """Set-associative VEJ, named ``VEJ-<sets>x<ways>-<vector_bits>``.
+
+    Args:
+        sets: number of sets (power of two).
+        ways: associativity.
+        vector_bits: presence-vector length; must be a power of two.
+        tag_bits: block-address width for storage accounting.
+    """
+
+    def __init__(
+        self, sets: int, ways: int, vector_bits: int, tag_bits: int = 30
+    ) -> None:
+        super().__init__()
+        if ways <= 0:
+            raise ConfigurationError(f"VEJ associativity must be >= 1, got {ways}")
+        self.sets = sets
+        self.ways = ways
+        self.vector_bits = vector_bits
+        self.tag_bits = tag_bits
+        self._vec_shift = ilog2(vector_bits)
+        self._vec_mask = mask(self._vec_shift)
+        self._index_bits = ilog2(sets)
+        self._index_mask = mask(self._index_bits)
+        self.name = f"VEJ-{sets}x{ways}-{vector_bits}"
+        # Per set and way: (chunk_number, present_vector) or None.
+        self._entries: list[list[tuple[int, int] | None]] = [
+            [None] * ways for _ in range(sets)
+        ]
+        self._lru: list[LRUTracker] = [LRUTracker(ways) for _ in range(sets)]
+
+    # ------------------------------------------------------------------
+
+    def _split(self, block: int) -> tuple[int, int]:
+        """Return ``(chunk_number, bit_position)`` for a block number."""
+        return block >> self._vec_shift, block & self._vec_mask
+
+    def _set_index(self, chunk: int) -> int:
+        return chunk & self._index_mask
+
+    def _probe(self, block: int) -> bool:
+        chunk, bit = self._split(block)
+        index = self._set_index(chunk)
+        entries = self._entries[index]
+        for way in range(self.ways):
+            entry = entries[way]
+            if entry is not None and entry[0] == chunk:
+                self._lru[index].touch(way)
+                if entry[1] & (1 << bit):
+                    return False
+                return True
+        return True
+
+    def _on_snoop_outcome(self, block: int, present: bool) -> None:
+        if present:
+            return
+        chunk, bit = self._split(block)
+        index = self._set_index(chunk)
+        entries = self._entries[index]
+        lru = self._lru[index]
+        for way in range(self.ways):
+            entry = entries[way]
+            if entry is not None and entry[0] == chunk:
+                entries[way] = (chunk, entry[1] | (1 << bit))
+                lru.touch(way)
+                self.counts.entry_writes += 1
+                return
+        way = self._find_victim(index)
+        entries[way] = (chunk, 1 << bit)
+        lru.touch(way)
+        self.counts.entry_writes += 1
+
+    def _find_victim(self, index: int) -> int:
+        entries = self._entries[index]
+        for way in range(self.ways):
+            if entries[way] is None:
+                return way
+        return self._lru[index].victim()
+
+    def _on_block_allocated(self, block: int) -> None:
+        """Clear the PV bit for a block the L2 just filled (safety)."""
+        chunk, bit = self._split(block)
+        index = self._set_index(chunk)
+        entries = self._entries[index]
+        for way in range(self.ways):
+            entry = entries[way]
+            if entry is not None and entry[0] == chunk:
+                vector = entry[1] & ~(1 << bit)
+                entries[way] = None if vector == 0 else (chunk, vector)
+                self.counts.entry_writes += 1
+                return
+
+    # ------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Chunk tag plus present-vector per entry."""
+        chunk_tag_bits = (self.tag_bits - self._vec_shift) - self._index_bits
+        return self.sets * self.ways * (chunk_tag_bits + self.vector_bits)
+
+    def asserted_bits(self) -> int:
+        """Total PV bits currently set (for tests/inspection)."""
+        total = 0
+        for entries in self._entries:
+            for entry in entries:
+                if entry is not None:
+                    total += bin(entry[1]).count("1")
+        return total

@@ -1,0 +1,48 @@
+"""Energy substrate: the Kamble-Ghose cache energy model and accounting.
+
+The paper estimates energy with the analytical model of Kamble & Ghose
+(ISLPED'97), with array banking chosen by CACTI for a 0.18 um process at
+1.8 V.  This package reimplements that stack:
+
+* :mod:`repro.energy.technology` — process constants (0.18 um, 1.8 V);
+* :mod:`repro.energy.geometry` — SRAM array shapes and the CACTI-style
+  bank-count optimiser;
+* :mod:`repro.energy.kamble_ghose` — per-access energy of one SRAM array
+  (bitlines, wordlines, sense amps, address/output drivers);
+* :mod:`repro.energy.components` — per-structure models: L2 tag and data
+  arrays (serial or parallel access), write-buffer CAM, EJ/VEJ arrays,
+  IJ p-bit and counter arrays;
+* :mod:`repro.energy.accounting` — folds simulator statistics and filter
+  replay results into the energy-reduction numbers of Figure 6.
+
+Per-access energies are always computed at the *paper's* full-scale
+geometry (1 MB L2, 36-bit addresses) regardless of the simulated scale:
+the simulation supplies access-type mixes, the energy model supplies what
+each access costs on the machine the paper describes.
+"""
+
+from repro.energy.accounting import EnergyAccountant, EnergyBreakdown, EnergyReduction
+from repro.energy.components import (
+    CacheEnergyModel,
+    JettyEnergyModel,
+    WriteBufferEnergyModel,
+)
+from repro.energy.geometry import ArrayGeometry, optimal_banking
+from repro.energy.kamble_ghose import SRAMArray, array_read_energy, array_write_energy
+from repro.energy.technology import TECH_180NM, TechnologyParams
+
+__all__ = [
+    "ArrayGeometry",
+    "CacheEnergyModel",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "EnergyReduction",
+    "JettyEnergyModel",
+    "SRAMArray",
+    "TECH_180NM",
+    "TechnologyParams",
+    "WriteBufferEnergyModel",
+    "array_read_energy",
+    "array_write_energy",
+    "optimal_banking",
+]

@@ -1,0 +1,214 @@
+"""Fold simulation statistics and filter evaluations into energy numbers.
+
+This module produces the quantities Figure 6 plots:
+
+* energy reduction **over all snoop accesses** — how much of the energy
+  the L2s spend servicing snoops a JETTY eliminates, net of its own
+  consumption;
+* energy reduction **over all L2 accesses** — the same savings expressed
+  against everything the L2s do (local traffic included);
+
+each for a **serial** tag-then-data L2 (Alpha 21164 / Xeon style, Figure
+6a-b) and a **parallel** tag+data L2 (Figure 6c-d).
+
+Accounting rules (matching the paper's §4.4 description):
+
+* every snoop probes the write buffer, filtered or not;
+* an unfiltered snoop pays a tag probe; a snoop hit additionally pays a
+  data-array access (the paper's pessimistic assumption) and a state
+  update;
+* in the parallel organisation the data array is read alongside *every*
+  tag probe (local or snoop, hit or miss), so a filtered snoop saves tag
+  and data energy;
+* JETTY energy includes probes on every snoop, exclude-entry writes,
+  include-counter read-modify-writes on every L2 allocate/evict, and the
+  tag-width transfer of replaced-block addresses to the IJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.config import PAPER_SYSTEM, SystemConfig
+from repro.coherence.metrics import NodeStats
+from repro.core.config import FilterConfig, parse_filter_name
+from repro.core.stats import FilterEvaluation
+from repro.energy.components import (
+    CacheEnergyModel,
+    JettyEnergyModel,
+    WriteBufferEnergyModel,
+)
+from repro.energy.technology import TECH_180NM, TechnologyParams
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent by one node population over one measured run."""
+
+    local_tag_j: float
+    local_data_j: float
+    snoop_tag_j: float
+    snoop_data_j: float
+    wb_j: float
+    jetty_j: float
+
+    @property
+    def snoop_total_j(self) -> float:
+        """Everything a snoop costs: L2 arrays, WB probes, the JETTY."""
+        return self.snoop_tag_j + self.snoop_data_j + self.wb_j + self.jetty_j
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.local_tag_j
+            + self.local_data_j
+            + self.snoop_total_j
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReduction:
+    """Figure 6's four numbers for one (workload, filter) pair."""
+
+    filter_name: str
+    over_snoops_serial: float
+    over_all_serial: float
+    over_snoops_parallel: float
+    over_all_parallel: float
+
+
+class EnergyAccountant:
+    """Price simulator statistics at the paper-scale memory system.
+
+    The simulation may run at a scaled geometry; per-access energies are
+    always computed for ``system`` (default: the paper's 1 MB L2 machine),
+    so reported reductions describe the machine the paper describes.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig = PAPER_SYSTEM,
+        tech: TechnologyParams = TECH_180NM,
+    ) -> None:
+        self.system = system
+        self.tech = tech
+        self.l2 = CacheEnergyModel(
+            system.l2, system.address_bits, system.state_bits, tech
+        )
+        self.wb = WriteBufferEnergyModel(
+            system.wb_entries, system.block_address_bits, tech
+        )
+        self.jetty_models = JettyEnergyModel(
+            system.block_address_bits, system.ij_counter_bits, tech
+        )
+
+    # ------------------------------------------------------------------
+
+    def breakdown(
+        self,
+        stats: NodeStats,
+        evaluation: FilterEvaluation | None = None,
+        filter_config: FilterConfig | str | None = None,
+        parallel: bool = False,
+    ) -> EnergyBreakdown:
+        """Energy of one run, optionally with a JETTY filtering snoops.
+
+        ``stats`` are the aggregate node counters; ``evaluation`` is the
+        merged filter replay over the same run (None = baseline system).
+        """
+        filtered = evaluation.coverage.filtered if evaluation is not None else 0
+
+        tag_probe = self.l2.tag_probe()
+        tag_update = self.l2.tag_update()
+        data_read = self.l2.data_read()
+        data_read_par = self.l2.data_read_parallel()
+        data_write = self.l2.data_write()
+
+        # --- locally initiated traffic --------------------------------
+        local_tag_j = (
+            stats.l2_local_tag_probes * tag_probe
+            + stats.l2_local_tag_updates * tag_update
+        )
+        if parallel:
+            local_data_j = (
+                stats.l2_local_tag_probes * data_read_par
+                + stats.l2_local_data_writes * data_write
+            )
+        else:
+            local_data_j = (
+                stats.l2_local_data_reads * data_read
+                + stats.l2_local_data_writes * data_write
+            )
+
+        # --- snoop-induced traffic -------------------------------------
+        snoop_probes = stats.snoop_tag_probes - filtered
+        snoop_tag_j = (
+            snoop_probes * tag_probe + stats.snoop_state_updates * tag_update
+        )
+        if parallel:
+            snoop_data_j = snoop_probes * data_read_par
+        else:
+            snoop_data_j = stats.snoop_hits * data_read
+
+        wb_j = stats.wb_probes * self.wb.probe()
+
+        # --- the JETTY itself ------------------------------------------
+        jetty_j = 0.0
+        if evaluation is not None:
+            if filter_config is None:
+                filter_config = evaluation.filter_name
+            if isinstance(filter_config, str):
+                filter_config = parse_filter_name(filter_config)
+            profile = self.jetty_models.profile(filter_config)
+            events = evaluation.events
+            jetty_j = profile.total(
+                probes=events.probes,
+                entry_writes=events.entry_writes,
+                cnt_updates=events.cnt_updates,
+                pbit_writes=events.pbit_writes,
+                transfers=evaluation.allocs + evaluation.evicts,
+            )
+
+        return EnergyBreakdown(
+            local_tag_j=local_tag_j,
+            local_data_j=local_data_j,
+            snoop_tag_j=snoop_tag_j,
+            snoop_data_j=snoop_data_j,
+            wb_j=wb_j,
+            jetty_j=jetty_j,
+        )
+
+    # ------------------------------------------------------------------
+
+    def reduction(
+        self,
+        stats: NodeStats,
+        evaluation: FilterEvaluation,
+        filter_config: FilterConfig | str | None = None,
+    ) -> EnergyReduction:
+        """Compute all four Figure 6 reduction numbers for one filter."""
+        results = {}
+        for parallel in (False, True):
+            base = self.breakdown(stats, parallel=parallel)
+            with_jetty = self.breakdown(
+                stats, evaluation, filter_config, parallel=parallel
+            )
+            over_snoops = _relative_saving(
+                base.snoop_total_j, with_jetty.snoop_total_j
+            )
+            over_all = _relative_saving(base.total_j, with_jetty.total_j)
+            results[parallel] = (over_snoops, over_all)
+        return EnergyReduction(
+            filter_name=evaluation.filter_name,
+            over_snoops_serial=results[False][0],
+            over_all_serial=results[False][1],
+            over_snoops_parallel=results[True][0],
+            over_all_parallel=results[True][1],
+        )
+
+
+def _relative_saving(baseline_j: float, actual_j: float) -> float:
+    """(baseline - actual) / baseline, 0 when there is no baseline."""
+    if baseline_j <= 0.0:
+        return 0.0
+    return (baseline_j - actual_j) / baseline_j

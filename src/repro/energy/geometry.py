@@ -1,0 +1,77 @@
+"""SRAM array geometry and the CACTI-style banking optimiser.
+
+A logical array of R rows by C columns can be implemented as B identical
+banks of R/B rows, with only one bank activated per access.  More banks
+shorten the active bitlines (saving bitline energy, the dominant term)
+but add decoder fan-out and duplicated precharge circuitry.  The paper
+"used CACTI to determine the optimal number of banks" (§2.1, §4.1); this
+module reproduces that step as a direct search over power-of-two bank
+counts, scoring each candidate with the Kamble-Ghose read energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import is_power_of_two
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """A banked SRAM array: ``banks`` banks of ``rows`` x ``cols`` bits."""
+
+    rows: int
+    cols: int
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1 or self.banks < 1:
+            raise ConfigurationError(
+                f"invalid array geometry {self.rows}x{self.cols}x{self.banks}"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        return self.rows * self.cols * self.banks
+
+    @property
+    def address_bits(self) -> int:
+        """Row-decoder plus bank-select address width."""
+        return max(1, (self.rows * self.banks - 1).bit_length())
+
+
+def optimal_banking(
+    rows: int,
+    cols: int,
+    tech,
+    max_banks: int = 64,
+    bits_read: int | None = None,
+) -> ArrayGeometry:
+    """Choose the power-of-two bank count minimising read energy.
+
+    Mirrors the CACTI Ndbl exploration: candidate bank counts divide the
+    rows; the per-access read energy of each candidate (computed with the
+    Kamble-Ghose model) decides the winner.  Ties go to fewer banks (less
+    area and simpler wiring).
+    """
+    # Imported here to avoid a circular import with kamble_ghose.
+    from repro.energy.kamble_ghose import SRAMArray, array_read_energy
+
+    if not is_power_of_two(rows):
+        raise ConfigurationError(f"rows must be a power of two, got {rows}")
+
+    best: ArrayGeometry | None = None
+    best_energy = float("inf")
+    banks = 1
+    while banks <= max_banks and banks <= rows:
+        geometry = ArrayGeometry(rows=rows // banks, cols=cols, banks=banks)
+        energy = array_read_energy(
+            SRAMArray(geometry), tech, bits_read=bits_read
+        )
+        if energy < best_energy - 1e-24:
+            best = geometry
+            best_energy = energy
+        banks *= 2
+    assert best is not None
+    return best

@@ -1,0 +1,148 @@
+"""Per-access energy of one SRAM array (Kamble & Ghose, ISLPED'97).
+
+The model sums four switching-energy components per access:
+
+* **bitlines** — precharge and discharge of every column in the active
+  bank; reads use a reduced sensing swing, writes drive the full rail on
+  the written columns;
+* **wordline** — the gate and wire capacitance of one asserted row;
+* **sense amplifiers / output drivers** — per column read out;
+* **address input lines** — the decoder fan-in.
+
+These are the same terms (at the same level of abstraction) the paper's
+Section 4.1 energy analysis uses; absolute joule values depend on the
+technology constants, but all reported results are energy *ratios*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.geometry import ArrayGeometry
+from repro.energy.technology import TechnologyParams
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SRAMArray:
+    """An SRAM array instance: geometry plus derived capacitances."""
+
+    geometry: ArrayGeometry
+
+    def bitline_capacitance(self, tech: TechnologyParams) -> float:
+        """Capacitance of one column's bitline in the active bank (F)."""
+        rows = self.geometry.rows
+        wire = rows * tech.cell_height_um * tech.c_wire_per_um
+        return rows * tech.c_bitline_drain + wire + tech.c_precharge
+
+    def wordline_capacitance(self, tech: TechnologyParams) -> float:
+        """Capacitance of one asserted wordline (F)."""
+        cols = self.geometry.cols
+        wire = cols * tech.cell_width_um * tech.c_wire_per_um
+        return cols * tech.c_wordline_gate + wire
+
+    def htree_span_um(self, tech: TechnologyParams) -> float:
+        """Half-perimeter of the full (all-banks) array footprint (um).
+
+        Addresses reach the active bank, and read data returns, over an
+        H-tree whose wire length grows with the *total* array area.  This
+        is the term that makes a megabyte-scale array intrinsically more
+        expensive per access than a bus-side JETTY, no matter how finely
+        the big array is banked.
+        """
+        area_um2 = (
+            self.geometry.total_bits * tech.cell_height_um * tech.cell_width_um
+        )
+        return area_um2 ** 0.5
+
+    def routing_energy(
+        self, tech: TechnologyParams, lines: int
+    ) -> float:
+        """Energy to drive ``lines`` signals across the array's H-tree."""
+        c_wire = self.htree_span_um(tech) * tech.c_wire_per_um
+        return lines * tech.switch_energy(c_wire)
+
+    def overhead_energy(self, tech: TechnologyParams) -> float:
+        """Per-access banking overhead (replicated control, bank select)."""
+        return self.geometry.banks * tech.e_bank_overhead
+
+
+def array_read_energy(
+    array: SRAMArray,
+    tech: TechnologyParams,
+    bits_read: int | None = None,
+    bits_out: int | None = None,
+) -> float:
+    """Energy (J) of one read access to the array.
+
+    ``bits_read`` is the number of columns sensed; all columns still pay
+    precharge/swing (differential pairs are precharged per access
+    regardless of muxing).  ``bits_out`` is the number of signals driven
+    out of the array — the full word for a data read, but only a hit/way
+    indication for a tag or filter probe whose comparison happens inside
+    the structure.
+    """
+    geometry = array.geometry
+    if bits_read is None:
+        bits_read = geometry.cols
+    if bits_out is None:
+        bits_out = bits_read
+    if bits_read > geometry.cols:
+        raise ConfigurationError(
+            f"cannot read {bits_read} bits from a {geometry.cols}-column array"
+        )
+    # Differential pair => factor 2 on bitline switching.
+    e_bitlines = (
+        2.0
+        * geometry.cols
+        * tech.switch_energy(array.bitline_capacitance(tech), tech.read_swing)
+    )
+    e_wordline = tech.switch_energy(array.wordline_capacitance(tech))
+    e_sense = bits_read * tech.e_sense_amp
+    e_output = bits_out * tech.switch_energy(tech.c_output_line)
+    e_address = geometry.address_bits * tech.switch_energy(tech.c_address_line)
+    e_route = array.routing_energy(tech, geometry.address_bits + bits_out)
+    e_banks = array.overhead_energy(tech)
+    return e_bitlines + e_wordline + e_sense + e_output + e_address + e_route + e_banks
+
+
+def array_write_energy(
+    array: SRAMArray,
+    tech: TechnologyParams,
+    bits_written: int | None = None,
+) -> float:
+    """Energy (J) of one write access to the array.
+
+    Written columns swing the full rail; unwritten columns in the active
+    bank still pay the precharge/read swing (they are precharged with the
+    rest of the bank).
+    """
+    geometry = array.geometry
+    if bits_written is None:
+        bits_written = geometry.cols
+    if bits_written > geometry.cols:
+        raise ConfigurationError(
+            f"cannot write {bits_written} bits to a {geometry.cols}-column array"
+        )
+    c_bitline = array.bitline_capacitance(tech)
+    e_written = 2.0 * bits_written * tech.switch_energy(c_bitline)
+    idle_cols = geometry.cols - bits_written
+    e_idle = 2.0 * idle_cols * tech.switch_energy(c_bitline, tech.read_swing)
+    e_wordline = tech.switch_energy(array.wordline_capacitance(tech))
+    e_address = geometry.address_bits * tech.switch_energy(tech.c_address_line)
+    e_route = array.routing_energy(tech, geometry.address_bits + bits_written)
+    e_banks = array.overhead_energy(tech)
+    return e_written + e_idle + e_wordline + e_address + e_route + e_banks
+
+
+def cam_search_energy(
+    entries: int, tag_bits: int, tech: TechnologyParams
+) -> float:
+    """Energy (J) of a fully associative (CAM) search.
+
+    Every entry compares every tag bit against the broadcast search key —
+    this is the write-buffer probe each snoop performs.
+    """
+    e_compare = entries * tag_bits * tech.e_cam_compare_per_bit
+    e_broadcast = tag_bits * tech.switch_energy(tech.c_address_line)
+    return e_compare + e_broadcast

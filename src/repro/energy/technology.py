@@ -1,0 +1,72 @@
+"""Process technology parameters for the energy model.
+
+The paper assumes a 0.18 um CMOS process at 1.8 V with the interconnect
+characteristics of Cong et al. (ICCAD'97 tutorial).  The constants below
+are lumped per-cell/per-micron capacitances of the kind the Kamble-Ghose
+model consumes.  Their absolute values set the energy *scale*; every
+number the benches report is a ratio (reduction percentages), which
+depends only on relative structure sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Lumped circuit parameters of one process node."""
+
+    name: str
+    #: Supply voltage (V).
+    vdd: float
+    #: Bitline voltage swing on reads (V); writes swing the full rail.
+    read_swing: float
+    #: Drain capacitance one cell's pass transistor adds to a bitline (F).
+    c_bitline_drain: float
+    #: Gate capacitance one cell's two pass transistors add to a wordline (F).
+    c_wordline_gate: float
+    #: Wire capacitance per micron of metal (F/um).
+    c_wire_per_um: float
+    #: SRAM cell height and width (um) — sets wire lengths in arrays.
+    cell_height_um: float
+    cell_width_um: float
+    #: Bitline precharge circuit capacitance per column (F).
+    c_precharge: float
+    #: Energy per sense amplifier activation (J).
+    e_sense_amp: float
+    #: Capacitance of one address/input line into a decoder (F).
+    c_address_line: float
+    #: Capacitance of one output driver line (F).
+    c_output_line: float
+    #: Energy per bit of a CAM match-line comparison (J).
+    e_cam_compare_per_bit: float
+    #: Fixed per-bank per-access overhead (bank select, duplicated
+    #: decode/precharge control) (J).  Grows linearly with bank count and
+    #: is what gives the banking search an interior optimum.
+    e_bank_overhead: float
+
+    def switch_energy(self, capacitance: float, swing: float | None = None) -> float:
+        """CV*Vswing switching energy (J) for one charge/discharge."""
+        if swing is None:
+            swing = self.vdd
+        return capacitance * self.vdd * swing
+
+
+#: 0.18 um, 1.8 V — the paper's process (Section 4.1, citing Cong et al.).
+TECH_180NM = TechnologyParams(
+    name="0.18um",
+    vdd=1.8,
+    read_swing=0.45,  # reduced-swing sensing, ~Vdd/4
+    c_bitline_drain=1.8e-15,
+    c_wordline_gate=1.6e-15,
+    c_wire_per_um=0.27e-15,
+    cell_height_um=2.4,
+    cell_width_um=2.6,
+    c_precharge=12e-15,
+    e_sense_amp=6.0e-14,
+    c_address_line=50e-15,
+    c_output_line=30e-15,
+    e_cam_compare_per_bit=4.0e-15,
+    e_bank_overhead=0.6e-12,
+)

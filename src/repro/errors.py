@@ -1,0 +1,48 @@
+"""Exception hierarchy for the JETTY reproduction library.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch library errors with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid structure, cache, or experiment configuration."""
+
+
+class FilterNameError(ConfigurationError):
+    """A JETTY configuration name could not be parsed.
+
+    Raised by :func:`repro.core.config.parse_filter_name` for strings that
+    do not match any of the paper's naming schemes (``EJ-SxA``,
+    ``VEJ-SxA-V``, ``IJ-ExNxS``, ``HJ(IJ-..., EJ-...)``).
+    """
+
+
+class CoherenceError(ReproError):
+    """The coherence substrate detected an inconsistent protocol state."""
+
+
+class FilterSafetyError(ReproError):
+    """A snoop filter violated the JETTY safety guarantee.
+
+    The guarantee (paper Section 2, requirement 3): a filter must never
+    report "not cached" while the block is locally cached.  The simulator
+    cross-checks every filtered snoop against the true cache state and
+    raises this error on a violation; it indicates a bug in a filter
+    implementation, never an expected runtime condition.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed trace or access stream was supplied to the simulator."""
+
+
+class WorkloadError(ReproError):
+    """An unknown workload name or invalid workload specification."""

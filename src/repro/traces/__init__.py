@@ -1,0 +1,57 @@
+"""Trace substrate: access streams and synthetic SPLASH-2-style workloads.
+
+The paper drives its simulator with traces of ten shared-memory
+applications collected under the Wisconsin Wind Tunnel 2.  Neither WWT2
+nor the original binaries/inputs are available here, so this package
+builds the closest synthetic equivalent: per-CPU access streams composed
+from the sharing patterns the paper itself names as the sources of snoop
+behaviour (§2, §3.1) —
+
+* private working sets with temporal/spatial locality (conflict misses
+  whose snoops miss everywhere),
+* producer/consumer sharing between processor pairs,
+* migratory sharing through small critical sections,
+* widely shared read-only data (the JETTY worst case),
+* streaming sweeps over large arrays (Em3d-like).
+
+Each of the paper's ten applications (Table 2) is modelled as a weighted
+mix of these patterns, tuned so the simulated remote-hit distribution and
+hit rates land near Tables 2–3.  See DESIGN.md's substitution table.
+"""
+
+from repro.traces.access import AccessStream
+from repro.traces.interleave import random_interleave, round_robin
+from repro.traces.synth import (
+    MigratoryPattern,
+    Pattern,
+    PrivateWorkingSet,
+    ProducerConsumer,
+    SharedReadOnly,
+    StreamingSweep,
+    WorkloadMix,
+)
+from repro.traces.workloads import (
+    WORKLOADS,
+    PaperReference,
+    WorkloadSpec,
+    build_workload_stream,
+    get_workload,
+)
+
+__all__ = [
+    "AccessStream",
+    "MigratoryPattern",
+    "Pattern",
+    "PaperReference",
+    "PrivateWorkingSet",
+    "ProducerConsumer",
+    "SharedReadOnly",
+    "StreamingSweep",
+    "WORKLOADS",
+    "WorkloadMix",
+    "WorkloadSpec",
+    "build_workload_stream",
+    "get_workload",
+    "random_interleave",
+    "round_robin",
+]

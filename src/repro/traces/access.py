@@ -1,0 +1,61 @@
+"""Access records and simple stream containers.
+
+The simulator consumes plain ``(cpu, address, is_write)`` tuples; this
+module provides a light container for materialised streams plus helpers
+to summarise them in tests and examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+
+
+@dataclass
+class AccessStream:
+    """A materialised interleaved access stream."""
+
+    accesses: list[tuple[int, int, bool]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[tuple[int, int, bool]]:
+        return iter(self.accesses)
+
+    def append(self, cpu: int, address: int, is_write: bool) -> None:
+        if address < 0:
+            raise TraceError(f"negative address {address:#x}")
+        self.accesses.append((cpu, address, is_write))
+
+    @classmethod
+    def from_iterable(
+        cls, accesses: Iterable[tuple[int, int, bool]]
+    ) -> "AccessStream":
+        stream = cls()
+        for cpu, address, is_write in accesses:
+            stream.append(cpu, address, is_write)
+        return stream
+
+    # ------------------------------------------------------------------
+
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are stores."""
+        if not self.accesses:
+            return 0.0
+        return sum(1 for _c, _a, w in self.accesses if w) / len(self.accesses)
+
+    def cpu_histogram(self, n_cpus: int) -> list[int]:
+        """Access count per CPU."""
+        histogram = [0] * n_cpus
+        for cpu, _address, _w in self.accesses:
+            if not 0 <= cpu < n_cpus:
+                raise TraceError(f"access for CPU {cpu} outside 0..{n_cpus - 1}")
+            histogram[cpu] += 1
+        return histogram
+
+    def footprint_blocks(self, block_bytes: int = 64) -> int:
+        """Number of distinct blocks touched (memory-allocated proxy)."""
+        return len({address // block_bytes for _c, address, _w in self.accesses})

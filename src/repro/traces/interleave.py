@@ -1,0 +1,52 @@
+"""Interleaving per-CPU access streams onto the shared bus order.
+
+The functional simulator needs one global order.  ``round_robin`` models
+lock-step progress (what WWT2's quantum-based execution approximates);
+``random_interleave`` draws the next CPU at random, which stresses
+protocol corner cases in the property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator, Sequence
+
+
+def round_robin(
+    streams: Sequence[Iterable[tuple[int, bool]]],
+) -> Iterator[tuple[int, int, bool]]:
+    """Merge per-CPU ``(address, is_write)`` streams cyclically.
+
+    Exhausted streams drop out; the merge continues until all are empty.
+    """
+    iterators = [iter(s) for s in streams]
+    live = list(range(len(iterators)))
+    while live:
+        finished = []
+        for cpu in live:
+            try:
+                address, is_write = next(iterators[cpu])
+            except StopIteration:
+                finished.append(cpu)
+                continue
+            yield cpu, address, is_write
+        for cpu in finished:
+            live.remove(cpu)
+
+
+def random_interleave(
+    streams: Sequence[Iterable[tuple[int, bool]]],
+    seed: int = 0,
+) -> Iterator[tuple[int, int, bool]]:
+    """Merge per-CPU streams in a uniformly random (seeded) order."""
+    rng = random.Random(seed)
+    iterators = [iter(s) for s in streams]
+    live = list(range(len(iterators)))
+    while live:
+        cpu = rng.choice(live)
+        try:
+            address, is_write = next(iterators[cpu])
+        except StopIteration:
+            live.remove(cpu)
+            continue
+        yield cpu, address, is_write

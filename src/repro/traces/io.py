@@ -1,0 +1,93 @@
+"""Trace persistence: save and load access streams as .npz files.
+
+The paper's methodology is trace-driven (WWT2 traces fed a memory-system
+simulator).  This module gives the same workflow to library users:
+generate a synthetic stream once, archive it, and replay it across
+experiments — or import externally collected traces in the same format.
+
+Format: a compressed numpy archive with three equal-length arrays,
+
+* ``cpu``     — uint16 processor ids,
+* ``address`` — uint64 physical byte addresses,
+* ``is_write``— bool store flags,
+
+plus a ``meta`` array holding a format-version tag.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+
+#: Format version written into every archive.
+FORMAT_VERSION = 1
+
+_META_KEY = "jetty_trace_version"
+
+
+def save_trace(
+    path: str | Path,
+    accesses: Iterable[tuple[int, int, bool]],
+) -> int:
+    """Write an access stream to ``path``; returns the access count."""
+    cpus: list[int] = []
+    addresses: list[int] = []
+    writes: list[bool] = []
+    for cpu, address, is_write in accesses:
+        if cpu < 0 or address < 0:
+            raise TraceError(f"invalid access ({cpu}, {address:#x})")
+        cpus.append(cpu)
+        addresses.append(address)
+        writes.append(is_write)
+    np.savez_compressed(
+        Path(path),
+        cpu=np.asarray(cpus, dtype=np.uint16),
+        address=np.asarray(addresses, dtype=np.uint64),
+        is_write=np.asarray(writes, dtype=bool),
+        **{_META_KEY: np.asarray([FORMAT_VERSION], dtype=np.int64)},
+    )
+    return len(cpus)
+
+
+def load_trace(path: str | Path) -> Iterator[tuple[int, int, bool]]:
+    """Yield ``(cpu, address, is_write)`` tuples from an archive."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path) as archive:
+        _validate_archive(archive, path)
+        cpus = archive["cpu"]
+        addresses = archive["address"]
+        writes = archive["is_write"]
+    for cpu, address, is_write in zip(cpus, addresses, writes):
+        yield int(cpu), int(address), bool(is_write)
+
+
+def trace_length(path: str | Path) -> int:
+    """Number of accesses in an archive, without materialising them."""
+    with np.load(Path(path)) as archive:
+        _validate_archive(archive, path)
+        return int(archive["cpu"].shape[0])
+
+
+def _validate_archive(archive, path) -> None:
+    for key in ("cpu", "address", "is_write", _META_KEY):
+        if key not in archive:
+            raise TraceError(f"{path} is not a JETTY trace archive (missing {key})")
+    version = int(archive[_META_KEY][0])
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"{path} has trace format version {version}; "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    lengths = {
+        archive["cpu"].shape[0],
+        archive["address"].shape[0],
+        archive["is_write"].shape[0],
+    }
+    if len(lengths) != 1:
+        raise TraceError(f"{path} has mismatched array lengths: {lengths}")

@@ -1,0 +1,24 @@
+"""Synthetic sharing-pattern generators.
+
+Each generator emits ``(cpu, address, is_write)`` accesses reproducing one
+of the sharing behaviours the paper identifies as the sources of snoop
+traffic.  A workload is a :class:`WorkloadMix` of weighted patterns.
+"""
+
+from repro.traces.synth.base import Pattern
+from repro.traces.synth.migratory import MigratoryPattern
+from repro.traces.synth.mix import WorkloadMix
+from repro.traces.synth.private import PrivateWorkingSet
+from repro.traces.synth.producer_consumer import ProducerConsumer
+from repro.traces.synth.readonly import SharedReadOnly
+from repro.traces.synth.streaming import StreamingSweep
+
+__all__ = [
+    "MigratoryPattern",
+    "Pattern",
+    "PrivateWorkingSet",
+    "ProducerConsumer",
+    "SharedReadOnly",
+    "StreamingSweep",
+    "WorkloadMix",
+]

@@ -1,0 +1,47 @@
+"""Pattern interface and shared generator helpers."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+#: Access granularity of the simulated processors (bytes per load/store).
+WORD_BYTES = 8
+
+
+class Pattern(ABC):
+    """A stateful source of ``(cpu, address, is_write)`` accesses.
+
+    Patterns are driven one access at a time so a
+    :class:`~repro.traces.synth.mix.WorkloadMix` can interleave several of
+    them with arbitrary weights.  All randomness comes from the ``rng``
+    passed in, keeping whole workloads reproducible from a single seed.
+    """
+
+    @abstractmethod
+    def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
+        """Produce the next access of this pattern."""
+
+
+def skewed_offset(rng: random.Random, span: int, alpha: float) -> int:
+    """Draw an offset in ``[0, span)`` with a power-law skew toward 0.
+
+    ``alpha == 1`` is uniform; larger values concentrate accesses near the
+    region start, modelling a hot working-set front the way trace studies
+    characterise temporal locality.
+    """
+    return min(int(span * (rng.random() ** alpha)), span - 1)
+
+
+def geometric_run(rng: random.Random, mean: int) -> int:
+    """Draw a sequential-run length with the given mean (>= 1)."""
+    if mean <= 1:
+        return 1
+    # Geometric with success probability 1/mean.
+    length = 1
+    probability = 1.0 / mean
+    while rng.random() > probability:
+        length += 1
+        if length >= mean * 8:  # bound the tail
+            break
+    return length

@@ -1,0 +1,71 @@
+"""Migratory sharing through small critical sections.
+
+Objects protected by locks migrate from processor to processor: each
+holder reads then updates the object before the next processor takes it
+(paper §3.1 — "migratory sharing in small critical sections when data
+migrates from one processor to another").  The take-over read finds
+exactly one remote copy (the previous holder's dirty line) and the update
+invalidates it, so this pattern feeds both the 1-remote-hit mass and the
+upgrade traffic of Table 3.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.traces.synth.base import WORD_BYTES, Pattern
+
+
+class MigratoryPattern(Pattern):
+    """Round-robin object migration with read-modify-write holders.
+
+    Args:
+        cpus: processors participating in the migration ring.
+        base: byte address of the first object.
+        n_objects: number of migrating objects (each one L2 block).
+        object_bytes: object size; one 64-byte block by default so a
+            hand-off is a single coherence transfer.
+        holder_accesses: accesses each holder performs before the object
+            migrates (first is the take-over read, the rest alternate
+            read/write within the object).
+    """
+
+    def __init__(
+        self,
+        cpus: Sequence[int],
+        base: int,
+        n_objects: int = 64,
+        object_bytes: int = 64,
+        holder_accesses: int = 6,
+    ) -> None:
+        if len(cpus) < 2:
+            raise ConfigurationError("migratory sharing needs >= 2 CPUs")
+        if n_objects < 1:
+            raise ConfigurationError("need at least one migrating object")
+        self.cpus = tuple(cpus)
+        self.base = base
+        self.n_objects = n_objects
+        self.object_bytes = object_bytes
+        self.holder_accesses = max(2, holder_accesses)
+        # Per object: (holder index into cpus, accesses done this hold).
+        self._state: list[tuple[int, int]] = [(0, 0) for _ in range(n_objects)]
+
+    def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
+        obj = rng.randrange(self.n_objects)
+        holder_index, done = self._state[obj]
+        cpu = self.cpus[holder_index]
+
+        words = max(1, self.object_bytes // WORD_BYTES)
+        address = self.base + obj * self.object_bytes + (done % words) * WORD_BYTES
+        # Take-over access is a read; later accesses alternate write/read,
+        # ending the hold with a write (the critical-section update).
+        is_write = done > 0 and (done % 2 == 1 or done == self.holder_accesses - 1)
+
+        done += 1
+        if done >= self.holder_accesses:
+            holder_index = (holder_index + 1) % len(self.cpus)
+            done = 0
+        self._state[obj] = (holder_index, done)
+        return cpu, address, is_write

@@ -1,0 +1,64 @@
+"""Weighted mixing of sharing patterns into a full workload stream."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.traces.synth.base import Pattern
+
+
+class WorkloadMix:
+    """Draw each access from one of several patterns by weight.
+
+    The mix is the whole synthetic-application model: e.g. Barnes is
+    "mostly private tree walks, some migratory bodies, a widely read
+    root region" — expressed as three patterns with weights.
+
+    ``repeat_frac`` re-issues the previous access (as a load, on the same
+    CPU) with the given probability.  This models the very-short-range
+    reuse real programs exhibit (loop variables, stack slots) that the
+    coarse patterns do not: it raises the L1 hit rate toward the paper's
+    97-99% without disturbing the L2-level miss and snoop streams.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[tuple[Pattern, float]],
+        repeat_frac: float = 0.0,
+    ) -> None:
+        if not components:
+            raise ConfigurationError("a workload mix needs at least one pattern")
+        total = sum(weight for _p, weight in components)
+        if total <= 0:
+            raise ConfigurationError("pattern weights must sum to a positive value")
+        if not 0.0 <= repeat_frac < 1.0:
+            raise ConfigurationError(f"repeat_frac must be in [0, 1), got {repeat_frac}")
+        self.patterns = [pattern for pattern, _w in components]
+        self.repeat_frac = repeat_frac
+        self._cumulative = list(
+            itertools.accumulate(weight / total for _p, weight in components)
+        )
+
+    def _pick(self, rng: random.Random) -> Pattern:
+        draw = rng.random()
+        for pattern, bound in zip(self.patterns, self._cumulative):
+            if draw <= bound:
+                return pattern
+        return self.patterns[-1]
+
+    def generate(
+        self, n_accesses: int, seed: int = 0
+    ) -> Iterator[tuple[int, int, bool]]:
+        """Yield ``n_accesses`` interleaved accesses, reproducibly."""
+        rng = random.Random(seed)
+        last: tuple[int, int, bool] | None = None
+        for _ in range(n_accesses):
+            if last is not None and rng.random() < self.repeat_frac:
+                cpu, address, _w = last
+                yield cpu, address, False
+                continue
+            last = self._pick(rng).next_access(rng)
+            yield last

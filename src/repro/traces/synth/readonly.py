@@ -1,0 +1,61 @@
+"""Widely shared, mostly read-only data.
+
+All processors read a common region, so copies replicate and a miss's
+snoop can find copies in one, two, or all other caches — the multi-hit
+tail of Table 3 and the paper's stated worst case for JETTY ("an access
+to widely-shared data where all caches have a read-only copy", §2).  An
+optional trickle of writes invalidates replicas and restarts the
+replication, keeping the snoop stream from going fully quiet.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.traces.synth.base import WORD_BYTES, Pattern, geometric_run, skewed_offset
+
+
+class SharedReadOnly(Pattern):
+    """Replicated read sharing over one region.
+
+    Args:
+        cpus: the reading processors.
+        base: region base byte address.
+        region_bytes: shared-region span.
+        write_frac: small fraction of stores (invalidation trickle).
+        run_mean: mean sequential-run length in words.
+        alpha: temporal skew toward the hot front of the region.
+    """
+
+    def __init__(
+        self,
+        cpus: Sequence[int],
+        base: int,
+        region_bytes: int,
+        write_frac: float = 0.02,
+        run_mean: int = 6,
+        alpha: float = 2.5,
+    ) -> None:
+        if region_bytes < WORD_BYTES:
+            raise ConfigurationError(f"region too small: {region_bytes} B")
+        self.cpus = tuple(cpus)
+        self.base = base
+        self.region_bytes = region_bytes
+        self.write_frac = write_frac
+        self.run_mean = run_mean
+        self.alpha = alpha
+        self._cursor: dict[int, tuple[int, int]] = {
+            cpu: (base, 0) for cpu in cpus
+        }
+
+    def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
+        cpu = self.cpus[rng.randrange(len(self.cpus))]
+        address, remaining = self._cursor[cpu]
+        if remaining <= 0 or address >= self.base + self.region_bytes:
+            offset = skewed_offset(rng, self.region_bytes // WORD_BYTES, self.alpha)
+            address = self.base + offset * WORD_BYTES
+            remaining = geometric_run(rng, self.run_mean)
+        self._cursor[cpu] = (address + WORD_BYTES, remaining - 1)
+        return cpu, address, rng.random() < self.write_frac

@@ -1,0 +1,76 @@
+"""Streaming sweeps over large partitioned arrays (Em3d-like).
+
+Each processor repeatedly sweeps its own partition of a large array —
+far bigger than the L2 — so nearly every block access misses and snoops
+the bus, and almost no snoop finds a remote copy.  This is the
+snoop-dominated regime of Em3d and Ocean in Table 2 (snoop-induced L2
+accesses several times the local access count).  The sequential block
+order gives exclude-JETTYs with presence vectors (VEJ) their spatial
+locality to exploit.
+
+An optional ``remote_frac`` redirects some reads to the *next* CPU's
+partition boundary, modelling Em3d's remote graph edges (its input is
+"15% remote"): those reads find one remote copy.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.traces.synth.base import WORD_BYTES, Pattern
+
+
+class StreamingSweep(Pattern):
+    """Cyclic sequential sweeps over per-CPU partitions.
+
+    Args:
+        cpus: the sweeping processors.
+        bases: partition base per CPU.
+        partition_bytes: partition span per CPU (should exceed the L2).
+        write_frac: fraction of stores (updates written during the sweep).
+        remote_frac: fraction of accesses that read from the next CPU's
+            partition instead (boundary/ghost-cell reads).
+        boundary_bytes: span of the neighbour window those reads touch.
+    """
+
+    def __init__(
+        self,
+        cpus: Sequence[int],
+        bases: Sequence[int],
+        partition_bytes: int,
+        write_frac: float = 0.25,
+        remote_frac: float = 0.0,
+        boundary_bytes: int = 4096,
+    ) -> None:
+        if len(cpus) != len(bases):
+            raise ConfigurationError("need one partition base per CPU")
+        if partition_bytes < WORD_BYTES:
+            raise ConfigurationError(f"partition too small: {partition_bytes} B")
+        self.cpus = tuple(cpus)
+        self.bases = tuple(bases)
+        self.partition_bytes = partition_bytes
+        self.write_frac = write_frac
+        self.remote_frac = remote_frac
+        self.boundary_bytes = min(boundary_bytes, partition_bytes)
+        self._cursor: dict[int, int] = {cpu: 0 for cpu in cpus}
+
+    def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
+        slot = rng.randrange(len(self.cpus))
+        cpu = self.cpus[slot]
+
+        if self.remote_frac > 0.0 and rng.random() < self.remote_frac:
+            # Ghost-cell read trailing just behind the neighbour's sweep
+            # cursor — data the neighbour touched recently and still
+            # caches, so the snoop finds exactly one remote copy.
+            neighbour_slot = (slot + 1) % len(self.bases)
+            neighbour_cpu = self.cpus[neighbour_slot]
+            delta = (1 + rng.randrange(self.boundary_bytes // WORD_BYTES)) * WORD_BYTES
+            offset = (self._cursor[neighbour_cpu] - delta) % self.partition_bytes
+            return cpu, self.bases[neighbour_slot] + offset, False
+
+        offset = self._cursor[cpu]
+        address = self.bases[slot] + offset
+        self._cursor[cpu] = (offset + WORD_BYTES) % self.partition_bytes
+        return cpu, address, rng.random() < self.write_frac

@@ -1,0 +1,62 @@
+"""Bit-manipulation helpers used throughout the cache and filter models.
+
+Addresses are plain Python integers.  All helpers are pure functions; the
+hardware structures (caches, JETTYs) express their index/tag arithmetic in
+terms of these primitives so the bit-level conventions live in one place.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Return log2 of ``value`` for exact powers of two.
+
+    Raises :class:`ConfigurationError` otherwise — cache geometry in this
+    package is always power-of-two sized, and a non-power-of-two indicates
+    a misconfiguration rather than a math domain error.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"expected a power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def mask(n_bits: int) -> int:
+    """Return an ``n_bits``-wide mask of ones (``mask(3) == 0b111``)."""
+    if n_bits < 0:
+        raise ConfigurationError(f"mask width must be >= 0, got {n_bits}")
+    return (1 << n_bits) - 1
+
+
+def bit_slice(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    ``bit_slice(0b10110, low=1, width=3) == 0b011``.
+    """
+    if low < 0:
+        raise ConfigurationError(f"bit offset must be >= 0, got {low}")
+    return (value >> low) & mask(width)
+
+
+def extract_field(address: int, offset_bits: int, index_bits: int) -> tuple[int, int, int]:
+    """Split ``address`` into ``(tag, index, offset)`` fields.
+
+    ``offset_bits`` select within a block, the next ``index_bits`` select a
+    set, and the remainder is the tag.  This is the standard cache address
+    decomposition used by both the caches and the exclude-JETTYs.
+    """
+    offset = bit_slice(address, 0, offset_bits)
+    index = bit_slice(address, offset_bits, index_bits)
+    tag = address >> (offset_bits + index_bits)
+    return tag, index, offset
+
+
+def block_address(address: int, offset_bits: int) -> int:
+    """Return the block-aligned address number (address >> offset_bits)."""
+    return address >> offset_bits

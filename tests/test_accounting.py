@@ -1,0 +1,139 @@
+"""Unit tests for the energy accountant (Figure 6 arithmetic)."""
+
+import pytest
+
+from repro.coherence.metrics import NodeStats
+from repro.core.base import FilterEventCounts
+from repro.core.stats import CoverageStats, FilterEvaluation
+from repro.energy.accounting import EnergyAccountant
+
+
+@pytest.fixture(scope="module")
+def accountant() -> EnergyAccountant:
+    return EnergyAccountant()
+
+
+def make_stats(
+    snoops=1000, snoop_hits=100, local=500, local_hit=0.6
+) -> NodeStats:
+    stats = NodeStats()
+    stats.snoop_tag_probes = snoops
+    stats.snoops_observed = snoops
+    stats.snoop_hits = snoop_hits
+    stats.snoop_misses = snoops - snoop_hits
+    stats.snoop_state_updates = snoop_hits
+    stats.wb_probes = snoops
+    stats.l2_local_accesses = local
+    stats.l2_local_tag_probes = local
+    hits = int(local * local_hit)
+    stats.l2_local_hits = hits
+    stats.l2_local_misses = local - hits
+    stats.l2_local_data_reads = hits
+    stats.l2_local_data_writes = local - hits
+    stats.l2_local_tag_updates = local - hits
+    return stats
+
+
+def make_evaluation(filter_name, snoops, filtered, allocs=50) -> FilterEvaluation:
+    return FilterEvaluation(
+        filter_name=filter_name,
+        coverage=CoverageStats(
+            snoops=snoops, snoop_would_miss=snoops - 100, filtered=filtered
+        ),
+        events=FilterEventCounts(
+            probes=snoops, filtered=filtered,
+            entry_writes=100, cnt_updates=allocs * 8, pbit_writes=20,
+        ),
+        storage_bits=1000,
+        allocs=allocs,
+        evicts=allocs,
+    )
+
+
+class TestBreakdown:
+    def test_baseline_has_no_jetty_energy(self, accountant):
+        breakdown = accountant.breakdown(make_stats())
+        assert breakdown.jetty_j == 0.0
+        assert breakdown.total_j > 0
+
+    def test_filtering_reduces_snoop_tag_energy(self, accountant):
+        stats = make_stats()
+        base = accountant.breakdown(stats)
+        evaluation = make_evaluation("EJ-32x4", snoops=1000, filtered=600)
+        filtered = accountant.breakdown(stats, evaluation, "EJ-32x4")
+        assert filtered.snoop_tag_j < base.snoop_tag_j
+        assert filtered.jetty_j > 0
+
+    def test_local_energy_unchanged_by_filter(self, accountant):
+        stats = make_stats()
+        base = accountant.breakdown(stats)
+        evaluation = make_evaluation("EJ-32x4", snoops=1000, filtered=600)
+        filtered = accountant.breakdown(stats, evaluation, "EJ-32x4")
+        assert filtered.local_tag_j == base.local_tag_j
+        assert filtered.local_data_j == base.local_data_j
+
+    def test_wb_energy_never_filtered(self, accountant):
+        stats = make_stats()
+        evaluation = make_evaluation("EJ-32x4", snoops=1000, filtered=999)
+        filtered = accountant.breakdown(stats, evaluation, "EJ-32x4")
+        assert filtered.wb_j == accountant.breakdown(stats).wb_j
+
+    def test_parallel_mode_costs_more(self, accountant):
+        stats = make_stats()
+        serial = accountant.breakdown(stats, parallel=False)
+        parallel = accountant.breakdown(stats, parallel=True)
+        assert parallel.total_j > serial.total_j
+
+    def test_parallel_filtered_snoop_saves_data_too(self, accountant):
+        stats = make_stats()
+        evaluation = make_evaluation("EJ-16x2", snoops=1000, filtered=800)
+        base = accountant.breakdown(stats, parallel=True)
+        filtered = accountant.breakdown(stats, evaluation, "EJ-16x2", parallel=True)
+        saved = base.snoop_total_j - filtered.snoop_total_j
+        serial_saved = (
+            accountant.breakdown(stats).snoop_total_j
+            - accountant.breakdown(stats, evaluation, "EJ-16x2").snoop_total_j
+        )
+        assert saved > serial_saved
+
+
+class TestReduction:
+    def test_good_filter_positive_reduction(self, accountant):
+        stats = make_stats()
+        evaluation = make_evaluation("HJ(IJ-9x4x7, EJ-32x4)", 1000, 850)
+        reduction = accountant.reduction(stats, evaluation)
+        assert reduction.over_snoops_serial > 0
+        assert reduction.over_all_serial > 0
+        assert reduction.over_snoops_parallel > 0
+
+    def test_parallel_reduction_exceeds_serial(self, accountant):
+        """Figure 6(c,d) vs (a,b): parallel organisations save more."""
+        stats = make_stats()
+        evaluation = make_evaluation("HJ(IJ-9x4x7, EJ-32x4)", 1000, 850)
+        reduction = accountant.reduction(stats, evaluation)
+        assert reduction.over_snoops_parallel > reduction.over_snoops_serial
+        assert reduction.over_all_parallel > reduction.over_all_serial
+
+    def test_over_snoops_exceeds_over_all(self, accountant):
+        stats = make_stats()
+        evaluation = make_evaluation("HJ(IJ-9x4x7, EJ-32x4)", 1000, 850)
+        reduction = accountant.reduction(stats, evaluation)
+        assert reduction.over_snoops_serial > reduction.over_all_serial
+
+    def test_useless_filter_costs_energy(self, accountant):
+        """A filter that never filters strictly adds energy (paper §2:
+        the widely-shared worst case)."""
+        stats = make_stats()
+        evaluation = make_evaluation("HJ(IJ-10x4x7, EJ-32x4)", 1000, 0)
+        reduction = accountant.reduction(stats, evaluation)
+        assert reduction.over_snoops_serial < 0
+
+    def test_more_coverage_more_reduction(self, accountant):
+        stats = make_stats()
+        low = accountant.reduction(
+            stats, make_evaluation("EJ-32x4", 1000, 300)
+        )
+        high = accountant.reduction(
+            stats, make_evaluation("EJ-32x4", 1000, 800)
+        )
+        assert high.over_snoops_serial > low.over_snoops_serial

@@ -1,0 +1,75 @@
+"""Tests for the Appendix-A analytical model (Figure 2)."""
+
+import pytest
+
+from repro.analysis.analytical import (
+    AnalyticalEnergyModel,
+    SnoopEnergyInputs,
+    snoop_miss_energy_fraction,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEquations:
+    def test_paper_anchor(self):
+        """Section 2.1: ~33% at 50% local hit, 10% remote hit, 32 B lines.
+
+        This is the calibration point for the banking assumptions of the
+        whole energy model.
+        """
+        model = AnalyticalEnergyModel(block_bytes=32)
+        assert model.fraction(0.5, 0.1) == pytest.approx(0.33, abs=0.035)
+
+    def test_full_local_hit_no_snoops(self):
+        inputs = SnoopEnergyInputs(tag_j=1.0, data_j=1.0)
+        assert snoop_miss_energy_fraction(inputs, 1.0, 0.0) == 0.0
+
+    def test_monotone_decreasing_in_local_hit(self):
+        model = AnalyticalEnergyModel(block_bytes=32)
+        values = [model.fraction(l / 10, 0.2) for l in range(11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_decreasing_in_remote_hit(self):
+        model = AnalyticalEnergyModel(block_bytes=32)
+        values = [model.fraction(0.4, r / 10) for r in range(10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_32b_exceeds_64b(self):
+        """Figure 2: smaller blocks -> cheaper data array -> higher
+        snoop-miss share."""
+        small = AnalyticalEnergyModel(block_bytes=32)
+        large = AnalyticalEnergyModel(block_bytes=64)
+        for local in (0.0, 0.3, 0.6, 0.9):
+            assert small.fraction(local, 0.1) > large.fraction(local, 0.1)
+
+    def test_more_cpus_increase_share(self):
+        four = AnalyticalEnergyModel(block_bytes=32, n_cpus=4)
+        eight = AnalyticalEnergyModel(block_bytes=32, n_cpus=8)
+        assert eight.fraction(0.5, 0.1) > four.fraction(0.5, 0.1)
+
+    def test_fraction_bounded(self):
+        model = AnalyticalEnergyModel(block_bytes=32)
+        for l in (0.0, 0.5, 1.0):
+            for r in (0.0, 0.5, 0.9):
+                assert 0.0 <= model.fraction(l, r) < 1.0
+
+    def test_curve_shape(self):
+        model = AnalyticalEnergyModel(block_bytes=32)
+        curve = model.curve(0.0)
+        assert len(curve) == 21
+        assert curve[-1][1] == 0.0  # L=1: no snoops at all
+
+
+class TestValidation:
+    def test_bad_hit_rate_rejected(self):
+        inputs = SnoopEnergyInputs(tag_j=1.0, data_j=1.0)
+        with pytest.raises(ConfigurationError):
+            snoop_miss_energy_fraction(inputs, 1.2, 0.0)
+        with pytest.raises(ConfigurationError):
+            snoop_miss_energy_fraction(inputs, 0.2, -0.1)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnoopEnergyInputs(tag_j=0.0, data_j=1.0)
+        with pytest.raises(ConfigurationError):
+            SnoopEnergyInputs(tag_j=1.0, data_j=1.0, n_cpus=1)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.utils.bitops."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import (
+    bit_slice,
+    block_address,
+    extract_field,
+    ilog2,
+    is_power_of_two,
+    mask,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    def test_exact(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(64) == 6
+        assert ilog2(1 << 30) == 30
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            ilog2(6)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            ilog2(0)
+
+
+class TestMask:
+    def test_widths(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(16) == 0xFFFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mask(-1)
+
+
+class TestBitSlice:
+    def test_middle_bits(self):
+        assert bit_slice(0b10110, low=1, width=3) == 0b011
+
+    def test_zero_width(self):
+        assert bit_slice(0xFF, low=2, width=0) == 0
+
+    def test_beyond_value(self):
+        assert bit_slice(0b1, low=5, width=4) == 0
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bit_slice(1, low=-1, width=2)
+
+
+class TestExtractField:
+    def test_round_trip(self):
+        address = 0xDEADBEEF
+        tag, index, offset = extract_field(address, offset_bits=6, index_bits=10)
+        rebuilt = (tag << 16) | (index << 6) | offset
+        assert rebuilt == address
+
+    def test_fields(self):
+        # address = tag 0b101, index 0b11, offset 0b01 with 2/2 bit fields
+        address = (0b101 << 4) | (0b11 << 2) | 0b01
+        assert extract_field(address, 2, 2) == (0b101, 0b11, 0b01)
+
+
+class TestBlockAddress:
+    def test_shift(self):
+        assert block_address(0x1000, 6) == 0x40
+        assert block_address(0x103F, 6) == 0x40
+        assert block_address(0x1040, 6) == 0x41

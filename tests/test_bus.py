@@ -1,0 +1,41 @@
+"""Unit tests for bus transaction bookkeeping."""
+
+from repro.coherence.bus import Bus, BusOp, SnoopReply
+
+
+class TestBus:
+    def test_remote_hit_histogram(self):
+        bus = Bus(4)
+        bus.record_transaction(
+            BusOp.READ, [SnoopReply(hit=True), SnoopReply(), SnoopReply()]
+        )
+        bus.record_transaction(
+            BusOp.READ, [SnoopReply(), SnoopReply(), SnoopReply()]
+        )
+        assert bus.stats.remote_hit_histogram == [1, 1, 0, 0]
+
+    def test_result_aggregation(self):
+        bus = Bus(4)
+        result = bus.record_transaction(
+            BusOp.READ_X,
+            [SnoopReply(hit=True, supplied=True), SnoopReply(hit=True), SnoopReply()],
+        )
+        assert result.remote_hits == 2
+        assert result.data_supplied
+        assert result.op is BusOp.READ_X
+
+    def test_transaction_counts_per_op(self):
+        bus = Bus(2)
+        bus.record_transaction(BusOp.READ, [SnoopReply()])
+        bus.record_transaction(BusOp.UPGRADE, [SnoopReply()])
+        bus.record_transaction(BusOp.UPGRADE, [SnoopReply()])
+        assert bus.stats.transactions[BusOp.READ] == 1
+        assert bus.stats.transactions[BusOp.UPGRADE] == 2
+        assert bus.stats.snoopable == 3
+
+    def test_writebacks_counted_separately(self):
+        bus = Bus(2)
+        bus.record_writeback()
+        bus.record_writeback()
+        assert bus.stats.writebacks == 2
+        assert bus.stats.snoopable == 0

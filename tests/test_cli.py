@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiments
+from repro.cli import build_parser, main
+from repro.traces.workloads import WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def tiny_workload():
+    from tests.test_experiments import tiny_spec
+
+    spec = tiny_spec()
+    WORKLOADS[spec.name] = spec
+    experiments.clear_caches()
+    yield spec
+    del WORKLOADS[spec.name]
+    experiments.clear_caches()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["--seed", "7", "workloads"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("barnes", "raytrace", "unstructured"):
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "L2 share" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        assert "IJ-10x4x7" in capsys.readouterr().out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "9"]) == 2
+
+    def test_figure2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "R=0%" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "17"]) == 2
+
+    def test_coverage_command(self, capsys):
+        assert main(["coverage", "test-tiny", "EJ-8x2"]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_energy_command(self, capsys):
+        assert main(["energy", "test-tiny", "EJ-8x2"]) == 0
+        out = capsys.readouterr().out
+        assert "over snoops, serial L2" in out
+        assert "over all L2, parallel L2" in out
+
+    def test_size_command(self, capsys):
+        assert main(["size", "0.05", "test-tiny"]) == 0
+        assert "smallest configuration" in capsys.readouterr().out
+
+    def test_size_command_unreachable(self, capsys):
+        assert main(["size", "1.0", "test-tiny"]) == 1
+
+    def test_trace_command(self, tmp_path, capsys):
+        path = str(tmp_path / "t.npz")
+        assert main(["trace", "test-tiny", path, "--accesses", "200"]) == 0
+        from repro.traces.io import trace_length
+
+        assert trace_length(path) == 200

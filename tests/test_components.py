@@ -1,0 +1,110 @@
+"""Unit tests for per-structure energy models."""
+
+import pytest
+
+from repro.coherence.config import PAPER_SYSTEM, CacheConfig
+from repro.core.config import (
+    PAPER_HJ_NAMES,
+    PAPER_IJ_NAMES,
+    NullConfig,
+    OracleConfig,
+    parse_filter_name,
+)
+from repro.energy.components import (
+    CacheEnergyModel,
+    JettyEnergyModel,
+    WriteBufferEnergyModel,
+)
+from repro.energy.technology import TECH_180NM as tech
+
+
+@pytest.fixture(scope="module")
+def l2_model() -> CacheEnergyModel:
+    return CacheEnergyModel(PAPER_SYSTEM.l2, PAPER_SYSTEM.address_bits, 2, tech)
+
+
+@pytest.fixture(scope="module")
+def jetty_models() -> JettyEnergyModel:
+    return JettyEnergyModel(
+        PAPER_SYSTEM.block_address_bits, PAPER_SYSTEM.ij_counter_bits, tech
+    )
+
+
+class TestCacheEnergyModel:
+    def test_data_read_dominates_tag_probe(self, l2_model):
+        """Reading a 32-byte subblock moves far more bits than a tag."""
+        assert l2_model.data_read() > l2_model.tag_probe()
+
+    def test_parallel_reads_at_least_serial(self, l2_model):
+        assert l2_model.data_read_parallel() >= l2_model.data_read()
+
+    def test_parallel_grows_with_ways(self):
+        assoc = CacheConfig(
+            capacity_bytes=1 << 20, block_bytes=64, subblock_bytes=32, ways=4
+        )
+        model = CacheEnergyModel(assoc, 36, 2, tech)
+        assert model.data_read_parallel() > model.data_read()
+
+    def test_tag_probe_grows_with_associativity(self):
+        direct = CacheEnergyModel(PAPER_SYSTEM.l2, 36, 2, tech)
+        assoc = CacheEnergyModel(
+            CacheConfig(1 << 20, 64, 32, ways=4), 36, 2, tech
+        )
+        assert assoc.tag_probe() > direct.tag_probe()
+
+    def test_all_energies_positive(self, l2_model):
+        for energy in (
+            l2_model.tag_probe(), l2_model.tag_update(),
+            l2_model.data_read(), l2_model.data_write(),
+        ):
+            assert energy > 0
+
+
+class TestWriteBufferModel:
+    def test_probe_much_cheaper_than_tag(self, l2_model):
+        wb = WriteBufferEnergyModel(8, PAPER_SYSTEM.block_address_bits, tech)
+        assert wb.probe() < 0.25 * l2_model.tag_probe()
+
+
+class TestJettyEnergyModel:
+    def test_jetty_probe_much_cheaper_than_l2_tag(self, l2_model, jetty_models):
+        """The paper's premise: JETTY energy << L2 tag probe energy."""
+        for name in PAPER_HJ_NAMES:
+            profile = jetty_models.profile(parse_filter_name(name))
+            assert profile.probe < 0.5 * l2_model.tag_probe(), name
+
+    def test_larger_structures_cost_more(self, jetty_models):
+        big = jetty_models.profile(parse_filter_name("EJ-32x4"))
+        small = jetty_models.profile(parse_filter_name("EJ-16x2"))
+        assert big.probe > small.probe
+
+    def test_ij_probe_ordering(self, jetty_models):
+        probes = [
+            jetty_models.profile(parse_filter_name(name)).probe
+            for name in PAPER_IJ_NAMES[:3]  # same array count (4)
+        ]
+        assert probes == sorted(probes, reverse=True)
+
+    def test_hj_probe_is_sum_of_components(self, jetty_models):
+        hj = jetty_models.profile(parse_filter_name("HJ(IJ-9x4x7, EJ-32x4)"))
+        ij = jetty_models.profile(parse_filter_name("IJ-9x4x7"))
+        ej = jetty_models.profile(parse_filter_name("EJ-32x4"))
+        assert hj.probe == pytest.approx(ij.probe + ej.probe)
+        assert hj.cnt_update == pytest.approx(ij.cnt_update)
+        assert hj.entry_write == pytest.approx(ej.entry_write)
+
+    def test_null_and_oracle_cost_nothing(self, jetty_models):
+        for config in (NullConfig(), OracleConfig()):
+            profile = jetty_models.profile(config)
+            assert profile.total(1000, 1000, 1000, 1000, 1000) == 0.0
+
+    def test_profile_total_folds_counts(self, jetty_models):
+        profile = jetty_models.profile(parse_filter_name("IJ-8x4x7"))
+        total = profile.total(
+            probes=10, entry_writes=0, cnt_updates=4, pbit_writes=1, transfers=2
+        )
+        expected = (
+            10 * profile.probe + 4 * profile.cnt_update
+            + profile.pbit_write + 2 * profile.update_transfer
+        )
+        assert total == pytest.approx(expected)

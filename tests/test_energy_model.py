@@ -1,0 +1,110 @@
+"""Unit tests for the Kamble-Ghose array model and banking optimiser."""
+
+import pytest
+
+from repro.energy.geometry import ArrayGeometry, optimal_banking
+from repro.energy.kamble_ghose import (
+    SRAMArray,
+    array_read_energy,
+    array_write_energy,
+    cam_search_energy,
+)
+from repro.energy.technology import TECH_180NM as tech
+from repro.errors import ConfigurationError
+
+
+class TestArrayGeometry:
+    def test_totals(self):
+        geometry = ArrayGeometry(rows=64, cols=32, banks=4)
+        assert geometry.total_bits == 64 * 32 * 4
+        assert geometry.address_bits == 8  # 256 addressable rows
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrayGeometry(rows=0, cols=8)
+
+
+class TestReadWriteEnergy:
+    def test_energy_grows_with_rows(self):
+        small = SRAMArray(ArrayGeometry(rows=64, cols=32))
+        large = SRAMArray(ArrayGeometry(rows=4096, cols=32))
+        assert array_read_energy(large, tech) > array_read_energy(small, tech)
+
+    def test_energy_grows_with_cols(self):
+        narrow = SRAMArray(ArrayGeometry(rows=256, cols=16))
+        wide = SRAMArray(ArrayGeometry(rows=256, cols=256))
+        assert array_read_energy(wide, tech) > array_read_energy(narrow, tech)
+
+    def test_write_costs_more_than_read(self):
+        """Writes swing the full rail on written columns."""
+        array = SRAMArray(ArrayGeometry(rows=256, cols=64))
+        assert array_write_energy(array, tech) > array_read_energy(array, tech)
+
+    def test_partial_read_cheaper(self):
+        array = SRAMArray(ArrayGeometry(rows=256, cols=256))
+        full = array_read_energy(array, tech)
+        partial = array_read_energy(array, tech, bits_read=32)
+        assert partial < full
+
+    def test_bits_out_reduces_energy(self):
+        array = SRAMArray(ArrayGeometry(rows=1024, cols=128))
+        compare = array_read_energy(array, tech, bits_out=1)
+        bus_out = array_read_energy(array, tech, bits_out=128)
+        assert compare < bus_out
+
+    def test_overwide_read_rejected(self):
+        array = SRAMArray(ArrayGeometry(rows=16, cols=8))
+        with pytest.raises(ConfigurationError):
+            array_read_energy(array, tech, bits_read=9)
+
+    def test_routing_scales_with_total_area(self):
+        """The H-tree term depends on total bits, not bank shape — a big
+        array stays expensive however finely it is banked."""
+        monolithic = SRAMArray(ArrayGeometry(rows=16384, cols=32, banks=1))
+        banked = SRAMArray(ArrayGeometry(rows=256, cols=32, banks=64))
+        assert monolithic.htree_span_um(tech) == pytest.approx(
+            banked.htree_span_um(tech)
+        )
+
+    def test_positive_energies(self):
+        array = SRAMArray(ArrayGeometry(rows=4, cols=4))
+        assert array_read_energy(array, tech) > 0
+        assert array_write_energy(array, tech) > 0
+
+
+class TestCamSearch:
+    def test_scales_with_entries_and_bits(self):
+        assert cam_search_energy(16, 24, tech) > cam_search_energy(8, 24, tech)
+        assert cam_search_energy(8, 30, tech) > cam_search_energy(8, 15, tech)
+
+
+class TestOptimalBanking:
+    def test_covers_all_bits(self):
+        geometry = optimal_banking(4096, 32, tech)
+        assert geometry.rows * geometry.banks == 4096
+        assert geometry.cols == 32
+
+    def test_large_arrays_bank(self):
+        geometry = optimal_banking(16384, 512, tech, max_banks=64)
+        assert geometry.banks > 1
+
+    def test_small_arrays_stay_monolithic(self):
+        geometry = optimal_banking(16, 16, tech)
+        assert geometry.banks == 1
+
+    def test_max_banks_respected(self):
+        geometry = optimal_banking(16384, 512, tech, max_banks=4)
+        assert geometry.banks <= 4
+
+    def test_non_power_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_banking(1000, 8, tech)
+
+    def test_banked_read_never_worse_than_monolithic(self):
+        from repro.energy.kamble_ghose import SRAMArray, array_read_energy
+
+        banked = optimal_banking(16384, 512, tech, max_banks=64)
+        mono = ArrayGeometry(rows=16384, cols=512, banks=1)
+        assert array_read_energy(SRAMArray(banked), tech) <= array_read_energy(
+            SRAMArray(mono), tech
+        )

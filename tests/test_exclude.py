@@ -1,0 +1,88 @@
+"""Unit tests for the exclude-JETTY."""
+
+import pytest
+
+from repro.core.exclude import ExcludeJetty
+from repro.errors import ConfigurationError
+
+
+class TestExcludeJetty:
+    def test_empty_filter_passes_everything(self):
+        ej = ExcludeJetty(sets=8, ways=2)
+        assert ej.probe(0x123)
+        assert ej.counts.filtered == 0
+
+    def test_learns_from_snoop_miss(self):
+        ej = ExcludeJetty(sets=8, ways=2)
+        assert ej.probe(0x123)
+        ej.on_snoop_outcome(0x123, present=False)
+        assert not ej.probe(0x123)  # guaranteed absent now
+        assert ej.counts.filtered == 1
+
+    def test_does_not_learn_from_snoop_hit(self):
+        ej = ExcludeJetty(sets=8, ways=2)
+        ej.on_snoop_outcome(0x123, present=True)
+        assert ej.probe(0x123)
+        assert ej.valid_entries() == 0
+
+    def test_allocation_invalidates_entry(self):
+        """The safety-critical update: a local fill drops the entry."""
+        ej = ExcludeJetty(sets=8, ways=2)
+        ej.on_snoop_outcome(0x123, present=False)
+        ej.on_block_allocated(0x123)
+        assert ej.probe(0x123)
+        assert not ej.contains(0x123)
+
+    def test_eviction_is_a_noop(self):
+        ej = ExcludeJetty(sets=8, ways=2)
+        ej.on_block_evicted(0x123)  # no entry exists; must not fail
+        assert ej.probe(0x123)
+
+    def test_lru_replacement_within_set(self):
+        ej = ExcludeJetty(sets=1, ways=2)
+        ej.on_snoop_outcome(0xA, present=False)
+        ej.on_snoop_outcome(0xB, present=False)
+        ej.probe(0xA)  # touch A
+        ej.on_snoop_outcome(0xC, present=False)  # evicts B (LRU)
+        assert not ej.probe(0xA)
+        assert ej.probe(0xB)
+        assert not ej.probe(0xC)
+
+    def test_refresh_does_not_duplicate(self):
+        ej = ExcludeJetty(sets=1, ways=4)
+        for _ in range(3):
+            ej.on_snoop_outcome(0xA, present=False)
+        assert ej.valid_entries() == 1
+
+    def test_set_indexing_by_low_bits(self):
+        ej = ExcludeJetty(sets=4, ways=1)
+        # Blocks 0x10 and 0x14 map to sets 0 and 0 (0x14 & 3 == 0)...
+        ej.on_snoop_outcome(0x10, present=False)
+        ej.on_snoop_outcome(0x14, present=False)  # same set, evicts 0x10
+        assert ej.probe(0x10)
+        assert not ej.probe(0x14)
+        # ... while 0x11 goes to set 1 and coexists.
+        ej.on_snoop_outcome(0x11, present=False)
+        assert not ej.probe(0x11)
+        assert not ej.probe(0x14)
+
+    def test_storage_accounting(self):
+        ej = ExcludeJetty(sets=32, ways=4, tag_bits=30)
+        # (30 - 5 index bits) tag + 1 present bit, 128 entries.
+        assert ej.storage_bits() == 32 * 4 * 26
+
+    def test_event_counts(self):
+        ej = ExcludeJetty(sets=8, ways=2)
+        ej.on_snoop_outcome(0x1, present=False)
+        ej.on_snoop_outcome(0x2, present=False)
+        ej.on_block_allocated(0x1)
+        assert ej.counts.entry_writes == 3  # two allocations + one drop
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExcludeJetty(sets=7, ways=2)
+        with pytest.raises(ConfigurationError):
+            ExcludeJetty(sets=8, ways=0)
+
+    def test_name(self):
+        assert ExcludeJetty(32, 4).name == "EJ-32x4"

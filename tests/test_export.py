@@ -1,0 +1,57 @@
+"""Unit tests for CSV export of exhibits."""
+
+import csv
+import io
+
+from repro.analysis.export import figure_to_csv, table_to_csv, write_csv
+from repro.analysis.figures import FigureData, FigureSeries
+
+
+def parse(text: str) -> list[list[str]]:
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestFigureToCsv:
+    def make_figure(self) -> FigureData:
+        data = FigureData("figX", "demo")
+        data.series.append(FigureSeries("cfg-a", {"wl1": 0.5, "wl2": 0.25}))
+        data.series.append(FigureSeries("cfg-b", {"wl1": 1.0}))
+        return data
+
+    def test_header_and_rows(self):
+        rows = parse(figure_to_csv(self.make_figure()))
+        assert rows[0] == ["config", "wl1", "wl2", "avg"]
+        assert rows[1][0] == "cfg-a"
+        assert float(rows[1][1]) == 0.5
+        assert float(rows[1][3]) == 0.375
+
+    def test_missing_values_blank(self):
+        rows = parse(figure_to_csv(self.make_figure()))
+        assert rows[2][2] == ""  # cfg-b has no wl2 value
+
+    def test_round_trips_through_csv_reader(self):
+        text = figure_to_csv(self.make_figure())
+        assert len(parse(text)) == 3
+
+
+class TestTableToCsv:
+    def test_simple_table(self):
+        text = table_to_csv(["a", "b"], [["1", "x,y"]])
+        rows = parse(text)
+        assert rows == [["a", "b"], ["1", "x,y"]]  # comma survives quoting
+
+
+class TestWriteCsv:
+    def test_creates_directories(self, tmp_path):
+        target = tmp_path / "nested" / "dir" / "out.csv"
+        written = write_csv(target, "a,b\n1,2\n")
+        assert written.read_text() == "a,b\n1,2\n"
+
+    def test_figure2_export_end_to_end(self, tmp_path):
+        from repro.analysis.figures import build_figure2
+
+        data = build_figure2(block_bytes=32, local_hit_points=5)
+        path = write_csv(tmp_path / "figure2.csv", figure_to_csv(data))
+        rows = parse(path.read_text())
+        assert len(rows) == 11  # header + 10 remote-hit-rate series
+        assert rows[0][0] == "config"

@@ -1,0 +1,109 @@
+"""Unit tests for configuration-name parsing and Table 4 arithmetic."""
+
+import pytest
+
+from repro.core.config import (
+    EJConfig,
+    HJConfig,
+    IJConfig,
+    NullConfig,
+    OracleConfig,
+    PAPER_EJ_NAMES,
+    PAPER_HJ_NAMES,
+    PAPER_IJ_NAMES,
+    PAPER_VEJ_NAMES,
+    VEJConfig,
+    build_filter,
+    parse_filter_name,
+)
+from repro.core.exclude import ExcludeJetty
+from repro.core.hybrid import HybridJetty
+from repro.core.include import IncludeJetty
+from repro.core.null import NullFilter, OracleFilter
+from repro.core.vector_exclude import VectorExcludeJetty
+from repro.errors import FilterNameError
+
+
+class TestParsing:
+    def test_ej(self):
+        assert parse_filter_name("EJ-32x4") == EJConfig(32, 4)
+
+    def test_vej(self):
+        assert parse_filter_name("VEJ-16x4-8") == VEJConfig(16, 4, 8)
+
+    def test_ij(self):
+        assert parse_filter_name("IJ-10x4x7") == IJConfig(10, 4, 7)
+
+    def test_hj(self):
+        config = parse_filter_name("HJ(IJ-10x4x7, EJ-32x4)")
+        assert config == HJConfig(IJConfig(10, 4, 7), EJConfig(32, 4))
+
+    def test_hj_with_vej(self):
+        config = parse_filter_name("HJ(IJ-9x4x7, VEJ-32x4-8)")
+        assert isinstance(config, HJConfig)
+        assert config.exclude == VEJConfig(32, 4, 8)
+
+    def test_null_and_oracle(self):
+        assert parse_filter_name("null") == NullConfig()
+        assert parse_filter_name("ORACLE") == OracleConfig()
+
+    def test_whitespace_tolerated(self):
+        assert parse_filter_name(" EJ-8x2 ") == EJConfig(8, 2)
+
+    def test_round_trip_names(self):
+        for name in (
+            PAPER_EJ_NAMES + PAPER_VEJ_NAMES + PAPER_IJ_NAMES + PAPER_HJ_NAMES
+        ):
+            assert parse_filter_name(name).name == name
+
+    @pytest.mark.parametrize("bad", [
+        "EJ-32", "EJ32x4", "IJ-10x4", "HJ(EJ-32x4, EJ-32x4)",
+        "HJ(IJ-10x4x7, IJ-9x4x7)", "XY-1x2", "", "HJ()",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FilterNameError):
+            parse_filter_name(bad)
+
+
+class TestBuild:
+    def test_build_types(self):
+        assert isinstance(build_filter("EJ-8x2"), ExcludeJetty)
+        assert isinstance(build_filter("VEJ-8x2-4"), VectorExcludeJetty)
+        assert isinstance(build_filter("IJ-6x5x6"), IncludeJetty)
+        assert isinstance(build_filter("HJ(IJ-6x5x6, EJ-8x2)"), HybridJetty)
+        assert isinstance(build_filter("null"), NullFilter)
+        assert isinstance(build_filter("oracle"), OracleFilter)
+
+    def test_build_from_config_object(self):
+        assert isinstance(build_filter(EJConfig(8, 2)), ExcludeJetty)
+
+    def test_scaled_parameters_propagate(self):
+        ij = build_filter("IJ-6x5x6", counter_bits=10, addr_bits=26)
+        assert isinstance(ij, IncludeJetty)
+        assert ij.counter_bits == 10
+        assert ij.addr_bits == 26
+
+
+class TestTable4Arithmetic:
+    def test_pbit_bits(self):
+        assert IJConfig(10, 4, 7).pbit_bits() == 4096
+        assert IJConfig(6, 5, 6).pbit_bits() == 320
+
+    def test_cnt_bytes_matches_paper_for_exact_rows(self):
+        # Rows of Table 4 consistent with its own 14-bit-counter caption.
+        assert IJConfig(10, 4, 7).cnt_bytes() == 7168
+        assert IJConfig(8, 4, 7).cnt_bytes() == 1792
+
+    def test_pbit_organization_matches_table4(self):
+        assert IJConfig(10, 4, 7).pbit_organization() == (4, 32, 32)
+        assert IJConfig(9, 4, 7).pbit_organization() == (4, 16, 32)
+        assert IJConfig(8, 4, 7).pbit_organization() == (4, 16, 16)
+        assert IJConfig(7, 5, 6).pbit_organization() == (5, 8, 16)
+        assert IJConfig(6, 5, 6).pbit_organization() == (5, 4, 16)
+
+    def test_storage_ordering(self):
+        """Smaller IJ configs require strictly less storage (Table 4)."""
+        sizes = [
+            parse_filter_name(name).cnt_bytes() for name in PAPER_IJ_NAMES
+        ]
+        assert sizes == sorted(sizes, reverse=True)

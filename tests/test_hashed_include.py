@@ -1,0 +1,99 @@
+"""Unit and property tests for the hashed include-JETTY (footnote 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HIJConfig, build_filter, parse_filter_name
+from repro.core.hashed_include import HashedIncludeJetty
+from repro.errors import CoherenceError, ConfigurationError
+
+
+class TestHashedIncludeJetty:
+    def test_empty_filters_everything(self):
+        hij = HashedIncludeJetty(entry_bits=8, k=3)
+        assert not hij.probe(0x1234)
+
+    def test_allocated_block_passes(self):
+        hij = HashedIncludeJetty(entry_bits=8, k=3)
+        hij.on_block_allocated(0x1234)
+        assert hij.probe(0x1234)
+
+    def test_eviction_restores_filtering(self):
+        hij = HashedIncludeJetty(entry_bits=8, k=3)
+        hij.on_block_allocated(0x1234)
+        hij.on_block_evicted(0x1234)
+        assert not hij.probe(0x1234)
+
+    def test_underflow_detected(self):
+        hij = HashedIncludeJetty(entry_bits=8, k=3)
+        with pytest.raises(CoherenceError):
+            hij.on_block_evicted(0x1)
+
+    def test_indexes_deterministic_and_bounded(self):
+        hij = HashedIncludeJetty(entry_bits=6, k=4)
+        for block in (0, 1, 0xDEAD, 0xFFFFFFFF):
+            indexes = hij.indexes(block)
+            assert indexes == hij.indexes(block)
+            assert all(0 <= i < 64 for i in indexes)
+            assert len(indexes) == 4
+
+    def test_hashing_decorrelates_neighbours(self):
+        """Adjacent blocks should not collide systematically."""
+        hij = HashedIncludeJetty(entry_bits=10, k=1)
+        positions = {hij.indexes(block)[0] for block in range(64)}
+        assert len(positions) > 48
+
+    def test_storage_accounting(self):
+        hij = HashedIncludeJetty(entry_bits=12, k=4, counter_bits=14)
+        assert hij.pbit_bits() == 4096
+        assert hij.cnt_bits() == 4096 * 14
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            HashedIncludeJetty(entry_bits=0, k=2)
+        with pytest.raises(ConfigurationError):
+            HashedIncludeJetty(entry_bits=8, k=0)
+        with pytest.raises(ConfigurationError):
+            HashedIncludeJetty(entry_bits=8, k=9)
+
+    def test_config_parsing(self):
+        assert parse_filter_name("HIJ-12x4") == HIJConfig(12, 4)
+        hij = build_filter("HIJ-12x4", counter_bits=10)
+        assert isinstance(hij, HashedIncludeJetty)
+        assert hij.counter_bits == 10
+
+    def test_energy_profile_exists(self):
+        from repro.energy.components import JettyEnergyModel
+
+        model = JettyEnergyModel(30, 14)
+        profile = model.profile(HIJConfig(12, 4))
+        assert profile.probe > 0
+        assert profile.cnt_update > 0
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["snoop", "alloc", "evict"]),
+            st.integers(min_value=0, max_value=255),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_hashed_safety_guarantee(events):
+    """Safety under arbitrary event interleavings, like every variant."""
+    hij = HashedIncludeJetty(entry_bits=6, k=3, counter_bits=10)
+    cached: set[int] = set()
+    for kind, block in events:
+        if kind == "alloc" and block not in cached:
+            cached.add(block)
+            hij.on_block_allocated(block)
+        elif kind == "evict" and block in cached:
+            cached.remove(block)
+            hij.on_block_evicted(block)
+        elif kind == "snoop":
+            assert hij.probe(block) or block not in cached
+
+    assert hij.tracked_blocks() == len(cached)

@@ -1,0 +1,82 @@
+"""Unit tests for the hybrid-JETTY."""
+
+from repro.core.exclude import ExcludeJetty
+from repro.core.hybrid import HybridJetty
+from repro.core.include import IncludeJetty
+
+
+def make_hj() -> HybridJetty:
+    return HybridJetty(
+        IncludeJetty(4, 2, 3, counter_bits=8, addr_bits=16),
+        ExcludeJetty(4, 2, tag_bits=16),
+    )
+
+
+class TestHybridJetty:
+    def test_filters_when_ij_filters(self):
+        hj = make_hj()
+        assert not hj.probe(0x55)  # empty IJ guarantees absence
+
+    def test_filters_when_only_ej_knows(self):
+        hj = make_hj()
+        # Make the IJ pass by allocating an alias of the probe target.
+        target = 0x55
+        alias = target | (1 << 12)  # above every index field
+        assert hj.include.indexes(alias) == hj.include.indexes(target)
+        hj.on_block_allocated(alias)
+        assert hj.probe(target)  # IJ aliases, EJ empty: must pass
+        hj.on_snoop_outcome(target, present=False)
+        assert not hj.probe(target)  # now the EJ filters it
+
+    def test_ej_learns_only_when_ij_fails(self):
+        """The paper's backup-allocation policy falls out of the event
+        protocol: a snoop the IJ filters never produces an outcome."""
+        hj = make_hj()
+        if not hj.probe(0x99):  # IJ filters (empty)
+            pass  # replay would not call on_snoop_outcome
+        assert hj.exclude.valid_entries() == 0
+
+    def test_components_see_allocations(self):
+        hj = make_hj()
+        hj.on_snoop_outcome(0x55, present=False)
+        hj.on_block_allocated(0x55)
+        assert hj.probe(0x55)  # IJ covers it, EJ entry dropped
+        assert not hj.exclude.contains(0x55)
+        hj.on_block_evicted(0x55)
+        assert not hj.probe(0x55)
+
+    def test_storage_is_sum_of_components(self):
+        hj = make_hj()
+        expected = hj.include.storage_bits() + hj.exclude.storage_bits()
+        assert hj.storage_bits() == expected
+
+    def test_energy_counts_merge_components(self):
+        hj = make_hj()
+        alias = 0x55 | (1 << 12)
+        hj.on_block_allocated(alias)
+        hj.probe(0x55)
+        hj.on_snoop_outcome(0x55, present=False)
+        counts = hj.energy_counts()
+        assert counts.probes == 1  # HJ probes counted once
+        assert counts.entry_writes == 1  # EJ allocation
+        assert counts.cnt_updates == hj.include.n_arrays
+
+    def test_reset_counts_cascades(self):
+        hj = make_hj()
+        hj.on_block_allocated(0x10)
+        hj.probe(0x10)
+        hj.reset_counts()
+        counts = hj.energy_counts()
+        assert counts.probes == 0
+        assert counts.cnt_updates == 0
+
+    def test_name(self):
+        assert make_hj().name == "HJ(IJ-4x2x3, EJ-4x2)"
+
+    def test_both_components_probed_in_parallel(self):
+        """Per the paper, both structures are probed on every snoop."""
+        hj = make_hj()
+        hj.probe(0x1)
+        hj.probe(0x2)
+        assert hj.include.counts.probes == 2
+        assert hj.exclude.counts.probes == 2

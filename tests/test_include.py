@@ -1,0 +1,108 @@
+"""Unit tests for the include-JETTY (counting superset encoding)."""
+
+import pytest
+
+from repro.core.include import IncludeJetty
+from repro.errors import CoherenceError, ConfigurationError
+
+
+def make_ij(entry_bits=4, n_arrays=3, skip=3, addr_bits=16) -> IncludeJetty:
+    return IncludeJetty(entry_bits, n_arrays, skip, counter_bits=10,
+                        addr_bits=addr_bits)
+
+
+class TestIncludeJetty:
+    def test_empty_filters_everything(self):
+        ij = make_ij()
+        assert not ij.probe(0x1234)
+        assert ij.counts.filtered == 1
+
+    def test_allocated_block_passes(self):
+        ij = make_ij()
+        ij.on_block_allocated(0x1234)
+        assert ij.probe(0x1234)
+
+    def test_eviction_restores_filtering(self):
+        ij = make_ij()
+        ij.on_block_allocated(0x1234)
+        ij.on_block_evicted(0x1234)
+        assert not ij.probe(0x1234)
+
+    def test_counting_keeps_aliases_safe(self):
+        """Two blocks aliasing in every sub-array must both be covered
+        until both are evicted — the property a plain Bloom filter loses
+        on deletion."""
+        ij = IncludeJetty(entry_bits=2, n_arrays=2, skip=2, counter_bits=10)
+        a = 0b0101
+        b = a | (1 << 8)  # differs only above the indexed bits => aliases
+        assert ij.indexes(a) == ij.indexes(b)
+        ij.on_block_allocated(a)
+        ij.on_block_allocated(b)
+        ij.on_block_evicted(a)
+        assert ij.probe(b)  # b still cached; must not be filtered
+
+    def test_underflow_detected(self):
+        ij = make_ij()
+        with pytest.raises(CoherenceError):
+            ij.on_block_evicted(0x1234)
+
+    def test_superset_property(self):
+        """A non-aliasing address is filtered; aliasing ones may pass."""
+        ij = make_ij()
+        ij.on_block_allocated(0x0F0F)
+        # An address differing in a low index field cannot alias.
+        assert not ij.probe(0x0F00)
+
+    def test_index_fields_overlap(self):
+        ij = IncludeJetty(entry_bits=4, n_arrays=2, skip=2, counter_bits=8)
+        # Index 0 = bits [0,4), index 1 = bits [2,6): 2 bits of overlap.
+        block = 0b111100
+        assert ij.indexes(block) == (0b1100, 0b1111)
+
+    def test_pbit_write_counting(self):
+        ij = make_ij(n_arrays=2)
+        ij.on_block_allocated(0x10)
+        assert ij.counts.pbit_writes == 2  # both arrays went 0 -> 1
+        ij.on_block_allocated(0x10)
+        assert ij.counts.pbit_writes == 2  # already set
+        ij.on_block_evicted(0x10)
+        assert ij.counts.pbit_writes == 2  # count 2 -> 1 keeps p-bit
+        ij.on_block_evicted(0x10)
+        assert ij.counts.pbit_writes == 4  # 1 -> 0 clears both
+
+    def test_cnt_update_counting(self):
+        ij = make_ij(n_arrays=3)
+        ij.on_block_allocated(0x10)
+        ij.on_block_evicted(0x10)
+        assert ij.counts.cnt_updates == 6  # one RMW per array per event
+
+    def test_tracked_blocks(self):
+        ij = make_ij()
+        for block in (1, 2, 3):
+            ij.on_block_allocated(block)
+        assert ij.tracked_blocks() == 3
+        ij.on_block_evicted(2)
+        assert ij.tracked_blocks() == 2
+
+    def test_max_counter_bounded_by_allocations(self):
+        ij = make_ij()
+        for block in range(20):
+            ij.on_block_allocated(block)
+        assert ij.max_counter() <= 20
+
+    def test_storage_arithmetic(self):
+        ij = IncludeJetty(10, 4, 7, counter_bits=14)
+        assert ij.pbit_bits() == 4 * 1024
+        assert ij.cnt_bits() == 4 * 1024 * 14
+        assert ij.storage_bits() == ij.pbit_bits() + ij.cnt_bits()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IncludeJetty(0, 4, 7)
+        with pytest.raises(ConfigurationError):
+            IncludeJetty(4, 0, 7)
+        with pytest.raises(ConfigurationError):
+            IncludeJetty(4, 4, 0)
+
+    def test_name(self):
+        assert IncludeJetty(10, 4, 7).name == "IJ-10x4x7"

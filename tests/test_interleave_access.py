@@ -1,0 +1,81 @@
+"""Unit tests for stream interleaving and the AccessStream container."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.access import AccessStream
+from repro.traces.interleave import random_interleave, round_robin
+
+
+class TestRoundRobin:
+    def test_cycles_through_streams(self):
+        streams = [[(0x0, False), (0x1, False)], [(0x10, True)]]
+        merged = list(round_robin(streams))
+        assert merged == [
+            (0, 0x0, False), (1, 0x10, True), (0, 0x1, False),
+        ]
+
+    def test_empty_streams(self):
+        assert list(round_robin([[], []])) == []
+
+    def test_unequal_lengths_drain_fully(self):
+        streams = [[(i, False) for i in range(5)], [(100, True)]]
+        merged = list(round_robin(streams))
+        assert len(merged) == 6
+        assert sum(1 for c, _a, _w in merged if c == 0) == 5
+
+
+class TestRandomInterleave:
+    def test_preserves_per_cpu_order(self):
+        streams = [[(i, False) for i in range(20)], [(100 + i, True) for i in range(20)]]
+        merged = list(random_interleave(streams, seed=5))
+        for cpu in (0, 1):
+            own = [a for c, a, _w in merged if c == cpu]
+            assert own == sorted(own)
+
+    def test_deterministic(self):
+        streams = [[(i, False) for i in range(10)], [(i, True) for i in range(10)]]
+        assert list(random_interleave(streams, seed=2)) == list(
+            random_interleave(streams, seed=2)
+        )
+
+    def test_drains_everything(self):
+        streams = [[(i, False) for i in range(7)] for _ in range(3)]
+        assert len(list(random_interleave(streams, seed=1))) == 21
+
+
+class TestAccessStream:
+    def test_from_iterable_and_len(self):
+        stream = AccessStream.from_iterable([(0, 0x10, False), (1, 0x20, True)])
+        assert len(stream) == 2
+        assert list(stream) == [(0, 0x10, False), (1, 0x20, True)]
+
+    def test_write_fraction(self):
+        stream = AccessStream.from_iterable(
+            [(0, 0, True), (0, 8, False), (0, 16, True), (0, 24, True)]
+        )
+        assert stream.write_fraction() == pytest.approx(0.75)
+
+    def test_write_fraction_empty(self):
+        assert AccessStream().write_fraction() == 0.0
+
+    def test_cpu_histogram(self):
+        stream = AccessStream.from_iterable(
+            [(0, 0, False), (1, 0, False), (1, 8, False)]
+        )
+        assert stream.cpu_histogram(4) == [1, 2, 0, 0]
+
+    def test_cpu_histogram_rejects_out_of_range(self):
+        stream = AccessStream.from_iterable([(5, 0, False)])
+        with pytest.raises(TraceError):
+            stream.cpu_histogram(4)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            AccessStream().append(0, -8, False)
+
+    def test_footprint_blocks(self):
+        stream = AccessStream.from_iterable(
+            [(0, 0, False), (0, 63, False), (0, 64, False)]
+        )
+        assert stream.footprint_blocks(64) == 2

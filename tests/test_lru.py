@@ -1,0 +1,50 @@
+"""Unit tests for the LRU recency tracker."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.lru import LRUTracker
+
+
+class TestLRUTracker:
+    def test_initial_order(self):
+        lru = LRUTracker(4)
+        assert lru.order() == (0, 1, 2, 3)
+        assert lru.victim() == 3
+        assert lru.mru() == 0
+
+    def test_touch_moves_to_front(self):
+        lru = LRUTracker(4)
+        lru.touch(2)
+        assert lru.mru() == 2
+        assert lru.victim() == 3
+
+    def test_victim_is_least_recent(self):
+        lru = LRUTracker(3)
+        lru.touch(0)
+        lru.touch(1)
+        lru.touch(2)
+        assert lru.victim() == 0
+
+    def test_touch_same_way_repeatedly(self):
+        lru = LRUTracker(2)
+        lru.touch(1)
+        lru.touch(1)
+        assert lru.order() == (1, 0)
+
+    def test_single_way(self):
+        lru = LRUTracker(1)
+        assert lru.victim() == 0
+        lru.touch(0)
+        assert lru.victim() == 0
+
+    def test_full_rotation(self):
+        lru = LRUTracker(4)
+        for way in (3, 2, 1, 0):
+            lru.touch(way)
+        assert lru.order() == (0, 1, 2, 3)
+        assert lru.victim() == 3
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUTracker(0)

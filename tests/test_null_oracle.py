@@ -1,0 +1,42 @@
+"""Unit tests for the reference filters."""
+
+from repro.core.null import NullFilter, OracleFilter
+
+
+class TestNullFilter:
+    def test_never_filters(self):
+        nf = NullFilter()
+        for block in range(64):
+            assert nf.probe(block)
+        assert nf.counts.filtered == 0
+        assert nf.counts.probes == 64
+
+    def test_zero_storage(self):
+        assert NullFilter().storage_bits() == 0
+
+
+class TestOracleFilter:
+    def test_tracks_exact_contents(self):
+        oracle = OracleFilter()
+        oracle.on_block_allocated(0x10)
+        oracle.on_block_allocated(0x20)
+        assert oracle.probe(0x10)
+        assert oracle.probe(0x20)
+        assert not oracle.probe(0x30)
+
+    def test_eviction(self):
+        oracle = OracleFilter()
+        oracle.on_block_allocated(0x10)
+        oracle.on_block_evicted(0x10)
+        assert not oracle.probe(0x10)
+
+    def test_idempotent_eviction(self):
+        oracle = OracleFilter()
+        oracle.on_block_evicted(0x10)  # must not raise
+        assert not oracle.probe(0x10)
+
+    def test_cached_blocks_view(self):
+        oracle = OracleFilter()
+        oracle.on_block_allocated(1)
+        oracle.on_block_allocated(2)
+        assert oracle.cached_blocks() == frozenset({1, 2})

@@ -1,0 +1,90 @@
+"""Tests for the sizing utility and seed-stability analysis."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.stability import (
+    SeedStatistics,
+    coverage_stability,
+    snoop_miss_stability,
+)
+from repro.core.sizing import smallest_covering_config
+from repro.errors import ConfigurationError
+from repro.traces.workloads import WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def tiny_workload():
+    from tests.test_experiments import tiny_spec
+
+    spec = tiny_spec()
+    WORKLOADS[spec.name] = spec
+    experiments.clear_caches()
+    yield spec
+    del WORKLOADS[spec.name]
+    experiments.clear_caches()
+
+
+class TestSizing:
+    def test_finds_smallest_sufficient_config(self):
+        result = smallest_covering_config(
+            ["test-tiny"], target_coverage=0.2,
+            candidates=["HJ(IJ-10x4x7, EJ-32x4)", "EJ-8x2", "IJ-8x4x7"],
+        )
+        assert result is not None
+        assert result.min_coverage >= 0.2
+        # Whatever wins must not be the huge HJ if a smaller one suffices.
+        bits = {
+            name: experiments.evaluate_filter("test-tiny", name).storage_bits
+            for name in ["HJ(IJ-10x4x7, EJ-32x4)", "EJ-8x2", "IJ-8x4x7"]
+        }
+        cheaper = [n for n, b in bits.items() if b < bits[result.config_name]]
+        for name in cheaper:
+            assert experiments.coverage_for("test-tiny", name) < 0.2
+
+    def test_unreachable_target_returns_none(self):
+        result = smallest_covering_config(
+            ["test-tiny"], target_coverage=1.0, candidates=["EJ-8x2"]
+        )
+        assert result is None
+
+    def test_per_workload_reported(self):
+        result = smallest_covering_config(
+            ["test-tiny"], target_coverage=0.05, candidates=["IJ-8x4x7"]
+        )
+        assert result is not None
+        assert set(result.per_workload) == {"test-tiny"}
+        assert result.mean_coverage == result.min_coverage
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            smallest_covering_config([], 0.5)
+        with pytest.raises(ConfigurationError):
+            smallest_covering_config(["test-tiny"], 0.0)
+
+
+class TestStability:
+    def test_statistics_properties(self):
+        stats = SeedStatistics("x", (0.4, 0.5, 0.6))
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.spread == pytest.approx(0.2)
+        assert stats.stddev == pytest.approx(0.1)
+
+    def test_single_value_stddev_zero(self):
+        assert SeedStatistics("x", (0.7,)).stddev == 0.0
+
+    def test_coverage_stability_runs(self):
+        stats = coverage_stability("test-tiny", "EJ-8x2", seeds=(1, 2))
+        assert len(stats.values) == 2
+        assert all(0.0 <= v <= 1.0 for v in stats.values)
+
+    def test_snoop_miss_stability_runs(self):
+        stats = snoop_miss_stability("test-tiny", seeds=(1, 2))
+        assert len(stats.values) == 2
+        assert stats.spread < 0.5  # wildly unstable would indicate a bug
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coverage_stability("test-tiny", "EJ-8x2", seeds=())
+        with pytest.raises(ConfigurationError):
+            snoop_miss_stability("test-tiny", seeds=())

@@ -1,0 +1,35 @@
+"""Unit tests for MOESI state classification."""
+
+from repro.coherence.states import MOESI
+
+
+class TestMOESI:
+    def test_valid(self):
+        assert not MOESI.I.valid
+        for state in (MOESI.S, MOESI.E, MOESI.O, MOESI.M):
+            assert state.valid
+
+    def test_dirty(self):
+        assert MOESI.M.dirty
+        assert MOESI.O.dirty
+        for state in (MOESI.I, MOESI.S, MOESI.E):
+            assert not state.dirty
+
+    def test_writable(self):
+        assert MOESI.M.writable
+        assert MOESI.E.writable
+        for state in (MOESI.I, MOESI.S, MOESI.O):
+            assert not state.writable
+
+    def test_owner(self):
+        assert MOESI.M.owner
+        assert MOESI.O.owner
+        for state in (MOESI.I, MOESI.S, MOESI.E):
+            assert not state.owner
+
+    def test_owned_is_dirty_but_not_writable(self):
+        # The O-state property MOESI hinges on: dirty yet shared.
+        assert MOESI.O.dirty and not MOESI.O.writable
+
+    def test_distinct_values(self):
+        assert len({state.value for state in MOESI}) == 5

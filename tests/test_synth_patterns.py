@@ -1,0 +1,192 @@
+"""Unit tests for the synthetic sharing-pattern generators."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.synth import (
+    MigratoryPattern,
+    PrivateWorkingSet,
+    ProducerConsumer,
+    SharedReadOnly,
+    StreamingSweep,
+    WorkloadMix,
+)
+from repro.traces.synth.base import geometric_run, skewed_offset
+
+
+def drain(pattern, n, seed=0):
+    rng = random.Random(seed)
+    return [pattern.next_access(rng) for _ in range(n)]
+
+
+class TestBaseHelpers:
+    def test_skewed_offset_range(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= skewed_offset(rng, 100, 2.0) < 100
+
+    def test_skew_concentrates_low(self):
+        rng = random.Random(1)
+        skewed = [skewed_offset(rng, 1000, 4.0) for _ in range(2000)]
+        uniform = [skewed_offset(rng, 1000, 1.0) for _ in range(2000)]
+        assert sum(skewed) < sum(uniform) * 0.5
+
+    def test_geometric_run_mean(self):
+        rng = random.Random(1)
+        runs = [geometric_run(rng, 8) for _ in range(4000)]
+        assert 6.0 < sum(runs) / len(runs) < 10.0
+        assert min(runs) >= 1
+
+
+class TestPrivateWorkingSet:
+    def make(self, **kwargs):
+        defaults = dict(
+            cpus=[0, 1], bases=[0x10000, 0x20000], ws_bytes=4096,
+            write_frac=0.5, run_mean=4, alpha=2.0,
+        )
+        defaults.update(kwargs)
+        return PrivateWorkingSet(**defaults)
+
+    def test_addresses_stay_in_own_region(self):
+        pattern = self.make()
+        for cpu, address, _w in drain(pattern, 500):
+            base = 0x10000 if cpu == 0 else 0x20000
+            assert base <= address < base + 4096 + 64  # run may spill a word
+
+    def test_write_fraction(self):
+        writes = sum(1 for _c, _a, w in drain(self.make(), 4000) if w)
+        assert 0.4 < writes / 4000 < 0.6
+
+    def test_sequential_runs(self):
+        accesses = drain(self.make(run_mean=16), 200)
+        sequential = sum(
+            1
+            for (c1, a1, _), (c2, a2, _) in zip(accesses, accesses[1:])
+            if c1 == c2 and a2 == a1 + 8
+        )
+        assert sequential > 20  # clear spatial locality
+
+    def test_both_cpus_generate(self):
+        cpus = {c for c, _a, _w in drain(self.make(), 300)}
+        assert cpus == {0, 1}
+
+    def test_mismatched_bases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivateWorkingSet([0, 1], [0x1000], ws_bytes=4096)
+
+
+class TestProducerConsumer:
+    def test_phases_alternate(self):
+        pattern = ProducerConsumer([(0, 1)], [0x1000], buffer_bytes=64)
+        accesses = drain(pattern, 40)
+        # 8 words per phase: first 8 producer writes, then 8 consumer reads.
+        assert all(c == 0 and w for c, _a, w in accesses[:8])
+        assert all(c == 1 and not w for c, _a, w in accesses[8:16])
+        assert accesses[16][0] == 0  # back to the producer
+
+    def test_addresses_cover_buffer(self):
+        pattern = ProducerConsumer([(0, 1)], [0x1000], buffer_bytes=64)
+        addresses = {a for _c, a, _w in drain(pattern, 16)}
+        assert addresses == {0x1000 + 8 * i for i in range(8)}
+
+    def test_consumer_rereads(self):
+        pattern = ProducerConsumer(
+            [(0, 1)], [0x1000], buffer_bytes=32, consumer_reads_per_word=2
+        )
+        accesses = drain(pattern, 12)
+        consumer = [a for c, a, _w in accesses if c == 1]
+        assert consumer[0] == consumer[1]  # each word read twice
+
+
+class TestMigratory:
+    def test_objects_rotate_owners(self):
+        pattern = MigratoryPattern([0, 1, 2], base=0x1000, n_objects=1,
+                                   holder_accesses=2)
+        accesses = drain(pattern, 6)
+        owners = [c for c, _a, _w in accesses]
+        assert owners == [0, 0, 1, 1, 2, 2]
+
+    def test_takeover_is_read_update_is_write(self):
+        pattern = MigratoryPattern([0, 1], base=0x1000, n_objects=1,
+                                   holder_accesses=2)
+        accesses = drain(pattern, 4)
+        assert [w for _c, _a, w in accesses] == [False, True, False, True]
+
+    def test_needs_two_cpus(self):
+        with pytest.raises(ConfigurationError):
+            MigratoryPattern([0], base=0)
+
+
+class TestSharedReadOnly:
+    def test_mostly_reads(self):
+        pattern = SharedReadOnly([0, 1, 2, 3], base=0, region_bytes=4096,
+                                 write_frac=0.05)
+        writes = sum(1 for _c, _a, w in drain(pattern, 4000) if w)
+        assert writes / 4000 < 0.1
+
+    def test_all_cpus_share_one_region(self):
+        pattern = SharedReadOnly([0, 1], base=0x8000, region_bytes=1024)
+        for _c, address, _w in drain(pattern, 500):
+            assert 0x8000 <= address < 0x8000 + 1024 + 64
+
+
+class TestStreamingSweep:
+    def test_sequential_sweep_wraps(self):
+        pattern = StreamingSweep([0], [0x1000], partition_bytes=64,
+                                 write_frac=0.0)
+        addresses = [a for _c, a, _w in drain(pattern, 10)]
+        assert addresses[:8] == [0x1000 + 8 * i for i in range(8)]
+        assert addresses[8] == 0x1000  # wrapped
+
+    def test_ghost_reads_trail_neighbour(self):
+        pattern = StreamingSweep(
+            [0, 1], [0x1000, 0x9000], partition_bytes=0x800,
+            write_frac=0.0, remote_frac=1.0, boundary_bytes=64,
+        )
+        rng = random.Random(3)
+        for _ in range(50):
+            cpu, address, is_write = pattern.next_access(rng)
+            assert not is_write
+            neighbour_base = 0x9000 if cpu == 0 else 0x1000
+            assert neighbour_base <= address < neighbour_base + 0x800
+
+
+class TestWorkloadMix:
+    def test_weights_respected(self):
+        a = StreamingSweep([0], [0x1000], partition_bytes=1024, write_frac=0.0)
+        b = StreamingSweep([1], [0x2000], partition_bytes=1024, write_frac=0.0)
+        mix = WorkloadMix([(a, 0.9), (b, 0.1)])
+        cpus = [c for c, _a, _w in mix.generate(2000, seed=7)]
+        share = cpus.count(0) / len(cpus)
+        assert 0.85 < share < 0.95
+
+    def test_deterministic_given_seed(self):
+        def build():
+            p = StreamingSweep([0], [0x1000], partition_bytes=512)
+            return WorkloadMix([(p, 1.0)])
+
+        assert list(build().generate(100, seed=5)) == list(
+            build().generate(100, seed=5)
+        )
+
+    def test_repeat_frac_duplicates_previous(self):
+        p = StreamingSweep([0], [0x1000], partition_bytes=4096, write_frac=0.0)
+        mix = WorkloadMix([(p, 1.0)], repeat_frac=0.5)
+        accesses = list(mix.generate(1000, seed=9))
+        repeats = sum(
+            1
+            for (c1, a1, _), (c2, a2, _) in zip(accesses, accesses[1:])
+            if c1 == c2 and a1 == a2
+        )
+        assert repeats > 300
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix([])
+
+    def test_bad_repeat_frac_rejected(self):
+        p = StreamingSweep([0], [0x1000], partition_bytes=512)
+        with pytest.raises(ConfigurationError):
+            WorkloadMix([(p, 1.0)], repeat_frac=1.0)

@@ -1,0 +1,54 @@
+"""Unit tests for text-table rendering."""
+
+import pytest
+
+from repro.utils.text import format_percent, render_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.742) == "74.2%"
+
+    def test_digits(self):
+        assert format_percent(0.335, digits=0) == "34%"
+
+    def test_zero_and_one(self):
+        assert format_percent(0.0) == "0.0%"
+        assert format_percent(1.0) == "100.0%"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["name", "value"], [["a", "1"], ["bb", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["n"], [["5"], ["500"]])
+        rows = text.splitlines()[2:]
+        assert rows[0] == "  5"
+        assert rows[1] == "500"
+
+    def test_text_left_alignment(self):
+        text = render_table(["s"], [["abc"], ["x"]])
+        rows = text.splitlines()[2:]
+        assert rows[1].startswith("x")
+
+    def test_percent_cells_count_as_numeric(self):
+        text = render_table(["p"], [["5%"], ["50%"]])
+        rows = text.splitlines()[2:]
+        assert rows[0] == " 5%"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text

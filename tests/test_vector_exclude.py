@@ -1,0 +1,74 @@
+"""Unit tests for the vector-exclude-JETTY."""
+
+import pytest
+
+from repro.core.vector_exclude import VectorExcludeJetty
+from repro.errors import ConfigurationError
+
+
+class TestVectorExcludeJetty:
+    def test_empty_passes(self):
+        vej = VectorExcludeJetty(sets=8, ways=2, vector_bits=4)
+        assert vej.probe(0x100)
+
+    def test_vector_covers_neighbouring_blocks(self):
+        """One entry filters several consecutive blocks (spatial reuse)."""
+        vej = VectorExcludeJetty(sets=8, ways=2, vector_bits=4)
+        base = 0x100  # chunk-aligned (0x100 % 4 == 0)
+        for offset in range(4):
+            vej.on_snoop_outcome(base + offset, present=False)
+        for offset in range(4):
+            assert not vej.probe(base + offset)
+        assert vej.asserted_bits() == 4
+        # All four blocks share one entry.
+        assert sum(
+            1 for entries in vej._entries for e in entries if e is not None
+        ) == 1
+
+    def test_partial_vector(self):
+        vej = VectorExcludeJetty(sets=8, ways=2, vector_bits=4)
+        vej.on_snoop_outcome(0x101, present=False)
+        assert not vej.probe(0x101)
+        assert vej.probe(0x100)  # same chunk, bit not set
+        assert vej.probe(0x102)
+
+    def test_allocation_clears_only_its_bit(self):
+        vej = VectorExcludeJetty(sets=8, ways=2, vector_bits=4)
+        vej.on_snoop_outcome(0x100, present=False)
+        vej.on_snoop_outcome(0x101, present=False)
+        vej.on_block_allocated(0x100)
+        assert vej.probe(0x100)       # safety: no longer filtered
+        assert not vej.probe(0x101)   # neighbour still filtered
+
+    def test_entry_freed_when_vector_empties(self):
+        vej = VectorExcludeJetty(sets=8, ways=1, vector_bits=4)
+        vej.on_snoop_outcome(0x100, present=False)
+        vej.on_block_allocated(0x100)
+        assert all(e is None for entries in vej._entries for e in entries)
+
+    def test_snoop_hit_not_recorded(self):
+        vej = VectorExcludeJetty(sets=8, ways=2, vector_bits=4)
+        vej.on_snoop_outcome(0x100, present=True)
+        assert vej.asserted_bits() == 0
+
+    def test_chunk_conflict_eviction(self):
+        vej = VectorExcludeJetty(sets=1, ways=1, vector_bits=4)
+        vej.on_snoop_outcome(0x100, present=False)
+        vej.on_snoop_outcome(0x200, present=False)  # different chunk, same set
+        assert vej.probe(0x100)
+        assert not vej.probe(0x200)
+
+    def test_storage_smaller_than_equivalent_ej(self):
+        """A VEJ trades tag bits for vector bits (paper Fig. 3a)."""
+        from repro.core.exclude import ExcludeJetty
+
+        vej = VectorExcludeJetty(sets=32, ways=4, vector_bits=8, tag_bits=30)
+        ej_covering_same_blocks = ExcludeJetty(sets=32, ways=4 * 8, tag_bits=30)
+        assert vej.storage_bits() < ej_covering_same_blocks.storage_bits()
+
+    def test_non_power_of_two_vector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorExcludeJetty(sets=8, ways=2, vector_bits=3)
+
+    def test_name(self):
+        assert VectorExcludeJetty(32, 4, 8).name == "VEJ-32x4-8"

@@ -1,0 +1,102 @@
+"""Unit tests for the named workload specifications."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces.workloads import (
+    WORKLOADS,
+    build_workload_stream,
+    get_workload,
+    simulate_workload_accesses,
+)
+
+
+class TestWorkloadCatalogue:
+    def test_ten_workloads(self):
+        assert len(WORKLOADS) == 10
+        assert set(WORKLOADS) == {
+            "barnes", "cholesky", "em3d", "fft", "fmm",
+            "lu", "ocean", "radix", "raytrace", "unstructured",
+        }
+
+    def test_unique_abbreviations(self):
+        abbrevs = [spec.abbrev for spec in WORKLOADS.values()]
+        assert len(set(abbrevs)) == len(abbrevs)
+
+    def test_paper_references_complete(self):
+        for spec in WORKLOADS.values():
+            paper = spec.paper
+            assert 0 < paper.l1_hit_rate <= 1
+            assert 0 < paper.l2_hit_rate <= 1
+            assert abs(sum(paper.remote_hits) - 1.0) < 0.02
+            assert 0 < paper.snoop_miss_of_snoops <= 1
+
+    def test_lookup_by_name_and_abbrev(self):
+        assert get_workload("barnes").name == "barnes"
+        assert get_workload("ba").name == "barnes"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nosuch")
+
+    def test_memory_bytes_positive_and_scales(self):
+        for spec in WORKLOADS.values():
+            assert spec.memory_bytes(4) > 0
+            assert spec.memory_bytes(8) > spec.memory_bytes(4)
+
+
+class TestStreamGeneration:
+    def test_stream_length(self):
+        spec = get_workload("lu")
+        stream = list(build_workload_stream(spec, n_accesses=500, seed=3))
+        assert len(stream) == 500
+
+    def test_deterministic(self):
+        a = list(build_workload_stream("fft", n_accesses=300, seed=3))
+        b = list(build_workload_stream("fft", n_accesses=300, seed=3))
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = list(build_workload_stream("fft", n_accesses=300, seed=3))
+        b = list(build_workload_stream("fft", n_accesses=300, seed=4))
+        assert a != b
+
+    def test_workloads_decorrelated_at_same_seed(self):
+        a = [x[1] for x in build_workload_stream("fft", n_accesses=200, seed=3)]
+        b = [x[1] for x in build_workload_stream("lu", n_accesses=200, seed=3)]
+        assert a != b
+
+    def test_all_cpus_present(self):
+        stream = list(build_workload_stream("ocean", n_accesses=2000, seed=1))
+        assert {c for c, _a, _w in stream} == {0, 1, 2, 3}
+
+    def test_eight_way_build(self):
+        stream = list(
+            build_workload_stream("barnes", n_cpus=8, n_accesses=2000, seed=1)
+        )
+        assert {c for c, _a, _w in stream} == set(range(8))
+
+    def test_include_warmup_extends_stream(self):
+        spec = get_workload("radix")
+        base = list(build_workload_stream(spec, n_accesses=100, seed=1))
+        with_warm = list(
+            build_workload_stream(
+                spec, n_accesses=100, seed=1, include_warmup=True
+            )
+        )
+        assert len(with_warm) == 100 + spec.warmup_accesses
+        del base
+
+    def test_simulate_workload_accesses_shape(self):
+        stream, warmup = simulate_workload_accesses("lu", seed=1)
+        spec = get_workload("lu")
+        assert warmup == spec.warmup_accesses
+        first = next(iter(stream))
+        assert len(first) == 3
+
+    def test_raytrace_scene_reads_are_read_only(self):
+        """The rt scene partitions must never be written (Table 3: rt
+        snoops find zero remote copies because nothing is shared)."""
+        stream = list(build_workload_stream("raytrace", n_accesses=5000, seed=1))
+        writes = sum(1 for _c, _a, w in stream if w)
+        assert writes / len(stream) < 0.1  # only the tiny frame buffer

@@ -1,0 +1,78 @@
+"""Unit tests for the write-back buffer."""
+
+import pytest
+
+from repro.coherence.states import MOESI
+from repro.coherence.writebuffer import WriteBuffer
+from repro.errors import ConfigurationError
+
+
+class TestWriteBuffer:
+    def test_push_and_probe(self):
+        wb = WriteBuffer(2)
+        wb.push(0x10, ((0, MOESI.M),))
+        entry = wb.probe(0x10)
+        assert entry is not None
+        assert entry.dirty_subblocks == ((0, MOESI.M),)
+
+    def test_probe_missing(self):
+        wb = WriteBuffer(2)
+        assert wb.probe(0x10) is None
+
+    def test_fifo_drain_order(self):
+        wb = WriteBuffer(2)
+        wb.push(0x10, ((0, MOESI.M),))
+        wb.push(0x20, ((1, MOESI.O),))
+        assert wb.drain_oldest().block == 0x10
+        assert wb.drain_oldest().block == 0x20
+
+    def test_overflow_rejected(self):
+        wb = WriteBuffer(1)
+        wb.push(0x10, ((0, MOESI.M),))
+        with pytest.raises(ConfigurationError):
+            wb.push(0x20, ((0, MOESI.M),))
+
+    def test_remove(self):
+        wb = WriteBuffer(2)
+        wb.push(0x10, ((0, MOESI.M),))
+        entry = wb.remove(0x10)
+        assert entry is not None
+        assert wb.probe(0x10) is None
+        assert wb.remove(0x10) is None
+
+    def test_repush_merges_states(self):
+        wb = WriteBuffer(2)
+        wb.push(0x10, ((0, MOESI.O),))
+        wb.push(0x10, ((1, MOESI.M),))
+        entry = wb.probe(0x10)
+        assert dict(entry.dirty_subblocks) == {0: MOESI.O, 1: MOESI.M}
+        assert len(wb) == 1
+
+    def test_repush_newer_state_wins(self):
+        wb = WriteBuffer(2)
+        wb.push(0x10, ((0, MOESI.O),))
+        wb.push(0x10, ((0, MOESI.M),))
+        assert dict(wb.probe(0x10).dirty_subblocks)[0] is MOESI.M
+
+    def test_drain_all(self):
+        wb = WriteBuffer(4)
+        wb.push(0x10, ((0, MOESI.M),))
+        wb.push(0x20, ((0, MOESI.M),))
+        drained = wb.drain_all()
+        assert [e.block for e in drained] == [0x10, 0x20]
+        assert len(wb) == 0
+
+    def test_drain_empty_rejected(self):
+        wb = WriteBuffer(1)
+        with pytest.raises(ConfigurationError):
+            wb.drain_oldest()
+
+    def test_full_flag(self):
+        wb = WriteBuffer(1)
+        assert not wb.full
+        wb.push(0x10, ((0, MOESI.M),))
+        assert wb.full
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(0)
