@@ -6,7 +6,7 @@ function" could replace them.  We compare the paper's IJ-10x4x7 against
 counting-Bloom variants with the *same total p-bit budget* (4096 bits).
 """
 
-from benchmarks._shared import once, save_exhibit
+from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.experiments import coverage_for
 from repro.utils.text import format_percent
 
@@ -15,6 +15,8 @@ CONFIGS = ("IJ-10x4x7", "HIJ-12x2", "HIJ-12x4", "HIJ-12x6")
 
 
 def bench_hashed_include(benchmark):
+    prewarm(WORKLOADS, CONFIGS)  # batched grid, parallel workers
+
     def compute():
         means = {}
         for name in CONFIGS:

@@ -6,7 +6,7 @@ S=10 gives disjoint fields, smaller S gives increasing overlap — and an
 additional load-matched small variant, reporting mean coverage.
 """
 
-from benchmarks._shared import once, save_exhibit
+from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.experiments import coverage_for
 from repro.utils.text import format_percent
 
@@ -15,6 +15,8 @@ SKIPS = (10, 7, 5, 3)
 
 
 def bench_index_overlap(benchmark):
+    prewarm(ABLATION_WORKLOADS, tuple(f"IJ-10x4x{skip}" for skip in SKIPS))
+
     def compute():
         means = {}
         for skip in SKIPS:

@@ -6,7 +6,7 @@ drops from 76% to 68% — part of the EJ's filtering opportunity comes from
 subblock-granularity misses within one block.
 """
 
-from benchmarks._shared import once, save_exhibit
+from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.experiments import coverage_for, run_workload
 from repro.coherence.config import SCALED_SYSTEM
 from repro.utils.text import format_percent
@@ -16,6 +16,10 @@ BEST_HJ = "HJ(IJ-10x4x7, EJ-32x4)"
 
 
 def bench_subblocking_ablation(benchmark):
+    # One batched job list per system variant (SB and NSB sims differ).
+    for variant in (SCALED_SYSTEM, SCALED_SYSTEM.without_subblocking()):
+        prewarm(ABLATION_WORKLOADS, ("EJ-32x4", BEST_HJ), system=variant)
+
     def compute():
         nsb = SCALED_SYSTEM.without_subblocking()
         rows = []

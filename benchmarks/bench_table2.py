@@ -1,6 +1,6 @@
 """Table 2: workload characteristics (hit rates, snoop volume)."""
 
-from benchmarks._shared import once, save_exhibit
+from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.report import render_table_rows
 from repro.analysis.tables import build_table2
 from repro.analysis.experiments import run_workload
@@ -8,6 +8,7 @@ from repro.traces.workloads import WORKLOADS
 
 
 def bench_table2(benchmark):
+    prewarm(WORKLOADS)  # one batched parallel pass over all ten sims
     headers, rows = once(benchmark, build_table2)
     text = render_table_rows(
         headers, rows, title="Table 2: applications (measured vs paper)"

@@ -13,8 +13,11 @@ per-experiment index in DESIGN.md):
 * Figure 6 — :func:`repro.analysis.figures.build_figure6`
 * §4.3.4 8-way summary — :func:`repro.analysis.experiments.summarize_nway`
 
-Simulation results are cached per (workload, system, seed) so that the
-benches and examples can share runs.
+Simulation results live in a persistent :class:`ExperimentStore` keyed by
+a complete configuration fingerprint (workload spec, system geometry,
+seed), so benches, examples, and repeated CLI invocations share runs; the
+:mod:`repro.analysis.runner` engine fans batched job lists out over
+worker processes with bitwise-deterministic results.
 """
 
 from repro.analysis.analytical import (
@@ -26,9 +29,18 @@ from repro.analysis.experiments import (
     coverage_for,
     energy_reduction_for,
     evaluate_filter,
+    get_store,
     run_workload,
+    set_store,
     summarize_nway,
 )
+from repro.analysis.runner import (
+    EvalJob,
+    SimJob,
+    execute,
+    run_sweep,
+)
+from repro.analysis.store import ExperimentStore
 from repro.analysis.figures import (
     build_figure2,
     build_figure4a,
@@ -47,6 +59,9 @@ from repro.analysis.tables import (
 
 __all__ = [
     "AnalyticalEnergyModel",
+    "EvalJob",
+    "ExperimentStore",
+    "SimJob",
     "SnoopEnergyInputs",
     "build_figure2",
     "build_figure4a",
@@ -61,9 +76,13 @@ __all__ = [
     "coverage_for",
     "energy_reduction_for",
     "evaluate_filter",
+    "execute",
+    "get_store",
     "render_figure",
     "render_table_rows",
+    "run_sweep",
     "run_workload",
+    "set_store",
     "snoop_miss_energy_fraction",
     "summarize_nway",
 ]

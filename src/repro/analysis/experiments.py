@@ -1,42 +1,57 @@
-"""Experiment orchestration: cached simulations and filter evaluations.
+"""Experiment orchestration: store-backed simulations and evaluations.
 
 The coherence simulation of one workload is the expensive step; every
-filter configuration replays its recorded event streams.  This module
-caches both levels per process so the full bench suite reuses runs.
+filter configuration replays its recorded event streams.  Both levels of
+result are kept in an :class:`~repro.analysis.store.ExperimentStore`
+keyed by a complete configuration fingerprint (workload spec, full system
+geometry, seed).  By default the store is in-memory — the behaviour the
+bench suite always had — but pointing it at a file (``set_store(path)``
+or the ``REPRO_STORE`` environment variable) makes every result durable
+across invocations.  Batched/parallel execution lives in
+:mod:`repro.analysis.runner`; the functions here are the convenient
+one-at-a-time front door that shares the same store.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.analysis import runner, store as store_mod
+from repro.analysis.store import ExperimentStore
 from repro.coherence.config import SCALED_SYSTEM, SystemConfig
 from repro.coherence.metrics import SimResult
-from repro.coherence.smp import simulate
-from repro.core.config import build_filter
-from repro.core.stats import FilterEvaluation, merge_evaluations, replay_events
+from repro.core.stats import FilterEvaluation
 from repro.energy.accounting import EnergyAccountant, EnergyReduction
-from repro.traces.workloads import (
-    WORKLOADS,
-    get_workload,
-    simulate_workload_accesses,
-)
+from repro.traces.workloads import WORKLOADS, get_workload
 
-_SIM_CACHE: dict[tuple, SimResult] = {}
-_EVAL_CACHE: dict[tuple, FilterEvaluation] = {}
+_STORE: ExperimentStore | None = None
 _ACCOUNTANTS: dict[int, EnergyAccountant] = {}
 
 
-def _system_key(system: SystemConfig) -> tuple:
-    return (
-        system.n_cpus,
-        system.l1.capacity_bytes,
-        system.l2.capacity_bytes,
-        system.l2.block_bytes,
-        system.l2.subblock_bytes,
-        system.l2.ways,
-        system.wb_entries,
-        system.address_bits,
-    )
+def get_store() -> ExperimentStore:
+    """The process-wide experiment store.
+
+    Defaults to an in-memory store; set the ``REPRO_STORE`` environment
+    variable (or call :func:`set_store`) to persist results on disk.
+    """
+    global _STORE
+    if _STORE is None:
+        _STORE = ExperimentStore(os.environ.get("REPRO_STORE") or None)
+    return _STORE
+
+
+def set_store(target: ExperimentStore | str | Path | None) -> ExperimentStore:
+    """Replace the process-wide store (a path opens/creates a SQLite file)."""
+    global _STORE
+    if _STORE is not None:
+        _STORE.close()
+    if target is None or isinstance(target, (str, Path)):
+        _STORE = ExperimentStore(target)
+    else:
+        _STORE = target
+    return _STORE
 
 
 def run_workload(
@@ -44,15 +59,15 @@ def run_workload(
     system: SystemConfig = SCALED_SYSTEM,
     seed: int = 1,
 ) -> SimResult:
-    """Simulate one named workload (cached per process)."""
+    """Simulate one named workload (store-backed; warm hits are free)."""
     spec = get_workload(name)
-    key = (spec.name, _system_key(system), seed)
-    if key not in _SIM_CACHE:
-        stream, warmup = simulate_workload_accesses(
-            spec, n_cpus=system.n_cpus, seed=seed
-        )
-        _SIM_CACHE[key] = simulate(system, stream, spec.name, warmup=warmup)
-    return _SIM_CACHE[key]
+    store = get_store()
+    key = store_mod.sim_key(spec, system, seed)
+    result = store.get_sim(key)
+    if result is None:
+        result = runner.compute_sim(spec, system, seed)
+        store.put_sim(key, result, seed=seed)
+    return result
 
 
 def evaluate_filter(
@@ -61,24 +76,23 @@ def evaluate_filter(
     system: SystemConfig = SCALED_SYSTEM,
     seed: int = 1,
 ) -> FilterEvaluation:
-    """Replay one filter over one workload's event streams (cached).
+    """Replay one filter over one workload's event streams (store-backed).
 
     Each node gets its own freshly built filter; the returned evaluation
     is the system-wide merge, as the paper reports.
     """
-    key = (workload, filter_name, _system_key(system), seed)
-    if key not in _EVAL_CACHE:
+    spec = get_workload(workload)
+    store = get_store()
+    key = store_mod.eval_key(spec, filter_name, system, seed)
+    evaluation = store.get_eval(key)
+    if evaluation is None:
         result = run_workload(workload, system, seed)
-        evaluations = []
-        for stream in result.event_streams:
-            snoop_filter = build_filter(
-                filter_name,
-                counter_bits=system.ij_counter_bits,
-                addr_bits=system.block_address_bits,
-            )
-            evaluations.append(replay_events(snoop_filter, stream))
-        _EVAL_CACHE[key] = merge_evaluations(evaluations)
-    return _EVAL_CACHE[key]
+        evaluation = runner.compute_eval(result, filter_name, system)
+        store.put_eval(
+            key, evaluation,
+            workload=spec.name, n_cpus=system.n_cpus, seed=seed,
+        )
+    return evaluation
 
 
 def coverage_for(
@@ -147,6 +161,5 @@ def summarize_nway(
 
 
 def clear_caches() -> None:
-    """Drop cached simulations and evaluations (tests use this)."""
-    _SIM_CACHE.clear()
-    _EVAL_CACHE.clear()
+    """Drop every stored simulation and evaluation (tests use this)."""
+    get_store().clear()

@@ -108,18 +108,21 @@ def build_figure4a(
     )
 
 
+#: Figure 4(b)'s series: the paper's VEJs next to their base EJs.
+FIGURE4B_NAMES = (
+    "VEJ-32x4-8", "VEJ-32x4-4", "EJ-32x4",
+    "VEJ-16x4-8", "VEJ-16x4-4", "EJ-16x4",
+)
+
+
 def build_figure4b(
     system: SystemConfig = SCALED_SYSTEM, seed: int = 1
 ) -> FigureData:
     """Figure 4(b): vector-exclude-JETTY coverage vs the base EJs."""
-    names = (
-        "VEJ-32x4-8", "VEJ-32x4-4", "EJ-32x4",
-        "VEJ-16x4-8", "VEJ-16x4-4", "EJ-16x4",
-    )
-    assert set(PAPER_VEJ_NAMES) <= set(names)
+    assert set(PAPER_VEJ_NAMES) <= set(FIGURE4B_NAMES)
     return _coverage_figure(
         "figure4b", "Vector-Exclude-JETTY snoop-miss coverage",
-        names, system, seed,
+        FIGURE4B_NAMES, system, seed,
     )
 
 

@@ -1,0 +1,316 @@
+"""Parallel experiment engine: fan simulation jobs out over processes.
+
+The engine takes batched job lists — :class:`SimJob` (simulate one
+workload on one system with one seed) and :class:`EvalJob` (replay one
+filter over that simulation's event streams) — deduplicates them against
+an :class:`~repro.analysis.store.ExperimentStore`, and runs the misses
+either inline (``workers <= 1``) or on a ``multiprocessing`` pool.
+
+Determinism contract: a job is a pure function of its inputs.  Every
+worker derives its random stream from the job's explicit seed (see
+:func:`repro.traces.workloads.build_workload_stream`), so a parallel run
+produces *bitwise identical* store payloads to a serial run of the same
+jobs — the determinism tests diff the two stores byte for byte.
+
+Execution is two-phase: first every missing simulation runs (these are
+the expensive, minutes-scale jobs), then every missing filter replay runs
+with its simulation's compressed payload shipped to the worker.  Jobs are
+sorted by store key before submission so insertion order — and therefore
+the store file — is independent of the caller's iteration order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.analysis import store as store_mod
+from repro.analysis.store import ExperimentStore
+from repro.coherence.config import SCALED_SYSTEM, SystemConfig
+from repro.coherence.metrics import SimResult
+from repro.coherence.smp import simulate
+from repro.core.config import build_filter
+from repro.core.stats import FilterEvaluation, merge_evaluations, replay_events
+from repro.traces.workloads import (
+    WorkloadSpec,
+    get_workload,
+    simulate_workload_accesses,
+)
+
+#: A representative sweep when the CLI is given no ``--filters``: the best
+#: member of each family plus the paper's headline hybrid.
+DEFAULT_SWEEP_FILTERS = (
+    "EJ-32x4",
+    "VEJ-32x4-8",
+    "IJ-10x4x7",
+    "HJ(IJ-10x4x7, EJ-32x4)",
+)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """Simulate one workload; the expensive half of every experiment."""
+
+    workload: str
+    system: SystemConfig = SCALED_SYSTEM
+    seed: int = 1
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """Replay one filter over one simulation's recorded event streams."""
+
+    workload: str
+    filter_name: str
+    system: SystemConfig = SCALED_SYSTEM
+    seed: int = 1
+
+    @property
+    def sim_job(self) -> SimJob:
+        return SimJob(self.workload, self.system, self.seed)
+
+
+# ----------------------------------------------------------------------
+# Pure compute kernels (shared by the serial path and pool workers)
+# ----------------------------------------------------------------------
+
+def compute_sim(spec: WorkloadSpec, system: SystemConfig, seed: int) -> SimResult:
+    """Simulate one workload from scratch — deterministic in its inputs."""
+    stream, warmup = simulate_workload_accesses(
+        spec, n_cpus=system.n_cpus, seed=seed
+    )
+    return simulate(system, stream, spec.name, warmup=warmup)
+
+
+def compute_eval(
+    sim: SimResult, filter_name: str, system: SystemConfig
+) -> FilterEvaluation:
+    """Replay one filter config over every node's stream and merge."""
+    evaluations = []
+    for stream in sim.event_streams:
+        snoop_filter = build_filter(
+            filter_name,
+            counter_bits=system.ij_counter_bits,
+            addr_bits=system.block_address_bits,
+        )
+        evaluations.append(replay_events(snoop_filter, stream))
+    return merge_evaluations(evaluations)
+
+
+def _sim_task(task: tuple[str, WorkloadSpec, SystemConfig, int]) -> tuple[str, bytes]:
+    """Worker entry: run one simulation, return its canonical payload."""
+    key, spec, system, seed = task
+    return key, store_mod.encode_sim(compute_sim(spec, system, seed))
+
+
+def _eval_group_task(
+    task: tuple[bytes, SystemConfig, list[tuple[str, str]]]
+) -> list[tuple[str, bytes]]:
+    """Worker entry: decode one shipped simulation, replay several filters.
+
+    Grouping all of a simulation's filter replays into one task means the
+    compressed payload crosses the process boundary (and is decoded)
+    exactly once per simulation, not once per filter.
+    """
+    sim_blob, system, pairs = task
+    sim = store_mod.decode_sim(sim_blob)
+    return [
+        (key, store_mod.encode_eval(compute_eval(sim, filter_name, system)))
+        for key, filter_name in pairs
+    ]
+
+
+def _map_tasks(worker, tasks, workers: int):
+    """Run ``worker`` over ``tasks``, inline or on a process pool.
+
+    Results come back in task order either way, so the parent inserts
+    them into the store in a deterministic sequence.
+    """
+    if workers <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    n_procs = min(workers, len(tasks))
+    with multiprocessing.Pool(processes=n_procs) as pool:
+        return pool.map(worker, tasks, chunksize=1)
+
+
+# ----------------------------------------------------------------------
+# Batched execution
+# ----------------------------------------------------------------------
+
+@dataclass
+class ExecutionReport:
+    """What one batched run actually did (cache hits vs fresh work)."""
+
+    sims_run: int = 0
+    sims_cached: int = 0
+    evals_run: int = 0
+    evals_cached: int = 0
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"sims: {self.sims_run} run / {self.sims_cached} cached; "
+            f"evals: {self.evals_run} run / {self.evals_cached} cached; "
+            f"workers: {self.workers}; "
+            f"wall time {self.elapsed_seconds:.2f}s"
+        )
+
+
+def _spec_for(job: SimJob | EvalJob, specs: dict[str, WorkloadSpec]) -> WorkloadSpec:
+    spec = specs.get(job.workload)
+    if spec is None:
+        spec = get_workload(job.workload)
+        specs[job.workload] = spec
+    return spec
+
+
+def execute(
+    sim_jobs: list[SimJob] | tuple[SimJob, ...] = (),
+    eval_jobs: list[EvalJob] | tuple[EvalJob, ...] = (),
+    *,
+    experiment_store: ExperimentStore,
+    workers: int = 1,
+    specs: dict[str, WorkloadSpec] | None = None,
+) -> ExecutionReport:
+    """Run every job not already in the store; return what happened.
+
+    ``specs`` optionally maps workload names to explicit
+    :class:`WorkloadSpec` objects (the sweep CLI uses this for reduced
+    access counts); unlisted names resolve through the registry.
+    """
+    started = time.perf_counter()
+    report = ExecutionReport(workers=max(1, workers))
+    specs = specs if specs is not None else {}
+
+    # Phase 1 — every simulation any job needs, deduplicated by key.
+    needed_sims: dict[str, SimJob] = {}
+    for job in list(sim_jobs) + [ej.sim_job for ej in eval_jobs]:
+        key = store_mod.sim_key(_spec_for(job, specs), job.system, job.seed)
+        needed_sims.setdefault(key, job)
+
+    sim_tasks = []
+    for key in sorted(needed_sims):
+        job = needed_sims[key]
+        if experiment_store.contains(key):
+            report.sims_cached += 1
+        else:
+            sim_tasks.append((key, specs[job.workload], job.system, job.seed))
+    for key, blob in _map_tasks(_sim_task, sim_tasks, workers):
+        job = needed_sims[key]
+        experiment_store.put_sim_blob(
+            key, blob, workload=specs[job.workload].name,
+            n_cpus=job.system.n_cpus, seed=job.seed,
+        )
+        report.sims_run += 1
+
+    # Phase 2 — filter replays, grouped per simulation so each compressed
+    # payload is shipped to and decoded by a worker exactly once.
+    needed_evals: dict[str, EvalJob] = {}
+    for job in eval_jobs:
+        key = store_mod.eval_key(
+            _spec_for(job, specs), job.filter_name, job.system, job.seed
+        )
+        needed_evals.setdefault(key, job)
+
+    groups: dict[str, list[tuple[str, str]]] = {}
+    for key in sorted(needed_evals):
+        job = needed_evals[key]
+        if experiment_store.contains(key):
+            report.evals_cached += 1
+            continue
+        skey = store_mod.sim_key(specs[job.workload], job.system, job.seed)
+        groups.setdefault(skey, []).append((key, job.filter_name))
+
+    eval_tasks = []
+    for skey in sorted(groups):
+        pairs = groups[skey]
+        sim_blob = experiment_store.get_blob(skey)
+        if sim_blob is None:  # pragma: no cover - phase 1 guarantees it
+            raise RuntimeError(f"simulation missing for eval keys {pairs}")
+        system = needed_evals[pairs[0][0]].system
+        eval_tasks.append((sim_blob, system, pairs))
+    for results in _map_tasks(_eval_group_task, eval_tasks, workers):
+        for key, blob in results:
+            job = needed_evals[key]
+            experiment_store.put_eval_blob(
+                key, blob, workload=specs[job.workload].name,
+                filter_name=job.filter_name,
+                n_cpus=job.system.n_cpus, seed=job.seed,
+            )
+            report.evals_run += 1
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepResult:
+    """One sweep's evaluations plus the execution report behind them."""
+
+    report: ExecutionReport
+    #: ``(workload, filter_name, seed) -> FilterEvaluation``.
+    evaluations: dict[tuple[str, str, int], FilterEvaluation] = field(
+        default_factory=dict
+    )
+
+    def coverage(self, workload: str, filter_name: str, seed: int = 1) -> float:
+        return self.evaluations[(workload, filter_name, seed)].coverage.coverage
+
+
+def run_sweep(
+    workloads,
+    filters,
+    *,
+    system: SystemConfig = SCALED_SYSTEM,
+    seeds=(1,),
+    workers: int = 1,
+    experiment_store: ExperimentStore | None = None,
+    accesses: int | None = None,
+    warmup: int | None = None,
+) -> SweepResult:
+    """Run a full workload x filter x seed sweep through the store.
+
+    ``accesses``/``warmup`` shrink every workload spec (smoke runs); the
+    override participates in the store key, so reduced runs never collide
+    with full-size ones.
+    """
+    if experiment_store is None:
+        from repro.analysis import experiments
+
+        experiment_store = experiments.get_store()
+
+    specs: dict[str, WorkloadSpec] = {}
+    for name in workloads:
+        spec = get_workload(name)
+        if accesses is not None:
+            spec = replace(spec, n_accesses=accesses)
+        if warmup is not None:
+            spec = replace(spec, warmup_accesses=warmup)
+        specs[name] = spec
+
+    eval_jobs = [
+        EvalJob(workload, filter_name, system, seed)
+        for workload in workloads
+        for filter_name in filters
+        for seed in seeds
+    ]
+    report = execute(
+        (), eval_jobs,
+        experiment_store=experiment_store, workers=workers, specs=specs,
+    )
+
+    result = SweepResult(report=report)
+    for job in eval_jobs:
+        key = store_mod.eval_key(
+            specs[job.workload], job.filter_name, job.system, job.seed
+        )
+        evaluation = experiment_store.get_eval(key)
+        assert evaluation is not None
+        result.evaluations[(job.workload, job.filter_name, job.seed)] = evaluation
+    return result

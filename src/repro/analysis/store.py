@@ -1,0 +1,479 @@
+"""Persistent experiment store: config fingerprints and result payloads.
+
+Simulating a workload is the expensive step of every exhibit; replaying a
+filter over its recorded event streams is cheap but still worth keeping.
+This module gives both levels a durable home: an :class:`ExperimentStore`
+maps a *complete* configuration fingerprint — workload spec, full system
+geometry (both cache levels, associativity, block and subblock sizes),
+and seed — to a canonical, compressed JSON payload of the result.
+
+Keys are content hashes over canonical JSON, so two configurations that
+differ in any field (including L1 associativity, which the old in-process
+cache key famously omitted) can never collide, and payload bytes are
+deterministic: the same simulation serialises to the same bytes whether it
+ran serially or inside a worker process.
+
+Invalidation rules:
+
+* the fingerprint embeds :data:`SCHEMA_VERSION`; bumping it (for any
+  change to simulator semantics, event encoding, or serialisation layout)
+  orphans every old row rather than silently reusing stale results;
+* opening a store whose on-disk schema version differs drops and
+  recreates the tables;
+* ``repro cache clear`` (or :meth:`ExperimentStore.clear`) empties the
+  store explicitly — entries are never aged out by time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.coherence.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.coherence.metrics import BusStats, NodeStats, SimResult
+from repro.core.base import FilterEventCounts
+from repro.core.stats import CoverageStats, FilterEvaluation, NodeEventStream
+from repro.traces.workloads import WorkloadSpec
+
+#: Bump whenever simulator semantics, the event encoding, or the payload
+#: layout change: every existing row becomes unreachable (stale results
+#: must never be revived under a new meaning).
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def system_fingerprint(system: SystemConfig) -> dict:
+    """The *complete* system geometry as a canonical nested dict.
+
+    Built from ``dataclasses.asdict`` so every field of both cache levels
+    (capacity, block, subblock, ways) and the system (CPU count, write
+    buffer, address and state bits) participates — adding a field to the
+    config automatically extends the fingerprint.
+    """
+    return asdict(system)
+
+
+def spec_fingerprint(spec: WorkloadSpec) -> dict:
+    """Everything about a workload spec that influences its access stream."""
+    return {
+        "name": spec.name,
+        "n_accesses": spec.n_accesses,
+        "warmup_accesses": spec.warmup_accesses,
+        "repeat_frac": spec.repeat_frac,
+        "recipe": [[kind, params] for kind, params in spec.recipe],
+    }
+
+
+def _canonical(obj) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(_canonical(obj)).hexdigest()
+
+
+def sim_key(spec: WorkloadSpec, system: SystemConfig, seed: int) -> str:
+    """Store key of one simulation run (workload x system x seed)."""
+    return _digest({
+        "kind": "sim",
+        "schema": SCHEMA_VERSION,
+        "spec": spec_fingerprint(spec),
+        "system": system_fingerprint(system),
+        "seed": seed,
+    })
+
+
+def eval_key(
+    spec: WorkloadSpec, filter_name: str, system: SystemConfig, seed: int
+) -> str:
+    """Store key of one filter replay over one simulation's streams."""
+    return _digest({
+        "kind": "eval",
+        "schema": SCHEMA_VERSION,
+        "spec": spec_fingerprint(spec),
+        "filter": filter_name,
+        "system": system_fingerprint(system),
+        "seed": seed,
+    })
+
+
+# ----------------------------------------------------------------------
+# Payload serialisation (exact integer/float round-trip)
+# ----------------------------------------------------------------------
+
+def sim_result_to_dict(result: SimResult) -> dict:
+    return {
+        "workload": result.workload,
+        "n_cpus": result.n_cpus,
+        "accesses": result.accesses,
+        "node_stats": [vars(stats).copy() for stats in result.node_stats],
+        "bus": {
+            "reads": result.bus.reads,
+            "read_exclusives": result.bus.read_exclusives,
+            "upgrades": result.bus.upgrades,
+            "writebacks": result.bus.writebacks,
+            "remote_hit_histogram": list(result.bus.remote_hit_histogram),
+        },
+        "event_streams": [
+            {"node_id": stream.node_id, "events": stream.events}
+            for stream in result.event_streams
+        ],
+    }
+
+
+def sim_result_from_dict(data: dict) -> SimResult:
+    return SimResult(
+        workload=data["workload"],
+        n_cpus=data["n_cpus"],
+        accesses=data["accesses"],
+        node_stats=[NodeStats(**fields) for fields in data["node_stats"]],
+        bus=BusStats(
+            reads=data["bus"]["reads"],
+            read_exclusives=data["bus"]["read_exclusives"],
+            upgrades=data["bus"]["upgrades"],
+            writebacks=data["bus"]["writebacks"],
+            remote_hit_histogram=tuple(data["bus"]["remote_hit_histogram"]),
+        ),
+        event_streams=[
+            NodeEventStream(
+                node_id=entry["node_id"],
+                events=[tuple(event) for event in entry["events"]],
+            )
+            for entry in data["event_streams"]
+        ],
+    )
+
+
+def evaluation_to_dict(evaluation: FilterEvaluation) -> dict:
+    return {
+        "filter_name": evaluation.filter_name,
+        "storage_bits": evaluation.storage_bits,
+        "allocs": evaluation.allocs,
+        "evicts": evaluation.evicts,
+        "coverage": vars(evaluation.coverage).copy(),
+        "events": vars(evaluation.events).copy(),
+    }
+
+
+def evaluation_from_dict(data: dict) -> FilterEvaluation:
+    return FilterEvaluation(
+        filter_name=data["filter_name"],
+        storage_bits=data["storage_bits"],
+        allocs=data["allocs"],
+        evicts=data["evicts"],
+        coverage=CoverageStats(**data["coverage"]),
+        events=FilterEventCounts(**data["events"]),
+    )
+
+
+def encode_sim(result: SimResult) -> bytes:
+    """Canonical compressed payload bytes (deterministic per result)."""
+    return zlib.compress(_canonical(sim_result_to_dict(result)), 6)
+
+
+def decode_sim(blob: bytes) -> SimResult:
+    return sim_result_from_dict(json.loads(zlib.decompress(blob)))
+
+
+def encode_eval(evaluation: FilterEvaluation) -> bytes:
+    return zlib.compress(_canonical(evaluation_to_dict(evaluation)), 6)
+
+
+def decode_eval(blob: bytes) -> FilterEvaluation:
+    return evaluation_from_dict(json.loads(zlib.decompress(blob)))
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Summary of a store's contents (``repro cache info``)."""
+
+    sims: int
+    evals: int
+    payload_bytes: int
+    path: str | None
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one stored result (key omitted payloads stay opaque)."""
+
+    key: str
+    kind: str
+    workload: str
+    filter_name: str | None
+    n_cpus: int
+    seed: int
+    payload_bytes: int
+
+
+class ExperimentStore:
+    """Persistent (SQLite) or in-memory store of experiment results.
+
+    With ``path=None`` the store is purely in-process — the behaviour of
+    the old module-level caches, but behind the same interface the
+    persistent store offers.  With a path, every result is also written to
+    a single SQLite file so later invocations (and other processes) skip
+    re-simulation entirely.
+
+    Decoded results are memoised per key, so repeated ``get`` calls return
+    the *same object* — callers that relied on the old caches' identity
+    semantics keep working.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._live: dict[str, object] = {}
+        #: Backing maps for the in-memory (path=None) flavour.
+        self._blobs: dict[str, bytes] = {}
+        self._meta: dict[str, tuple] = {}
+        self._db: sqlite3.Connection | None = None
+        if self.path is not None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._db = sqlite3.connect(self.path)
+                self._init_schema()
+            except (OSError, sqlite3.Error) as error:
+                raise ConfigurationError(
+                    f"cannot open experiment store at {self.path}: {error}"
+                ) from error
+
+    # -- schema ---------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        assert self._db is not None
+        db = self._db
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS store_meta "
+            "(id INTEGER PRIMARY KEY CHECK (id = 1), schema_version INTEGER)"
+        )
+        row = db.execute("SELECT schema_version FROM store_meta").fetchone()
+        if row is not None and row[0] != SCHEMA_VERSION:
+            db.execute("DROP TABLE IF EXISTS results")
+            db.execute("DELETE FROM store_meta")
+            row = None
+        if row is None:
+            db.execute(
+                "INSERT INTO store_meta (id, schema_version) VALUES (1, ?)",
+                (SCHEMA_VERSION,),
+            )
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY,"
+            " kind TEXT NOT NULL,"
+            " workload TEXT NOT NULL,"
+            " filter TEXT,"
+            " n_cpus INTEGER NOT NULL,"
+            " seed INTEGER NOT NULL,"
+            " payload BLOB NOT NULL)"
+        )
+        db.commit()
+
+    # -- raw payload access (the runner ships blobs to workers) ---------
+
+    def get_blob(self, key: str) -> bytes | None:
+        if self._db is None:
+            blob = self._blobs.get(key)
+            return blob
+        row = self._db.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def put_blob(
+        self,
+        key: str,
+        blob: bytes,
+        *,
+        kind: str,
+        workload: str,
+        filter_name: str | None,
+        n_cpus: int,
+        seed: int,
+    ) -> None:
+        if self._db is None:
+            self._blobs[key] = blob
+            self._meta[key] = (kind, workload, filter_name, n_cpus, seed)
+            return
+        self._db.execute(
+            "INSERT OR REPLACE INTO results "
+            "(key, kind, workload, filter, n_cpus, seed, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (key, kind, workload, filter_name, n_cpus, seed, blob),
+        )
+        self._db.commit()
+
+    def contains(self, key: str) -> bool:
+        if key in self._live:
+            return True
+        if self._db is None:
+            return key in self._blobs
+        row = self._db.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    # -- typed access ---------------------------------------------------
+
+    def get_sim(self, key: str) -> SimResult | None:
+        cached = self._live.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        blob = self.get_blob(key)
+        if blob is None:
+            return None
+        result = decode_sim(blob)
+        self._live[key] = result
+        return result
+
+    def put_sim(self, key: str, result: SimResult, *, seed: int) -> None:
+        self._live[key] = result
+        self.put_blob(
+            key,
+            encode_sim(result),
+            kind="sim",
+            workload=result.workload,
+            filter_name=None,
+            n_cpus=result.n_cpus,
+            seed=seed,
+        )
+
+    def put_sim_blob(
+        self, key: str, blob: bytes, *, workload: str, n_cpus: int, seed: int
+    ) -> None:
+        """Persist an already-encoded simulation (worker round trips)."""
+        self.put_blob(
+            key, blob, kind="sim", workload=workload,
+            filter_name=None, n_cpus=n_cpus, seed=seed,
+        )
+
+    def get_eval(self, key: str) -> FilterEvaluation | None:
+        cached = self._live.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        blob = self.get_blob(key)
+        if blob is None:
+            return None
+        evaluation = decode_eval(blob)
+        self._live[key] = evaluation
+        return evaluation
+
+    def put_eval(
+        self,
+        key: str,
+        evaluation: FilterEvaluation,
+        *,
+        workload: str,
+        n_cpus: int,
+        seed: int,
+    ) -> None:
+        self._live[key] = evaluation
+        self.put_blob(
+            key,
+            encode_eval(evaluation),
+            kind="eval",
+            workload=workload,
+            filter_name=evaluation.filter_name,
+            n_cpus=n_cpus,
+            seed=seed,
+        )
+
+    def put_eval_blob(
+        self,
+        key: str,
+        blob: bytes,
+        *,
+        workload: str,
+        filter_name: str,
+        n_cpus: int,
+        seed: int,
+    ) -> None:
+        self.put_blob(
+            key, blob, kind="eval", workload=workload,
+            filter_name=filter_name, n_cpus=n_cpus, seed=seed,
+        )
+
+    # -- inspection / maintenance --------------------------------------
+
+    def stats(self) -> StoreStats:
+        if self._db is None:
+            meta = self._meta
+            sims = sum(1 for m in meta.values() if m[0] == "sim")
+            payload = sum(len(b) for b in self._blobs.values())
+            return StoreStats(
+                sims=sims,
+                evals=len(meta) - sims,
+                payload_bytes=payload,
+                path=None,
+            )
+        rows = self._db.execute(
+            "SELECT kind, COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+            "FROM results GROUP BY kind"
+        ).fetchall()
+        by_kind = {kind: (count, nbytes) for kind, count, nbytes in rows}
+        return StoreStats(
+            sims=by_kind.get("sim", (0, 0))[0],
+            evals=by_kind.get("eval", (0, 0))[0],
+            payload_bytes=sum(nbytes for _, nbytes in by_kind.values()),
+            path=str(self.path),
+        )
+
+    def entries(self) -> list[StoreEntry]:
+        """All stored results' metadata, ordered by key."""
+        if self._db is None:
+            return sorted(
+                (
+                    StoreEntry(key, m[0], m[1], m[2], m[3], m[4],
+                               len(self._blobs[key]))
+                    for key, m in self._meta.items()
+                ),
+                key=lambda e: e.key,
+            )
+        rows = self._db.execute(
+            "SELECT key, kind, workload, filter, n_cpus, seed, "
+            "LENGTH(payload) FROM results ORDER BY key"
+        ).fetchall()
+        return [StoreEntry(*row) for row in rows]
+
+    def dump(self) -> dict[str, bytes]:
+        """All payloads by key (the determinism tests diff two stores)."""
+        if self._db is None:
+            return dict(self._blobs)
+        rows = self._db.execute("SELECT key, payload FROM results").fetchall()
+        return {key: payload for key, payload in rows}
+
+    def clear(self) -> int:
+        """Drop every entry (live and persistent); return entries removed."""
+        removed = len(self._live)
+        self._live.clear()
+        if self._db is None:
+            removed = max(removed, len(self._blobs))
+            self._blobs.clear()
+            self._meta.clear()
+            return removed
+        (count,) = self._db.execute("SELECT COUNT(*) FROM results").fetchone()
+        self._db.execute("DELETE FROM results")
+        self._db.commit()
+        return max(removed, count)
+
+    def close(self) -> None:
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -8,6 +8,8 @@ Examples::
     jetty-repro coverage raytrace "HJ(IJ-10x4x7, EJ-32x4)"
     jetty-repro energy lu "HJ(IJ-9x4x7, EJ-32x4)"
     jetty-repro nway 8
+    jetty-repro sweep --workers 4 --workloads lu fft --filters EJ-32x4 IJ-10x4x7
+    jetty-repro --store results.sqlite cache info
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import experiments, figures, report, tables
+from repro.analysis import experiments, figures, report, runner, tables
 from repro.coherence.config import SCALED_SYSTEM
 from repro.traces.workloads import WORKLOADS
 from repro.utils.text import format_percent, render_table
@@ -135,6 +137,69 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.config import parse_filter_name
+    from repro.traces.workloads import get_workload
+
+    workloads = args.workloads if args.workloads else list(WORKLOADS)
+    filters = args.filters if args.filters else list(runner.DEFAULT_SWEEP_FILTERS)
+    # Validate every name up front: a typo'd filter must not surface only
+    # after minutes of simulation.
+    for workload in workloads:
+        get_workload(workload)
+    for filter_name in filters:
+        parse_filter_name(filter_name)
+    system = SCALED_SYSTEM if args.cpus is None else SCALED_SYSTEM.with_cpus(args.cpus)
+    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
+    result = runner.run_sweep(
+        workloads,
+        filters,
+        system=system,
+        seeds=seeds,
+        workers=args.workers,
+        experiment_store=experiments.get_store(),
+        accesses=args.accesses,
+        warmup=args.warmup,
+    )
+    headers = ["workload"] + [f"{f} (cov)" for f in filters]
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for filter_name in filters:
+            values = [result.coverage(workload, filter_name, s) for s in seeds]
+            row.append(format_percent(sum(values) / len(values)))
+        rows.append(row)
+    title = f"sweep: {len(workloads)} workloads x {len(filters)} filters"
+    if len(seeds) > 1:
+        title += f" (mean over seeds {seeds})"
+    print(render_table(headers, rows, title=title))
+    print(result.report.summary())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = experiments.get_store()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} stored result(s)")
+        return 0
+    stats = store.stats()
+    location = stats.path or "in-memory (set --store or REPRO_STORE to persist)"
+    print(f"store:    {location}")
+    print(f"sims:     {stats.sims}")
+    print(f"evals:    {stats.evals}")
+    print(f"payload:  {stats.payload_bytes / 1024:.1f} KiB")
+    if args.action == "list":
+        for entry in store.entries():
+            what = entry.filter_name or "(simulation)"
+            print(
+                f"  {entry.kind:4s} {entry.workload:14s} {what:28s} "
+                f"{entry.n_cpus}-way seed {entry.seed} "
+                f"{entry.payload_bytes / 1024:.1f} KiB"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="jetty-repro",
@@ -142,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent experiment store (SQLite file; default: in-memory "
+        "or $REPRO_STORE)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the ten workloads").set_defaults(
@@ -184,13 +256,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the workload's access count")
     p_trace.set_defaults(func=_cmd_trace)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run a workload x filter sweep on N worker processes"
+    )
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = in-process serial)")
+    p_sweep.add_argument("--workloads", nargs="+", default=None,
+                         help="workload names (default: all ten)")
+    p_sweep.add_argument("--filters", nargs="+", default=None,
+                         help="filter configuration names")
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=None,
+                         help="seeds to sweep (default: --seed)")
+    p_sweep.add_argument("--cpus", type=int, default=None,
+                         help="SMP width (default: the scaled system's 4)")
+    p_sweep.add_argument("--accesses", type=int, default=None,
+                         help="override per-workload access count (smoke runs)")
+    p_sweep.add_argument("--warmup", type=int, default=None,
+                         help="override per-workload warm-up accesses")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the experiment store"
+    )
+    p_cache.add_argument("action", nargs="?", default="info",
+                         choices=("info", "list", "clear"))
+    p_cache.set_defaults(func=_cmd_cache)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "store", None):
+            experiments.set_store(args.store)
         return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         try:

@@ -14,6 +14,16 @@ import pytest
 from repro.coherence.config import CacheConfig, SystemConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current implementation "
+        "instead of comparing against it (review the diff before committing)",
+    )
+
+
 @pytest.fixture
 def tiny_system() -> SystemConfig:
     """A 4-way SMP with very small caches (heavy eviction traffic)."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import experiments
+from repro.analysis.store import ExperimentStore
 from repro.cli import build_parser, main
 from repro.traces.workloads import WORKLOADS
 
@@ -15,10 +16,15 @@ def tiny_workload():
 
     spec = tiny_spec()
     WORKLOADS[spec.name] = spec
-    experiments.clear_caches()
+    # Install a fresh in-memory store so the tests neither see nor touch
+    # whatever REPRO_STORE points at (never clear a user's real store).
+    previous = experiments._STORE
+    experiments._STORE = ExperimentStore()
     yield spec
     del WORKLOADS[spec.name]
-    experiments.clear_caches()
+    # Drop any store a --store invocation installed, then restore.
+    experiments.get_store().close()
+    experiments._STORE = previous
 
 
 class TestParser:
@@ -79,3 +85,43 @@ class TestCommands:
         from repro.traces.io import trace_length
 
         assert trace_length(path) == 200
+
+    def test_sweep_command_parallel_then_warm(self, tmp_path, capsys):
+        store = str(tmp_path / "sweep.sqlite")
+        argv = ["--store", store, "sweep", "--workers", "2",
+                "--workloads", "test-tiny", "--filters", "EJ-8x2", "null"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "test-tiny" in out
+        assert "sims: 1 run / 0 cached" in out
+        assert "evals: 2 run / 0 cached" in out
+        # Second invocation: everything comes from the persistent store.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sims: 0 run / 1 cached" in out
+        assert "evals: 0 run / 2 cached" in out
+
+    def test_sweep_multiple_seeds(self, capsys):
+        assert main(["sweep", "--workloads", "test-tiny",
+                     "--filters", "EJ-8x2", "--seeds", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sims: 2 run" in out
+        assert "mean over seeds (1, 2)" in out
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        store = str(tmp_path / "cache.sqlite")
+        assert main(["--store", store, "sweep", "--workloads", "test-tiny",
+                     "--filters", "EJ-8x2"]) == 0
+        capsys.readouterr()
+        assert main(["--store", store, "cache", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "sims:     1" in out
+        assert "EJ-8x2" in out
+        assert main(["--store", store, "cache", "clear"]) == 0
+        assert "cleared 2 stored result(s)" in capsys.readouterr().out
+        assert main(["--store", store, "cache"]) == 0
+        assert "sims:     0" in capsys.readouterr().out
+
+    def test_cache_info_in_memory_default(self, capsys):
+        assert main(["cache", "info"]) == 0
+        assert "in-memory" in capsys.readouterr().out

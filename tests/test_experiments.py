@@ -66,6 +66,29 @@ class TestRunWorkload:
         assert eight.n_cpus == 8
         assert four is not eight
 
+    def test_l1_geometry_distinguishes_cache_entries(self):
+        """Regression: the old cache key omitted L1 ways/block geometry,
+        so systems differing only in L1 associativity collided."""
+        from dataclasses import replace
+
+        from repro.analysis import store as store_mod
+
+        direct_mapped = experiments.run_workload(TINY_NAME, SCALED_SYSTEM)
+        two_way_l1 = replace(SCALED_SYSTEM, l1=replace(SCALED_SYSTEM.l1, ways=2))
+        # The store's actual keying path must see every L1 geometry field.
+        assert store_mod.system_fingerprint(two_way_l1) != (
+            store_mod.system_fingerprint(SCALED_SYSTEM)
+        )
+        spec = WORKLOADS[TINY_NAME]
+        assert store_mod.sim_key(spec, two_way_l1, 1) != (
+            store_mod.sim_key(spec, SCALED_SYSTEM, 1)
+        )
+        two_way = experiments.run_workload(TINY_NAME, two_way_l1)
+        assert two_way is not direct_mapped
+        # Higher L1 associativity changes L1 behaviour, which a colliding
+        # cache key would have masked entirely.
+        assert vars(two_way.aggregate) != vars(direct_mapped.aggregate)
+
 
 class TestEvaluateFilter:
     def test_merged_over_nodes(self):
