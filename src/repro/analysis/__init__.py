@@ -29,6 +29,7 @@ from repro.analysis.experiments import (
     coverage_for,
     energy_reduction_for,
     evaluate_filter,
+    evaluate_filters_streaming,
     get_store,
     run_workload,
     set_store,
@@ -37,7 +38,10 @@ from repro.analysis.experiments import (
 from repro.analysis.runner import (
     EvalJob,
     SimJob,
+    StreamJob,
+    evaluate_streaming,
     execute,
+    execute_streams,
     run_sweep,
 )
 from repro.analysis.store import ExperimentStore
@@ -73,10 +77,14 @@ __all__ = [
     "build_table2",
     "build_table3",
     "build_table4",
+    "StreamJob",
     "coverage_for",
     "energy_reduction_for",
     "evaluate_filter",
+    "evaluate_filters_streaming",
+    "evaluate_streaming",
     "execute",
+    "execute_streams",
     "get_store",
     "render_figure",
     "render_table_rows",

@@ -95,6 +95,28 @@ def evaluate_filter(
     return evaluation
 
 
+def evaluate_filters_streaming(
+    workload: str,
+    filters: tuple[str, ...] = runner.DEFAULT_SWEEP_FILTERS,
+    system: SystemConfig = SCALED_SYSTEM,
+    seed: int = 1,
+    chunk_size: int | None = None,
+) -> "runner.StreamOutcome":
+    """Evaluate N filters in one single-pass streaming simulation.
+
+    The store-backed front door to paper-scale runs: memory stays
+    O(chunk_size) however long the trace, and the resulting evaluations
+    are byte-identical to (and share store entries with)
+    :func:`evaluate_filter`'s buffered replays.
+    """
+    spec = get_workload(workload)
+    kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+    return runner.evaluate_streaming(
+        spec, system, tuple(filters), seed,
+        experiment_store=get_store(), **kwargs,
+    )
+
+
 def coverage_for(
     workload: str,
     filter_name: str,

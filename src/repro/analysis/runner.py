@@ -1,22 +1,40 @@
 """Parallel experiment engine: fan simulation jobs out over processes.
 
 The engine takes batched job lists — :class:`SimJob` (simulate one
-workload on one system with one seed) and :class:`EvalJob` (replay one
-filter over that simulation's event streams) — deduplicates them against
-an :class:`~repro.analysis.store.ExperimentStore`, and runs the misses
+workload on one system with one seed), :class:`EvalJob` (replay one
+filter over that simulation's recorded event streams), and
+:class:`StreamJob` (one single-pass streaming simulation with any number
+of filters attached live) — deduplicates them against an
+:class:`~repro.analysis.store.ExperimentStore`, and runs the misses
 either inline (``workers <= 1``) or on a ``multiprocessing`` pool.
 
-Determinism contract: a job is a pure function of its inputs.  Every
-worker derives its random stream from the job's explicit seed (see
+**Buffered vs streaming.**  A buffered experiment is two phases: the
+simulation records every node's full event stream into the store, then
+each filter replays that recording.  Memory is O(trace), which caps runs
+at toy sizes.  A :class:`StreamJob` instead fuses both phases into one
+pass: the simulation emits bounded event *shards* (see the shard/marker
+protocol in :mod:`repro.coherence.smp`), every requested filter consumes
+each shard as it appears, and only metrics are stored — N filters are
+evaluated in one simulation with O(chunk) memory, never O(trace).  This
+is the only mode that reaches paper-scale traces (Table 2's tens of
+millions of accesses).
+
+**Determinism contract.**  A job is a pure function of its inputs.
+Every worker derives its random stream from the job's explicit seed (see
 :func:`repro.traces.workloads.build_workload_stream`), so a parallel run
 produces *bitwise identical* store payloads to a serial run of the same
-jobs — the determinism tests diff the two stores byte for byte.
+jobs — the determinism tests diff the two stores byte for byte.  The
+contract extends across modes: for the same ``(spec, system, seed)``, a
+streamed evaluation's payload is byte-identical to the buffered replay's,
+regardless of chunk size or worker count, which is why both modes share
+one ``eval`` keyspace in the store.
 
-Execution is two-phase: first every missing simulation runs (these are
-the expensive, minutes-scale jobs), then every missing filter replay runs
-with its simulation's compressed payload shipped to the worker.  Jobs are
-sorted by store key before submission so insertion order — and therefore
-the store file — is independent of the caller's iteration order.
+Buffered execution is two-phase: first every missing simulation runs
+(these are the expensive, minutes-scale jobs), then every missing filter
+replay runs with its simulation's compressed payload shipped to the
+worker.  Stream jobs are single-phase by construction.  Jobs are sorted
+by store key before submission so insertion order — and therefore the
+store file — is independent of the caller's iteration order.
 """
 
 from __future__ import annotations
@@ -29,11 +47,12 @@ from repro.analysis import store as store_mod
 from repro.analysis.store import ExperimentStore
 from repro.coherence.config import SCALED_SYSTEM, SystemConfig
 from repro.coherence.metrics import SimResult
-from repro.coherence.smp import simulate
+from repro.coherence.smp import DEFAULT_CHUNK_SIZE, simulate, simulate_streaming
 from repro.core.config import build_filter
-from repro.core.stats import FilterEvaluation, merge_evaluations, replay_events
+from repro.core.stats import FilterEvaluation, StreamingFilterBank
 from repro.traces.workloads import (
     WorkloadSpec,
+    apply_preset,
     get_workload,
     simulate_workload_accesses,
 )
@@ -71,6 +90,23 @@ class EvalJob:
         return SimJob(self.workload, self.system, self.seed)
 
 
+@dataclass(frozen=True)
+class StreamJob:
+    """One single-pass streaming simulation with N filters attached live.
+
+    All listed filters are evaluated during the one simulation; memory is
+    O(chunk_size) regardless of the workload's access count.  The chunk
+    size tunes memory/overhead only — by the determinism contract it can
+    never change any stored byte, so it is absent from store keys.
+    """
+
+    workload: str
+    filter_names: tuple[str, ...] = ()
+    system: SystemConfig = SCALED_SYSTEM
+    seed: int = 1
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+
 # ----------------------------------------------------------------------
 # Pure compute kernels (shared by the serial path and pool workers)
 # ----------------------------------------------------------------------
@@ -86,22 +122,81 @@ def compute_sim(spec: WorkloadSpec, system: SystemConfig, seed: int) -> SimResul
 def compute_eval(
     sim: SimResult, filter_name: str, system: SystemConfig
 ) -> FilterEvaluation:
-    """Replay one filter config over every node's stream and merge."""
-    evaluations = []
-    for stream in sim.event_streams:
-        snoop_filter = build_filter(
+    """Replay one filter config over every node's stream and merge.
+
+    Buffered replay is the degenerate streaming case: the recorded
+    streams are one big shard, consumed by the same bank the live path
+    uses — a single construction site keeps the two modes' byte-identity
+    contract safe by design.
+    """
+    bank = _build_bank(filter_name, system)
+    bank.consume(sim.event_streams)
+    return bank.finish()
+
+
+def _build_bank(filter_name: str, system: SystemConfig) -> StreamingFilterBank:
+    """One live filter bank: a freshly built filter per node."""
+    return StreamingFilterBank([
+        build_filter(
             filter_name,
             counter_bits=system.ij_counter_bits,
             addr_bits=system.block_address_bits,
         )
-        evaluations.append(replay_events(snoop_filter, stream))
-    return merge_evaluations(evaluations)
+        for _ in range(system.n_cpus)
+    ])
+
+
+def compute_stream(
+    spec: WorkloadSpec,
+    system: SystemConfig,
+    seed: int,
+    filter_names: tuple[str, ...] = (),
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> tuple[SimResult, dict[str, FilterEvaluation]]:
+    """Run one streaming simulation with all ``filter_names`` attached.
+
+    Returns the metrics-only result plus one merged evaluation per
+    filter.  Every number is identical to what the buffered
+    :func:`compute_sim` + :func:`compute_eval` pair produces — only the
+    memory profile differs (O(chunk_size) instead of O(trace)).
+    """
+    stream, warmup = simulate_workload_accesses(
+        spec, n_cpus=system.n_cpus, seed=seed
+    )
+    banks = {name: _build_bank(name, system) for name in filter_names}
+    metrics = simulate_streaming(
+        system,
+        stream,
+        spec.name,
+        warmup=warmup,
+        chunk_size=chunk_size,
+        sinks=banks.values(),
+    )
+    return metrics, {name: bank.finish() for name, bank in banks.items()}
 
 
 def _sim_task(task: tuple[str, WorkloadSpec, SystemConfig, int]) -> tuple[str, bytes]:
     """Worker entry: run one simulation, return its canonical payload."""
     key, spec, system, seed = task
     return key, store_mod.encode_sim(compute_sim(spec, system, seed))
+
+
+def _stream_task(task) -> tuple[str, bytes, list[tuple[str, bytes]]]:
+    """Worker entry: one fused streaming pass, encoded results back.
+
+    ``pairs`` lists ``(eval_key, filter_name)`` for every evaluation this
+    pass must produce; the metrics payload rides along under ``mkey``.
+    """
+    mkey, spec, system, seed, chunk_size, pairs = task
+    metrics, evaluations = compute_stream(
+        spec, system, seed,
+        tuple(name for _key, name in pairs), chunk_size,
+    )
+    return (
+        mkey,
+        store_mod.encode_sim_metrics(metrics),
+        [(key, store_mod.encode_eval(evaluations[name])) for key, name in pairs],
+    )
 
 
 def _eval_group_task(
@@ -185,15 +280,28 @@ def execute(
     specs = specs if specs is not None else {}
 
     # Phase 1 — every simulation any job needs, deduplicated by key.
+    # A simulation is *demanded* when a SimJob names it explicitly or an
+    # eval job that misses the store depends on it; a sim that only backs
+    # already-cached evaluations (e.g. after a streamed sweep, which
+    # stores evals but no full recording) must not be re-run.
     needed_sims: dict[str, SimJob] = {}
-    for job in list(sim_jobs) + [ej.sim_job for ej in eval_jobs]:
+    demanded: set[str] = set()
+    for job in sim_jobs:
         key = store_mod.sim_key(_spec_for(job, specs), job.system, job.seed)
         needed_sims.setdefault(key, job)
+        demanded.add(key)
+    for ej in eval_jobs:
+        spec = _spec_for(ej, specs)
+        key = store_mod.sim_key(spec, ej.system, ej.seed)
+        needed_sims.setdefault(key, ej.sim_job)
+        ekey = store_mod.eval_key(spec, ej.filter_name, ej.system, ej.seed)
+        if not experiment_store.contains(ekey):
+            demanded.add(key)
 
     sim_tasks = []
     for key in sorted(needed_sims):
         job = needed_sims[key]
-        if experiment_store.contains(key):
+        if experiment_store.contains(key) or key not in demanded:
             report.sims_cached += 1
         else:
             sim_tasks.append((key, specs[job.workload], job.system, job.seed))
@@ -246,6 +354,169 @@ def execute(
 
 
 # ----------------------------------------------------------------------
+# Streaming execution
+# ----------------------------------------------------------------------
+
+def execute_streams(
+    stream_jobs: list[StreamJob] | tuple[StreamJob, ...],
+    *,
+    experiment_store: ExperimentStore,
+    workers: int = 1,
+    specs: dict[str, WorkloadSpec] | None = None,
+) -> ExecutionReport:
+    """Run every streaming job whose results are not already stored.
+
+    Jobs targeting the same ``(workload, system, seed)`` are fused into
+    one simulation pass evaluating the union of their filters.  A job is
+    skipped entirely when its metrics *and* every requested evaluation
+    are already in the store — including evaluations produced earlier by
+    the buffered path, since both modes share the ``eval`` keyspace.
+    """
+    started = time.perf_counter()
+    report = ExecutionReport(workers=max(1, workers))
+    specs = specs if specs is not None else {}
+
+    # Fuse jobs by simulation identity; collect each group's filter set.
+    grouped: dict[str, tuple[StreamJob, dict[str, str]]] = {}
+    for job in stream_jobs:
+        spec = _spec_for(job, specs)
+        mkey = store_mod.sim_metrics_key(spec, job.system, job.seed)
+        _job, filters = grouped.setdefault(mkey, (job, {}))
+        for name in job.filter_names:
+            filters[store_mod.eval_key(spec, name, job.system, job.seed)] = name
+
+    tasks = []
+    replay_tasks = []
+    for mkey in sorted(grouped):
+        job, filters = grouped[mkey]
+        spec = specs[job.workload]
+        pairs = []
+        for ekey in sorted(filters):
+            if experiment_store.contains(ekey):
+                report.evals_cached += 1
+            else:
+                pairs.append((ekey, filters[ekey]))
+        if not pairs and experiment_store.contains(mkey):
+            report.sims_cached += 1
+            continue
+        # A buffered recording of this exact configuration may already be
+        # stored (full event streams included).  If so, nothing needs
+        # simulating: missing evaluations replay from the recording and
+        # the metrics payload is derived from it — both byte-identical to
+        # a genuine streaming pass by the determinism contract.  This is
+        # what makes buffered sweeps warm streamed ones completely.
+        sim_blob = experiment_store.get_blob(
+            store_mod.sim_key(spec, job.system, job.seed)
+        )
+        if sim_blob is not None:
+            if not experiment_store.contains(mkey):
+                experiment_store.put_sim_metrics_blob(
+                    mkey,
+                    store_mod.encode_sim_metrics(store_mod.decode_sim(sim_blob)),
+                    workload=spec.name,
+                    n_cpus=job.system.n_cpus,
+                    seed=job.seed,
+                )
+            report.sims_cached += 1
+            if pairs:
+                replay_tasks.append((sim_blob, job.system, pairs))
+            continue
+        tasks.append((mkey, spec, job.system, job.seed, job.chunk_size, pairs))
+
+    # Replays of stored recordings share the worker pool, exactly like
+    # the buffered engine's phase 2.
+    eval_owner = {
+        ekey: grouped[mkey] for mkey in grouped for ekey in grouped[mkey][1]
+    }
+    for results in _map_tasks(_eval_group_task, replay_tasks, workers):
+        for ekey, blob in results:
+            job, filters = eval_owner[ekey]
+            experiment_store.put_eval_blob(
+                ekey, blob, workload=specs[job.workload].name,
+                filter_name=filters[ekey],
+                n_cpus=job.system.n_cpus, seed=job.seed,
+            )
+            report.evals_run += 1
+
+    for mkey, metrics_blob, eval_blobs in _map_tasks(_stream_task, tasks, workers):
+        job, _filters = grouped[mkey]
+        spec = specs[job.workload]
+        experiment_store.put_sim_metrics_blob(
+            mkey, metrics_blob, workload=spec.name,
+            n_cpus=job.system.n_cpus, seed=job.seed,
+        )
+        report.sims_run += 1
+        for ekey, blob in eval_blobs:
+            experiment_store.put_eval_blob(
+                ekey, blob, workload=spec.name,
+                filter_name=_filters[ekey],
+                n_cpus=job.system.n_cpus, seed=job.seed,
+            )
+            report.evals_run += 1
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+@dataclass
+class StreamOutcome:
+    """What one streaming evaluation produced (all store-backed)."""
+
+    metrics: SimResult
+    #: ``filter_name -> FilterEvaluation`` for every requested filter.
+    evaluations: dict[str, FilterEvaluation]
+    report: ExecutionReport
+
+    def coverage(self, filter_name: str) -> float:
+        return self.evaluations[filter_name].coverage.coverage
+
+
+def evaluate_streaming(
+    spec: WorkloadSpec | str,
+    system: SystemConfig = SCALED_SYSTEM,
+    filters: tuple[str, ...] = DEFAULT_SWEEP_FILTERS,
+    seed: int = 1,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    experiment_store: ExperimentStore | None = None,
+) -> StreamOutcome:
+    """Evaluate N filters against one workload in a single streaming pass.
+
+    The front door to paper-scale runs: all ``filters`` ride the live
+    snoop stream of one simulation, so cost is one simulation plus N
+    cheap replays and memory stays O(chunk_size).  Results are
+    store-backed exactly like the buffered path — warm evaluations
+    (from either mode) are never recomputed, and the numbers are
+    byte-identical to buffered replays of the same configuration.
+    """
+    if isinstance(spec, str):
+        spec = get_workload(spec)
+    if experiment_store is None:
+        from repro.analysis import experiments
+
+        experiment_store = experiments.get_store()
+
+    filters = tuple(filters)
+    job = StreamJob(spec.name, filters, system, seed, chunk_size)
+    report = execute_streams(
+        [job], experiment_store=experiment_store, workers=1,
+        specs={spec.name: spec},
+    )
+    metrics = experiment_store.get_sim_metrics(
+        store_mod.sim_metrics_key(spec, system, seed)
+    )
+    assert metrics is not None
+    evaluations = {}
+    for name in filters:
+        evaluation = experiment_store.get_eval(
+            store_mod.eval_key(spec, name, system, seed)
+        )
+        assert evaluation is not None
+        evaluations[name] = evaluation
+    return StreamOutcome(metrics=metrics, evaluations=evaluations, report=report)
+
+
+# ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
 
@@ -273,12 +544,23 @@ def run_sweep(
     experiment_store: ExperimentStore | None = None,
     accesses: int | None = None,
     warmup: int | None = None,
+    preset: str | None = None,
+    stream: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SweepResult:
     """Run a full workload x filter x seed sweep through the store.
 
-    ``accesses``/``warmup`` shrink every workload spec (smoke runs); the
-    override participates in the store key, so reduced runs never collide
-    with full-size ones.
+    ``accesses``/``warmup`` shrink every workload spec (smoke runs) and
+    ``preset`` applies a named spec transformation first (e.g.
+    ``"paper-scale"``); every override participates in the store key, so
+    modified runs never collide with stock ones.
+
+    With ``stream=True`` each (workload, seed) becomes one single-pass
+    :class:`StreamJob` evaluating all filters with O(chunk_size) memory —
+    the required mode for paper-scale access counts.  Evaluations land
+    under the same store keys either way (they are byte-identical by the
+    determinism contract), so streamed and buffered sweeps warm each
+    other.
     """
     if experiment_store is None:
         from repro.analysis import experiments
@@ -288,29 +570,44 @@ def run_sweep(
     specs: dict[str, WorkloadSpec] = {}
     for name in workloads:
         spec = get_workload(name)
+        if preset is not None:
+            spec = apply_preset(spec, preset)
         if accesses is not None:
             spec = replace(spec, n_accesses=accesses)
         if warmup is not None:
             spec = replace(spec, warmup_accesses=warmup)
         specs[name] = spec
 
-    eval_jobs = [
-        EvalJob(workload, filter_name, system, seed)
-        for workload in workloads
-        for filter_name in filters
-        for seed in seeds
-    ]
-    report = execute(
-        (), eval_jobs,
-        experiment_store=experiment_store, workers=workers, specs=specs,
-    )
+    if stream:
+        stream_jobs = [
+            StreamJob(workload, tuple(filters), system, seed, chunk_size)
+            for workload in workloads
+            for seed in seeds
+        ]
+        report = execute_streams(
+            stream_jobs,
+            experiment_store=experiment_store, workers=workers, specs=specs,
+        )
+    else:
+        eval_jobs = [
+            EvalJob(workload, filter_name, system, seed)
+            for workload in workloads
+            for filter_name in filters
+            for seed in seeds
+        ]
+        report = execute(
+            (), eval_jobs,
+            experiment_store=experiment_store, workers=workers, specs=specs,
+        )
 
     result = SweepResult(report=report)
-    for job in eval_jobs:
-        key = store_mod.eval_key(
-            specs[job.workload], job.filter_name, job.system, job.seed
-        )
-        evaluation = experiment_store.get_eval(key)
-        assert evaluation is not None
-        result.evaluations[(job.workload, job.filter_name, job.seed)] = evaluation
+    for workload in workloads:
+        for filter_name in filters:
+            for seed in seeds:
+                key = store_mod.eval_key(
+                    specs[workload], filter_name, system, seed
+                )
+                evaluation = experiment_store.get_eval(key)
+                assert evaluation is not None
+                result.evaluations[(workload, filter_name, seed)] = evaluation
     return result

@@ -7,6 +7,13 @@ maps a *complete* configuration fingerprint — workload spec, full system
 geometry (both cache levels, associativity, block and subblock sizes),
 and seed — to a canonical, compressed JSON payload of the result.
 
+Three result kinds share the one table: ``sim`` (a full buffered
+:class:`SimResult`, event streams included), ``sim-metrics`` (the
+statistics of a *streamed* run, whose event streams were consumed on the
+fly and never retained), and ``eval`` (one :class:`FilterEvaluation` —
+identical bytes whether it came from a buffered replay or a streaming
+pass, which is what lets the two modes share warm evaluations).
+
 Keys are content hashes over canonical JSON, so two configurations that
 differ in any field (including L1 associativity, which the old in-process
 cache key famously omitted) can never collide, and payload bytes are
@@ -91,6 +98,24 @@ def sim_key(spec: WorkloadSpec, system: SystemConfig, seed: int) -> str:
     })
 
 
+def sim_metrics_key(spec: WorkloadSpec, system: SystemConfig, seed: int) -> str:
+    """Store key of one streamed simulation's metrics-only payload.
+
+    Streamed runs never retain event streams, so their results live under
+    a distinct kind: a buffered consumer asking for the full ``sim``
+    payload (streams included) must miss rather than receive a hollow
+    result.  The chunk size is deliberately absent — metrics are
+    chunk-size-invariant by the determinism contract.
+    """
+    return _digest({
+        "kind": "sim-metrics",
+        "schema": SCHEMA_VERSION,
+        "spec": spec_fingerprint(spec),
+        "system": system_fingerprint(system),
+        "seed": seed,
+    })
+
+
 def eval_key(
     spec: WorkloadSpec, filter_name: str, system: SystemConfig, seed: int
 ) -> str:
@@ -109,7 +134,8 @@ def eval_key(
 # Payload serialisation (exact integer/float round-trip)
 # ----------------------------------------------------------------------
 
-def sim_result_to_dict(result: SimResult) -> dict:
+def sim_metrics_to_dict(result: SimResult) -> dict:
+    """The statistics half of a result (no event streams)."""
     return {
         "workload": result.workload,
         "n_cpus": result.n_cpus,
@@ -122,11 +148,16 @@ def sim_result_to_dict(result: SimResult) -> dict:
             "writebacks": result.bus.writebacks,
             "remote_hit_histogram": list(result.bus.remote_hit_histogram),
         },
-        "event_streams": [
-            {"node_id": stream.node_id, "events": stream.events}
-            for stream in result.event_streams
-        ],
     }
+
+
+def sim_result_to_dict(result: SimResult) -> dict:
+    data = sim_metrics_to_dict(result)
+    data["event_streams"] = [
+        {"node_id": stream.node_id, "events": stream.events}
+        for stream in result.event_streams
+    ]
+    return data
 
 
 def sim_result_from_dict(data: dict) -> SimResult:
@@ -150,6 +181,16 @@ def sim_result_from_dict(data: dict) -> SimResult:
             for entry in data["event_streams"]
         ],
     )
+
+
+def sim_metrics_from_dict(data: dict) -> SimResult:
+    """Decode a metrics-only payload; ``event_streams`` comes back empty.
+
+    Deliberately separate from :func:`sim_result_from_dict`, which stays
+    strict: a ``sim`` payload without event streams is corruption and
+    must fail loudly, never decode into a silently hollow result.
+    """
+    return sim_result_from_dict({**data, "event_streams": []})
 
 
 def evaluation_to_dict(evaluation: FilterEvaluation) -> dict:
@@ -183,6 +224,15 @@ def decode_sim(blob: bytes) -> SimResult:
     return sim_result_from_dict(json.loads(zlib.decompress(blob)))
 
 
+def encode_sim_metrics(result: SimResult) -> bytes:
+    """Metrics-only payload of a (typically streamed) simulation."""
+    return zlib.compress(_canonical(sim_metrics_to_dict(result)), 6)
+
+
+def decode_sim_metrics(blob: bytes) -> SimResult:
+    return sim_metrics_from_dict(json.loads(zlib.decompress(blob)))
+
+
 def encode_eval(evaluation: FilterEvaluation) -> bytes:
     return zlib.compress(_canonical(evaluation_to_dict(evaluation)), 6)
 
@@ -203,6 +253,8 @@ class StoreStats:
     evals: int
     payload_bytes: int
     path: str | None
+    #: Metrics-only results written by streamed runs (kind ``sim-metrics``).
+    stream_sims: int = 0
 
 
 @dataclass(frozen=True)
@@ -358,6 +410,37 @@ class ExperimentStore:
             filter_name=None, n_cpus=n_cpus, seed=seed,
         )
 
+    def get_sim_metrics(self, key: str) -> SimResult | None:
+        """Fetch a streamed run's metrics-only result (no event streams)."""
+        cached = self._live.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        blob = self.get_blob(key)
+        if blob is None:
+            return None
+        result = decode_sim_metrics(blob)
+        self._live[key] = result
+        return result
+
+    def put_sim_metrics(self, key: str, result: SimResult, *, seed: int) -> None:
+        self._live[key] = result
+        self.put_sim_metrics_blob(
+            key,
+            encode_sim_metrics(result),
+            workload=result.workload,
+            n_cpus=result.n_cpus,
+            seed=seed,
+        )
+
+    def put_sim_metrics_blob(
+        self, key: str, blob: bytes, *, workload: str, n_cpus: int, seed: int
+    ) -> None:
+        """Persist an already-encoded metrics-only simulation payload."""
+        self.put_blob(
+            key, blob, kind="sim-metrics", workload=workload,
+            filter_name=None, n_cpus=n_cpus, seed=seed,
+        )
+
     def get_eval(self, key: str) -> FilterEvaluation | None:
         cached = self._live.get(key)
         if cached is not None:
@@ -409,23 +492,26 @@ class ExperimentStore:
     def stats(self) -> StoreStats:
         if self._db is None:
             meta = self._meta
-            sims = sum(1 for m in meta.values() if m[0] == "sim")
-            payload = sum(len(b) for b in self._blobs.values())
+            by_kind: dict[str, int] = {}
+            for m in meta.values():
+                by_kind[m[0]] = by_kind.get(m[0], 0) + 1
             return StoreStats(
-                sims=sims,
-                evals=len(meta) - sims,
-                payload_bytes=payload,
+                sims=by_kind.get("sim", 0),
+                evals=by_kind.get("eval", 0),
+                stream_sims=by_kind.get("sim-metrics", 0),
+                payload_bytes=sum(len(b) for b in self._blobs.values()),
                 path=None,
             )
         rows = self._db.execute(
             "SELECT kind, COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
             "FROM results GROUP BY kind"
         ).fetchall()
-        by_kind = {kind: (count, nbytes) for kind, count, nbytes in rows}
+        counts = {kind: (count, nbytes) for kind, count, nbytes in rows}
         return StoreStats(
-            sims=by_kind.get("sim", (0, 0))[0],
-            evals=by_kind.get("eval", (0, 0))[0],
-            payload_bytes=sum(nbytes for _, nbytes in by_kind.values()),
+            sims=counts.get("sim", (0, 0))[0],
+            evals=counts.get("eval", (0, 0))[0],
+            stream_sims=counts.get("sim-metrics", (0, 0))[0],
+            payload_bytes=sum(nbytes for _, nbytes in counts.values()),
             path=str(self.path),
         )
 

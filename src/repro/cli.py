@@ -9,6 +9,8 @@ Examples::
     jetty-repro energy lu "HJ(IJ-9x4x7, EJ-32x4)"
     jetty-repro nway 8
     jetty-repro sweep --workers 4 --workloads lu fft --filters EJ-32x4 IJ-10x4x7
+    jetty-repro sweep --stream --workloads em3d --accesses 2e6 --chunk-size 65536
+    jetty-repro sweep --stream --preset paper-scale --workloads lu
     jetty-repro --store results.sqlite cache info
 """
 
@@ -19,8 +21,33 @@ import sys
 
 from repro.analysis import experiments, figures, report, runner, tables
 from repro.coherence.config import SCALED_SYSTEM
-from repro.traces.workloads import WORKLOADS
+from repro.traces.workloads import PRESETS, WORKLOADS
 from repro.utils.text import format_percent, render_table
+
+
+def _count(text: str) -> int:
+    """Access-count argument: plain ints or paper-scale floats like 25e6."""
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if not math.isfinite(value) or value < 0 or value != int(value):
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative whole number, got {text!r}"
+        )
+    return int(value)
+
+
+def _positive_count(text: str) -> int:
+    """Like :func:`_count` but zero is rejected (chunk sizes)."""
+    value = _count(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive whole number, got {text!r}"
+        )
+    return value
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -141,6 +168,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.config import parse_filter_name
     from repro.traces.workloads import get_workload
 
+    if args.preset == "paper-scale" and not args.stream:
+        print(
+            "error: --preset paper-scale requires --stream (buffered mode "
+            "materialises the full event trace at paper scale)",
+            file=sys.stderr,
+        )
+        return 2
     workloads = args.workloads if args.workloads else list(WORKLOADS)
     filters = args.filters if args.filters else list(runner.DEFAULT_SWEEP_FILTERS)
     # Validate every name up front: a typo'd filter must not surface only
@@ -160,6 +194,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         experiment_store=experiments.get_store(),
         accesses=args.accesses,
         warmup=args.warmup,
+        preset=args.preset,
+        stream=args.stream,
+        chunk_size=args.chunk_size,
     )
     headers = ["workload"] + [f"{f} (cov)" for f in filters]
     rows = []
@@ -170,6 +207,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             row.append(format_percent(sum(values) / len(values)))
         rows.append(row)
     title = f"sweep: {len(workloads)} workloads x {len(filters)} filters"
+    if args.stream:
+        title += " [streamed]"
     if len(seeds) > 1:
         title += f" (mean over seeds {seeds})"
     print(render_table(headers, rows, title=title))
@@ -187,6 +226,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     location = stats.path or "in-memory (set --store or REPRO_STORE to persist)"
     print(f"store:    {location}")
     print(f"sims:     {stats.sims}")
+    print(f"streamed: {stats.stream_sims}")
     print(f"evals:    {stats.evals}")
     print(f"payload:  {stats.payload_bytes / 1024:.1f} KiB")
     if args.action == "list":
@@ -252,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser("trace", help="archive a workload trace (.npz)")
     p_trace.add_argument("workload")
     p_trace.add_argument("path")
-    p_trace.add_argument("--accesses", type=int, default=None,
+    p_trace.add_argument("--accesses", type=_count, default=None,
                          help="override the workload's access count")
     p_trace.set_defaults(func=_cmd_trace)
 
@@ -269,10 +309,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seeds to sweep (default: --seed)")
     p_sweep.add_argument("--cpus", type=int, default=None,
                          help="SMP width (default: the scaled system's 4)")
-    p_sweep.add_argument("--accesses", type=int, default=None,
-                         help="override per-workload access count (smoke runs)")
-    p_sweep.add_argument("--warmup", type=int, default=None,
+    p_sweep.add_argument("--accesses", type=_count, default=None,
+                         help="override per-workload access count; accepts "
+                         "paper-scale values like 25e6")
+    p_sweep.add_argument("--warmup", type=_count, default=None,
                          help="override per-workload warm-up accesses")
+    p_sweep.add_argument("--stream", action="store_true",
+                         help="single-pass streaming mode: evaluate all "
+                         "filters live with O(chunk) memory (required for "
+                         "paper-scale access counts)")
+    p_sweep.add_argument("--chunk-size", type=_positive_count,
+                         default=runner.DEFAULT_CHUNK_SIZE,
+                         help="accesses per streaming chunk (memory/overhead "
+                         "knob; never changes results)")
+    p_sweep.add_argument("--preset", default=None,
+                         choices=sorted(PRESETS),
+                         help="named workload transformation, e.g. "
+                         "paper-scale (Table 2 trace lengths, capped)")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_cache = sub.add_parser(

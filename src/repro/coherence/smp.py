@@ -2,8 +2,33 @@
 
 :class:`SMPSystem` wires :class:`~repro.coherence.node.CacheNode` objects
 to a shared :class:`~repro.coherence.bus.Bus` and consumes an interleaved
-access stream.  :func:`simulate` is the one-call entry point used by the
-experiment harness.
+access stream.  :func:`simulate` is the one-call buffered entry point
+used by the experiment harness; :func:`simulate_streaming` is its
+single-pass sibling for paper-scale traces.
+
+**Shard/marker protocol (streaming mode).**  In buffered mode every node
+appends the events its JETTY would observe (SNOOP/ALLOC/EVICT, plus the
+warm-up MARKER) to an unbounded per-node list that ships inside the
+:class:`~repro.coherence.metrics.SimResult`.  In streaming mode the run
+is cut into *chunks* of at most ``chunk_size`` accesses; after each chunk
+:meth:`SMPSystem.take_shard` detaches the per-node event lists — one
+bounded *shard* per node, in node order — and hands them to the attached
+consumers (e.g. :class:`~repro.core.stats.StreamingFilterBank`), then the
+nodes start fresh lists.  Because events are only ever appended in global
+access order and a shard boundary never reorders or drops anything, the
+per-node concatenation of all shards is exactly the event list buffered
+mode would have recorded.  The warm-up MARKER is emitted by
+:meth:`SMPSystem.begin_measurement` *between* chunks and therefore rides
+at the front of the next shard — consumers see it at the same position
+in the event sequence as a buffered replay would.
+
+**Determinism contract.**  A simulation is a pure function of
+``(config, access stream)``: node statistics, bus statistics, and the
+event sequence are identical whether the run is buffered or streamed,
+whatever the chunk size, and whichever process executes it.  Downstream,
+filter evaluations derived from the shards are byte-identical to
+buffered replays (``tests/test_streaming.py`` pins this across chunk
+sizes against the golden suite).
 
 The module also provides :func:`check_coherence_invariants`, used by the
 integration and property-based tests to assert protocol correctness after
@@ -20,14 +45,28 @@ integration and property-based tests to assert protocol correctness after
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
+from typing import Protocol
 
 from repro.coherence.bus import Bus, BusOp, BusStatsCounter
 from repro.coherence.config import SystemConfig
 from repro.coherence.metrics import BusStats, NodeStats, SimResult
 from repro.coherence.node import CacheNode
+from repro.core.stats import NodeEventStream
 from repro.coherence.states import MOESI
 from repro.errors import CoherenceError, TraceError
+
+#: Default accesses per streaming chunk.  Peak event-shard memory is
+#: proportional to this (a few events per access at most), independent of
+#: trace length.
+DEFAULT_CHUNK_SIZE = 65_536
+
+
+class ShardConsumer(Protocol):
+    """Anything that can absorb per-chunk event shards from a live run."""
+
+    def consume(self, shard: list[NodeEventStream]) -> None:
+        """Receive one chunk's per-node event shards, in node order."""
 
 
 class SMPSystem:
@@ -80,6 +119,43 @@ class SMPSystem:
             count += 1
         self.accesses += count
 
+    def take_shard(self) -> list[NodeEventStream]:
+        """Detach and return every node's pending events as one shard.
+
+        Nodes continue recording into fresh, empty streams; the caller
+        owns the returned shard.  Concatenating all shards taken during a
+        run (per node, in order) reconstructs the exact event list a
+        buffered run would have accumulated.
+        """
+        shard = [node.events for node in self.nodes]
+        for node in self.nodes:
+            node.events = NodeEventStream(node.node_id)
+        return shard
+
+    def run_chunked(
+        self,
+        accesses: Iterable[tuple[int, int, bool]],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[list[NodeEventStream]]:
+        """Consume ``accesses`` in bounded chunks, yielding event shards.
+
+        Each yielded shard covers at most ``chunk_size`` accesses; event
+        memory never exceeds one chunk's worth.  The access stream itself
+        is consumed lazily (never materialised beyond one chunk).
+        """
+        if chunk_size < 1:
+            raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
+        iterator = iter(accesses)
+        while True:
+            before = self.accesses
+            self.run(itertools.islice(iterator, chunk_size))
+            consumed = self.accesses - before
+            if consumed == 0:
+                break
+            yield self.take_shard()
+            if consumed < chunk_size:
+                break
+
     def begin_measurement(self) -> None:
         """End the cache warm-up phase: zero statistics, keep all state.
 
@@ -100,8 +176,13 @@ class SMPSystem:
         for node in self.nodes:
             node.drain_write_buffer()
 
-    def result(self, workload: str = "") -> SimResult:
-        """Package statistics and event streams for analysis."""
+    def result(self, workload: str = "", include_events: bool = True) -> SimResult:
+        """Package statistics and event streams for analysis.
+
+        With ``include_events=False`` the result carries metrics only
+        (``event_streams == []``) — the shape streamed runs produce, since
+        their events were handed to shard consumers and discarded.
+        """
         bus_counts = self.bus.stats
         bus = BusStats(
             reads=bus_counts.transactions[BusOp.READ],
@@ -115,7 +196,9 @@ class SMPSystem:
             n_cpus=self.config.n_cpus,
             node_stats=[node.stats for node in self.nodes],
             bus=bus,
-            event_streams=[node.events for node in self.nodes],
+            event_streams=(
+                [node.events for node in self.nodes] if include_events else []
+            ),
             accesses=self.accesses,
         )
 
@@ -142,6 +225,48 @@ def simulate(
         system.run(accesses)
     system.finish()
     return system.result(workload)
+
+
+def simulate_streaming(
+    config: SystemConfig,
+    accesses: Iterable[tuple[int, int, bool]],
+    workload: str = "",
+    warmup: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    sinks: Iterable[ShardConsumer] = (),
+) -> SimResult:
+    """Single-pass, bounded-memory sibling of :func:`simulate`.
+
+    The run is identical access for access — same warm-up handling, same
+    statistics — but instead of accumulating every node's event stream,
+    events are cut into shards of at most ``chunk_size`` accesses and
+    pushed to ``sinks`` (typically one
+    :class:`~repro.core.stats.StreamingFilterBank` per filter
+    configuration) as the simulation advances.  Peak memory is
+    O(chunk_size), independent of trace length; the returned result is
+    metrics-only (``event_streams == []``) with node, bus, and access
+    counters equal to what :func:`simulate` would report.
+    """
+    system = SMPSystem(config)
+    sinks = list(sinks)
+    iterator = iter(accesses)
+    if warmup > 0:
+        warm = itertools.islice(iterator, warmup)
+        for shard in system.run_chunked(warm, chunk_size):
+            for sink in sinks:
+                sink.consume(shard)
+        system.begin_measurement()
+    for shard in system.run_chunked(iterator, chunk_size):
+        for sink in sinks:
+            sink.consume(shard)
+    # The warm-up MARKER (and nothing else) can remain pending when the
+    # measured region is empty or the stream ended exactly at a boundary.
+    residue = system.take_shard()
+    if any(stream.events for stream in residue):
+        for sink in sinks:
+            sink.consume(residue)
+    system.finish()
+    return system.result(workload, include_events=False)
 
 
 def check_coherence_invariants(system: SMPSystem) -> None:

@@ -16,6 +16,18 @@ Events come in three kinds:
 
 The replay cross-checks the JETTY safety guarantee on every filtered snoop
 and raises :class:`~repro.errors.FilterSafetyError` on a violation.
+
+Replay comes in two shapes sharing one kernel (:class:`EventReplayer`):
+
+* **buffered** — :func:`replay_events` consumes a complete recorded
+  :class:`NodeEventStream` after the simulation has finished;
+* **streaming** — a :class:`StreamingFilterBank` is attached to a live
+  simulation (:func:`repro.coherence.smp.simulate_streaming`) and is fed
+  bounded event *shards* as they are produced, so no event is ever
+  retained beyond its shard.  Filter state, the warm-up MARKER reset,
+  and the safety cross-check behave identically in both shapes; feeding
+  a stream's events in one call or split at arbitrary shard boundaries
+  yields bit-identical evaluations.
 """
 
 from __future__ import annotations
@@ -144,6 +156,112 @@ def merge_evaluations(evaluations: list[FilterEvaluation]) -> FilterEvaluation:
     return merged
 
 
+class EventReplayer:
+    """Incrementally replay one node's event stream through one filter.
+
+    The replayer is the shared kernel of buffered and streaming
+    evaluation: :meth:`feed` may be called once with a complete event
+    list or many times with consecutive shards — filter state, coverage
+    statistics, and the MARKER warm-up reset carry across calls, so the
+    result of :meth:`finish` depends only on the concatenation of all
+    fed events, never on where the shard boundaries fell.
+    """
+
+    def __init__(self, snoop_filter: SnoopFilter, node_id: int) -> None:
+        self.snoop_filter = snoop_filter
+        self.node_id = node_id
+        self.stats = CoverageStats()
+        self.allocs = 0
+        self.evicts = 0
+
+    def feed(self, events: list[Event]) -> None:
+        """Consume one batch of events (a whole stream or one shard)."""
+        snoop_filter = self.snoop_filter
+        stats = self.stats
+        probe = snoop_filter.probe
+        outcome = snoop_filter.on_snoop_outcome
+        on_alloc = snoop_filter.on_block_allocated
+        on_evict = snoop_filter.on_block_evicted
+
+        for kind, block, flag in events:
+            if kind == SNOOP:
+                would_hit = flag & 1
+                block_present = flag & 2
+                stats.snoops += 1
+                if would_hit:
+                    stats.snoop_would_hit += 1
+                else:
+                    stats.snoop_would_miss += 1
+                if probe(block):
+                    outcome(block, bool(block_present))
+                else:
+                    if block_present:
+                        raise FilterSafetyError(
+                            f"{snoop_filter.name} filtered a snoop for block "
+                            f"{block:#x} on node {self.node_id}, but the block "
+                            "is cached — JETTY safety guarantee violated"
+                        )
+                    stats.filtered += 1
+            elif kind == ALLOC:
+                self.allocs += 1
+                on_alloc(block)
+            elif kind == EVICT:
+                self.evicts += 1
+                on_evict(block)
+            else:  # MARKER: warm-up ends, statistics restart, state persists.
+                stats = CoverageStats()
+                self.stats = stats
+                self.allocs = self.evicts = 0
+                snoop_filter.reset_counts()
+
+    def finish(self) -> FilterEvaluation:
+        """Package the accumulated statistics of everything fed so far."""
+        return FilterEvaluation(
+            filter_name=self.snoop_filter.name,
+            coverage=self.stats,
+            events=self.snoop_filter.energy_counts(),
+            storage_bits=self.snoop_filter.storage_bits(),
+            allocs=self.allocs,
+            evicts=self.evicts,
+        )
+
+
+class StreamingFilterBank:
+    """One filter configuration evaluated live across all nodes.
+
+    A bank holds one freshly built filter (and its :class:`EventReplayer`)
+    per node and implements the shard-consumer interface expected by
+    :func:`repro.coherence.smp.simulate_streaming`: each
+    :meth:`consume` call receives the per-node event shards of one chunk,
+    in node order.  Several banks — one per filter configuration — can be
+    attached to the same simulation, which is how N filters are evaluated
+    in a single pass with O(chunk) memory.
+    """
+
+    def __init__(self, filters: list[SnoopFilter]) -> None:
+        self.replayers = [
+            EventReplayer(snoop_filter, node_id)
+            for node_id, snoop_filter in enumerate(filters)
+        ]
+
+    def consume(self, shard: list[NodeEventStream]) -> None:
+        """Feed one chunk's per-node event shards to the node replayers."""
+        if len(shard) != len(self.replayers):
+            raise ValueError(
+                f"shard carries {len(shard)} node stream(s), bank expects "
+                f"{len(self.replayers)} — a metrics-only result has no "
+                "events to replay"
+            )
+        for replayer, stream in zip(self.replayers, shard):
+            replayer.feed(stream.events)
+
+    def finish(self) -> FilterEvaluation:
+        """The system-wide merged evaluation (as the paper reports)."""
+        return merge_evaluations(
+            [replayer.finish() for replayer in self.replayers]
+        )
+
+
 def replay_events(
     snoop_filter: SnoopFilter, stream: NodeEventStream
 ) -> FilterEvaluation:
@@ -154,48 +272,6 @@ def replay_events(
     :class:`FilterSafetyError` if the filter ever claims a cached block is
     absent.
     """
-    stats = CoverageStats()
-    allocs = evicts = 0
-    probe = snoop_filter.probe
-    outcome = snoop_filter.on_snoop_outcome
-    on_alloc = snoop_filter.on_block_allocated
-    on_evict = snoop_filter.on_block_evicted
-
-    for kind, block, flag in stream.events:
-        if kind == SNOOP:
-            would_hit = flag & 1
-            block_present = flag & 2
-            stats.snoops += 1
-            if would_hit:
-                stats.snoop_would_hit += 1
-            else:
-                stats.snoop_would_miss += 1
-            if probe(block):
-                outcome(block, bool(block_present))
-            else:
-                if block_present:
-                    raise FilterSafetyError(
-                        f"{snoop_filter.name} filtered a snoop for block "
-                        f"{block:#x} on node {stream.node_id}, but the block "
-                        "is cached — JETTY safety guarantee violated"
-                    )
-                stats.filtered += 1
-        elif kind == ALLOC:
-            allocs += 1
-            on_alloc(block)
-        elif kind == EVICT:
-            evicts += 1
-            on_evict(block)
-        else:  # MARKER: warm-up ends, statistics restart, state persists.
-            stats = CoverageStats()
-            allocs = evicts = 0
-            snoop_filter.reset_counts()
-
-    return FilterEvaluation(
-        filter_name=snoop_filter.name,
-        coverage=stats,
-        events=snoop_filter.energy_counts(),
-        storage_bits=snoop_filter.storage_bits(),
-        allocs=allocs,
-        evicts=evicts,
-    )
+    replayer = EventReplayer(snoop_filter, stream.node_id)
+    replayer.feed(stream.events)
+    return replayer.finish()

@@ -23,6 +23,7 @@ from repro.traces.access import AccessStream
 from repro.traces.interleave import random_interleave, round_robin
 from repro.traces.synth import (
     MigratoryPattern,
+    MixStream,
     Pattern,
     PrivateWorkingSet,
     ProducerConsumer,
@@ -31,9 +32,11 @@ from repro.traces.synth import (
     WorkloadMix,
 )
 from repro.traces.workloads import (
+    PRESETS,
     WORKLOADS,
     PaperReference,
     WorkloadSpec,
+    apply_preset,
     build_workload_stream,
     get_workload,
 )
@@ -41,6 +44,8 @@ from repro.traces.workloads import (
 __all__ = [
     "AccessStream",
     "MigratoryPattern",
+    "MixStream",
+    "PRESETS",
     "Pattern",
     "PaperReference",
     "PrivateWorkingSet",
@@ -50,6 +55,7 @@ __all__ = [
     "WORKLOADS",
     "WorkloadMix",
     "WorkloadSpec",
+    "apply_preset",
     "build_workload_stream",
     "get_workload",
     "random_interleave",

@@ -7,7 +7,7 @@ traffic.  A workload is a :class:`WorkloadMix` of weighted patterns.
 
 from repro.traces.synth.base import Pattern
 from repro.traces.synth.migratory import MigratoryPattern
-from repro.traces.synth.mix import WorkloadMix
+from repro.traces.synth.mix import MixStream, WorkloadMix
 from repro.traces.synth.private import PrivateWorkingSet
 from repro.traces.synth.producer_consumer import ProducerConsumer
 from repro.traces.synth.readonly import SharedReadOnly
@@ -15,6 +15,7 @@ from repro.traces.synth.streaming import StreamingSweep
 
 __all__ = [
     "MigratoryPattern",
+    "MixStream",
     "Pattern",
     "PrivateWorkingSet",
     "ProducerConsumer",

@@ -1,8 +1,18 @@
-"""Weighted mixing of sharing patterns into a full workload stream."""
+"""Weighted mixing of sharing patterns into a full workload stream.
+
+:meth:`WorkloadMix.generate` returns a :class:`MixStream` — a resumable
+cursor that can be consumed whole, drained in bounded chunks
+(:meth:`MixStream.take` / :meth:`MixStream.chunks`), or checkpointed and
+resumed later with its complete RNG and pattern state intact.  The
+streaming simulation engine relies on this: a paper-scale trace is never
+materialised, and an interrupted run can restart generation from the
+last checkpoint instead of the beginning.
+"""
 
 from __future__ import annotations
 
 import itertools
+import pickle
 import random
 from collections.abc import Iterator, Sequence
 
@@ -49,16 +59,84 @@ class WorkloadMix:
                 return pattern
         return self.patterns[-1]
 
-    def generate(
-        self, n_accesses: int, seed: int = 0
-    ) -> Iterator[tuple[int, int, bool]]:
-        """Yield ``n_accesses`` interleaved accesses, reproducibly."""
-        rng = random.Random(seed)
-        last: tuple[int, int, bool] | None = None
-        for _ in range(n_accesses):
-            if last is not None and rng.random() < self.repeat_frac:
-                cpu, address, _w = last
-                yield cpu, address, False
-                continue
-            last = self._pick(rng).next_access(rng)
-            yield last
+    def generate(self, n_accesses: int, seed: int = 0) -> "MixStream":
+        """Return a resumable stream of ``n_accesses`` accesses.
+
+        The stream is an iterator (drop-in for the old generator) drawing
+        every random decision from a single seeded RNG, so equal seeds
+        reproduce equal streams.  Note that the mix's patterns are
+        stateful and shared: interleaving two streams over the *same*
+        mix instance correlates them — build a fresh mix per stream.
+        """
+        return MixStream(self, n_accesses, seed)
+
+
+class MixStream(Iterator[tuple[int, int, bool]]):
+    """A resumable cursor over one :class:`WorkloadMix` access stream.
+
+    Supports three consumption styles on top of plain iteration:
+
+    * :meth:`take` — pop the next bounded chunk as a list;
+    * :meth:`chunks` — iterate the rest of the stream chunk by chunk;
+    * :meth:`checkpoint` / :meth:`resume` — serialise the complete
+      generation state (RNG state, per-pattern cursors, repeat memory,
+      position) so a later process can continue the stream exactly where
+      this one stopped, without regenerating the prefix.
+    """
+
+    def __init__(self, mix: WorkloadMix, n_accesses: int, seed: int = 0) -> None:
+        self.mix = mix
+        self.remaining = n_accesses
+        self.position = 0
+        self._rng = random.Random(seed)
+        self._last: tuple[int, int, bool] | None = None
+
+    def __next__(self) -> tuple[int, int, bool]:
+        if self.remaining <= 0:
+            raise StopIteration
+        self.remaining -= 1
+        self.position += 1
+        rng = self._rng
+        last = self._last
+        if last is not None and rng.random() < self.mix.repeat_frac:
+            cpu, address, _w = last
+            return cpu, address, False
+        self._last = self.mix._pick(rng).next_access(rng)
+        return self._last
+
+    def take(self, count: int) -> list[tuple[int, int, bool]]:
+        """Pop up to ``count`` accesses (shorter only at end of stream)."""
+        return list(itertools.islice(self, count))
+
+    def chunks(self, chunk_size: int) -> Iterator[list[tuple[int, int, bool]]]:
+        """Yield the remaining accesses as bounded, in-order chunks."""
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        while True:
+            chunk = self.take(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+
+    def checkpoint(self) -> bytes:
+        """Serialise the full generation state (RNG, patterns, position)."""
+        return pickle.dumps(self)
+
+    @staticmethod
+    def resume(blob: bytes) -> "MixStream":
+        """Rebuild a stream from :meth:`checkpoint`; continues exactly.
+
+        .. warning:: ``blob`` is a pickle and is executed on load —
+           resume only checkpoints you wrote yourself, from storage you
+           trust, exactly like any other pickle-based checkpoint file.
+           The type check below catches mix-ups (wrong file fed back),
+           not tampering.
+        """
+        stream = pickle.loads(blob)
+        if not isinstance(stream, MixStream):
+            raise ConfigurationError(
+                f"not a MixStream checkpoint: {type(stream).__name__}"
+            )
+        return stream

@@ -18,12 +18,13 @@ discriminating power.
 from __future__ import annotations
 
 import zlib
-from collections.abc import Iterator, Sequence
-from dataclasses import dataclass, field
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
 
 from repro.errors import WorkloadError
 from repro.traces.synth import (
     MigratoryPattern,
+    MixStream,
     PrivateWorkingSet,
     ProducerConsumer,
     SharedReadOnly,
@@ -441,8 +442,13 @@ def build_workload_stream(
     n_accesses: int | None = None,
     seed: int = 0,
     include_warmup: bool = False,
-) -> Iterator[tuple[int, int, bool]]:
+) -> MixStream:
     """Generate the interleaved access stream for one workload.
+
+    The returned :class:`~repro.traces.synth.MixStream` is a lazy,
+    resumable cursor: iterate it whole, drain it in bounded chunks
+    (``stream.chunks(n)``), or checkpoint/resume it — paper-scale traces
+    are never materialised.
 
     With ``include_warmup`` the stream is prefixed by the spec's warm-up
     accesses (pass ``warmup=spec.warmup_accesses`` to
@@ -462,9 +468,53 @@ def build_workload_stream(
 
 def simulate_workload_accesses(
     spec: WorkloadSpec | str, n_cpus: int = 4, seed: int = 0
-) -> tuple[Iterator[tuple[int, int, bool]], int]:
+) -> tuple[MixStream, int]:
     """Return ``(stream_with_warmup, warmup_count)`` ready for simulate()."""
     if isinstance(spec, str):
         spec = get_workload(spec)
     stream = build_workload_stream(spec, n_cpus=n_cpus, seed=seed, include_warmup=True)
     return stream, spec.warmup_accesses
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+#: Access-count ceiling for the ``paper-scale`` preset.  Table 2's traces
+#: range from tens of millions to ~1.75 billion references; the cap keeps
+#: the preset's worst case at a size a pure-Python overnight run can
+#: absorb while still being two orders of magnitude past the seed sizes.
+PAPER_SCALE_CAP = 25_000_000
+
+
+def paper_scale(spec: WorkloadSpec, cap: int = PAPER_SCALE_CAP) -> WorkloadSpec:
+    """Scale a spec to its paper-reported trace length (Table 2, capped).
+
+    Only ``n_accesses`` changes: warm-up is a property of the cache
+    geometry, not the trace length, so the spec's warm-up count is kept.
+    Run these through the streaming engine
+    (:func:`repro.analysis.runner.evaluate_streaming` or
+    ``repro sweep --stream``) — buffered mode would materialise the full
+    event trace.
+    """
+    target = int(spec.paper.accesses_millions * 1_000_000)
+    if cap:
+        target = min(target, cap)
+    return replace(spec, n_accesses=max(target, spec.n_accesses))
+
+
+#: Named spec transformations selectable from the CLI (``--preset``).
+PRESETS = {
+    "paper-scale": paper_scale,
+}
+
+
+def apply_preset(spec: WorkloadSpec, preset: str) -> WorkloadSpec:
+    """Apply a named preset transformation to one workload spec."""
+    try:
+        transform = PRESETS[preset]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return transform(spec)
