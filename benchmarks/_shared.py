@@ -44,23 +44,22 @@ def prewarm(
 ) -> runner.ExecutionReport:
     """Batch-run every workload x filter x seed job into the shared store.
 
-    ``filters`` may be empty to prewarm simulations only.  Returns the
+    Each (workload, seed) becomes one single-pass *streaming* job with
+    all requested filters attached, so a prewarm sweep keeps O(chunk)
+    memory however long the traces (the ten Table 2 sims used to run
+    buffered here, materialising every event stream).  ``filters`` may
+    be empty to prewarm simulation metrics only.  By the determinism
+    contract the stored payloads are byte-identical to buffered runs',
+    so warm stores from either mode satisfy the other.  Returns the
     execution report (how much was fresh work vs already stored).
     """
-    sim_jobs = [
-        runner.SimJob(workload, system, seed)
+    stream_jobs = [
+        runner.StreamJob(workload, tuple(filters), system, seed)
         for workload in workloads
         for seed in seeds
     ]
-    eval_jobs = [
-        runner.EvalJob(workload, filter_name, system, seed)
-        for workload in workloads
-        for filter_name in filters
-        for seed in seeds
-    ]
-    return runner.execute(
-        sim_jobs,
-        eval_jobs,
+    return runner.execute_streams(
+        stream_jobs,
         experiment_store=experiments.get_store(),
         workers=bench_workers(),
     )

@@ -7,7 +7,7 @@ subblock-granularity misses within one block.
 """
 
 from benchmarks._shared import once, prewarm, save_exhibit
-from repro.analysis.experiments import coverage_for, run_workload
+from repro.analysis.experiments import coverage_for, workload_metrics
 from repro.coherence.config import SCALED_SYSTEM
 from repro.utils.text import format_percent
 
@@ -24,8 +24,8 @@ def bench_subblocking_ablation(benchmark):
         nsb = SCALED_SYSTEM.without_subblocking()
         rows = []
         for workload in ABLATION_WORKLOADS:
-            sb_result = run_workload(workload, SCALED_SYSTEM)
-            nsb_result = run_workload(workload, nsb)
+            sb_result = workload_metrics(workload, SCALED_SYSTEM)
+            nsb_result = workload_metrics(workload, nsb)
             rows.append((
                 workload,
                 sb_result.snoop_miss_fraction_of_snoops,

@@ -3,7 +3,7 @@
 from benchmarks._shared import once, prewarm, save_exhibit
 from repro.analysis.report import render_table_rows
 from repro.analysis.tables import build_table2
-from repro.analysis.experiments import run_workload
+from repro.analysis.experiments import workload_metrics
 from repro.traces.workloads import WORKLOADS
 
 
@@ -18,7 +18,7 @@ def bench_table2(benchmark):
 
     # Shape checks against the paper's Table 2:
     for name, spec in WORKLOADS.items():
-        agg = run_workload(name).aggregate
+        agg = workload_metrics(name).aggregate
         # L1 filters far more than L2 for every application.
         assert agg.l1_hit_rate > agg.l2_local_hit_rate, name
         # Within-workload L2 hit rate lands near the paper's value.
@@ -26,7 +26,7 @@ def bench_table2(benchmark):
 
     # Snoop-heavy applications stay snoop-heavy: em3d observes more
     # snoop-induced L2 accesses than fft by an order of magnitude.
-    em3d = run_workload("em3d").aggregate.snoop_tag_probes
-    em3d_local = run_workload("em3d").aggregate.l2_local_accesses
-    fmm = run_workload("fmm").aggregate
+    em3d = workload_metrics("em3d").aggregate.snoop_tag_probes
+    em3d_local = workload_metrics("em3d").aggregate.l2_local_accesses
+    fmm = workload_metrics("fmm").aggregate
     assert em3d / em3d_local > fmm.snoop_tag_probes / fmm.l2_local_accesses

@@ -1,7 +1,7 @@
 """Table 3: snoop remote-hit distribution and snoop-miss shares."""
 
 from benchmarks._shared import once, prewarm, save_exhibit
-from repro.analysis.experiments import run_workload
+from repro.analysis.experiments import workload_metrics
 from repro.analysis.report import render_table_rows
 from repro.analysis.tables import build_table3
 from repro.traces.workloads import WORKLOADS
@@ -18,7 +18,7 @@ def bench_table3(benchmark):
     zero_hit = []
     miss_of_all = []
     for name in WORKLOADS:
-        result = run_workload(name)
+        result = workload_metrics(name)
         fractions = result.bus.remote_hit_fractions()
         zero_hit.append(fractions[0])
         miss_of_all.append(result.snoop_miss_fraction_of_all)
@@ -29,12 +29,12 @@ def bench_table3(benchmark):
     # Shape: the majority of snoops find no remote copy (paper avg 79.6%).
     assert 0.65 < sum(zero_hit) / len(zero_hit) < 0.95
     # radix and raytrace: essentially all snoops find zero copies.
-    assert run_workload("radix").bus.remote_hit_fractions()[0] > 0.97
-    assert run_workload("raytrace").bus.remote_hit_fractions()[0] > 0.97
+    assert workload_metrics("radix").bus.remote_hit_fractions()[0] > 0.97
+    assert workload_metrics("raytrace").bus.remote_hit_fractions()[0] > 0.97
     # The sharing-heavy applications (unstructured, barnes) have the
     # least zero-hit snoops, as in the paper (33% and 47%).
     zero_by_name = {
-        name: run_workload(name).bus.remote_hit_fractions()[0]
+        name: workload_metrics(name).bus.remote_hit_fractions()[0]
         for name in WORKLOADS
     }
     lowest_two = sorted(zero_by_name, key=zero_by_name.get)[:2]

@@ -1,0 +1,205 @@
+"""Standing end-to-end throughput benchmark (accesses per second).
+
+Measures how fast the simulator consumes accesses in both execution
+modes and writes a machine-readable ``BENCH_throughput.json`` at the
+repository root, seeding the performance trajectory the ROADMAP asks
+for ("as fast as the hardware allows" needs a standing measurement,
+not one-off timings buried in test logs).
+
+Protocol (identical across code versions, so numbers are comparable):
+
+* **streamed** — one single-pass simulation per workload with the four
+  :data:`~repro.analysis.runner.DEFAULT_SWEEP_FILTERS` banks attached
+  live (the paper-scale configuration; the headline number);
+* **buffered** — the two-phase pipeline (record everything, then replay
+  all four filters) at a reduced access count, since buffered memory is
+  O(trace).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick \
+        --assert-floor 15000 --output /tmp/BENCH_throughput.json
+    PYTHONPATH=src python benchmarks/bench_throughput.py --set-baseline \
+        --label "PR2: tuple events, per-access loops"
+
+``--set-baseline`` stores the freshly measured results as the file's
+``baseline`` section (run it *before* an optimisation lands); later
+plain runs keep that section and report per-run speedups against it.
+``--assert-floor N`` exits non-zero when the headline streamed
+throughput falls below N accesses/s — a CI guard against catastrophic
+regressions, deliberately generous so machine noise never trips it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.analysis import runner
+from repro.coherence.config import SCALED_SYSTEM
+from repro.traces.workloads import get_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+#: The three measured workloads: two ends of the snoop-locality spectrum
+#: plus the heaviest snooper (em3d) — enough shape diversity that a fast
+#: path helping only one access pattern cannot fake a global win.
+BENCH_WORKLOADS = ("lu", "em3d", "radix")
+
+FILTERS = runner.DEFAULT_SWEEP_FILTERS
+
+#: (streamed accesses, streamed warm-up, buffered accesses, buffered
+#: warm-up).  Full mode pins the ISSUE acceptance configuration: a
+#: 2M-access streamed run with all four filter banks attached.
+FULL_SIZES = (2_000_000, 100_000, 200_000, 20_000)
+QUICK_SIZES = (120_000, 10_000, 60_000, 6_000)
+
+
+def _sized(name: str, n_accesses: int, warmup: int):
+    spec = get_workload(name)
+    return replace(spec, n_accesses=n_accesses, warmup_accesses=warmup)
+
+
+def measure_streamed(name: str, n_accesses: int, warmup: int) -> dict:
+    spec = _sized(name, n_accesses, warmup)
+    started = time.perf_counter()
+    runner.compute_stream(spec, SCALED_SYSTEM, 1, FILTERS)
+    elapsed = time.perf_counter() - started
+    return {
+        "workload": name,
+        "accesses": n_accesses,
+        "warmup": warmup,
+        "filters": len(FILTERS),
+        "seconds": round(elapsed, 3),
+        "accesses_per_sec": round(n_accesses / elapsed),
+    }
+
+
+def measure_buffered(name: str, n_accesses: int, warmup: int) -> dict:
+    spec = _sized(name, n_accesses, warmup)
+    started = time.perf_counter()
+    sim = runner.compute_sim(spec, SCALED_SYSTEM, 1)
+    for filter_name in FILTERS:
+        runner.compute_eval(sim, filter_name, SCALED_SYSTEM)
+    elapsed = time.perf_counter() - started
+    return {
+        "workload": name,
+        "accesses": n_accesses,
+        "warmup": warmup,
+        "filters": len(FILTERS),
+        "seconds": round(elapsed, 3),
+        "accesses_per_sec": round(n_accesses / elapsed),
+    }
+
+
+def run_benchmark(quick: bool) -> dict:
+    s_acc, s_warm, b_acc, b_warm = QUICK_SIZES if quick else FULL_SIZES
+    results: dict = {"streamed": {}, "buffered": {}}
+    for name in BENCH_WORKLOADS:
+        print(f"streamed {name}: {s_acc:,} accesses, "
+              f"{len(FILTERS)} filter banks ...", flush=True)
+        entry = measure_streamed(name, s_acc, s_warm)
+        results["streamed"][name] = entry
+        print(f"  {entry['accesses_per_sec']:,} accesses/s "
+              f"({entry['seconds']}s)")
+    for name in BENCH_WORKLOADS:
+        print(f"buffered {name}: {b_acc:,} accesses ...", flush=True)
+        entry = measure_buffered(name, b_acc, b_warm)
+        results["buffered"][name] = entry
+        print(f"  {entry['accesses_per_sec']:,} accesses/s "
+              f"({entry['seconds']}s)")
+    return results
+
+
+def _headline(results: dict) -> int:
+    """Slowest streamed workload: the honest end-to-end number."""
+    return min(e["accesses_per_sec"] for e in results["streamed"].values())
+
+
+def _speedups(results: dict, baseline: dict) -> dict:
+    out: dict = {}
+    for mode in ("streamed", "buffered"):
+        for name, entry in results.get(mode, {}).items():
+            base = baseline.get("results", {}).get(mode, {}).get(name)
+            if base and base.get("accesses_per_sec"):
+                out.setdefault(mode, {})[name] = round(
+                    entry["accesses_per_sec"] / base["accesses_per_sec"], 2
+                )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced access counts (CI smoke)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON (default: repo root)")
+    parser.add_argument("--set-baseline", action="store_true",
+                        help="record these results as the baseline section")
+    parser.add_argument("--label", default="",
+                        help="human label for this measurement")
+    parser.add_argument("--assert-floor", type=int, default=None,
+                        metavar="N", help="fail when the headline streamed "
+                        "throughput drops below N accesses/s")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    results = run_benchmark(args.quick)
+    document = {
+        "schema": 1,
+        "mode": mode,
+        "label": args.label,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": list(BENCH_WORKLOADS),
+        "filters": list(FILTERS),
+        "headline_streamed_accesses_per_sec": _headline(results),
+        "results": results,
+    }
+
+    previous = {}
+    if args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+    if args.set_baseline:
+        document["baseline"] = {
+            "mode": mode,
+            "label": args.label,
+            "results": results,
+        }
+    elif isinstance(previous.get("baseline"), dict):
+        document["baseline"] = previous["baseline"]
+        # Speedups are only meaningful against a same-mode baseline.
+        if document["baseline"].get("mode") == mode:
+            document["speedup_vs_baseline"] = _speedups(
+                results, document["baseline"]
+            )
+
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    headline = document["headline_streamed_accesses_per_sec"]
+    print(f"\nheadline (slowest streamed workload): {headline:,} accesses/s")
+    if "speedup_vs_baseline" in document:
+        ratios = document["speedup_vs_baseline"].get("streamed", {})
+        if ratios:
+            print("speedup vs baseline (streamed): "
+                  + ", ".join(f"{n} x{v}" for n, v in sorted(ratios.items())))
+    print(f"wrote {args.output}")
+
+    if args.assert_floor is not None and headline < args.assert_floor:
+        print(f"FAIL: headline {headline:,} accesses/s is below the floor "
+              f"of {args.assert_floor:,}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,35 @@ def run_workload(
     return result
 
 
+def workload_metrics(
+    name: str,
+    system: SystemConfig = SCALED_SYSTEM,
+    seed: int = 1,
+) -> SimResult:
+    """Simulation statistics for one workload, without event streams.
+
+    The metrics-only front door for exhibits that read counters (tables,
+    stability, energy) but never replay events: it is satisfied by a
+    streamed run's ``sim-metrics`` payload, falls back to a stored
+    buffered recording, and only simulates — in O(chunk) streaming mode —
+    when neither exists.  The numbers are identical to
+    :func:`run_workload`'s by the determinism contract; only the memory
+    profile differs.
+    """
+    spec = get_workload(name)
+    store = get_store()
+    mkey = store_mod.sim_metrics_key(spec, system, seed)
+    metrics = store.get_sim_metrics(mkey)
+    if metrics is not None:
+        return metrics
+    full = store.get_sim(store_mod.sim_key(spec, system, seed))
+    if full is not None:
+        return full
+    metrics, _evaluations = runner.compute_stream(spec, system, seed)
+    store.put_sim_metrics(mkey, metrics, seed=seed)
+    return metrics
+
+
 def evaluate_filter(
     workload: str,
     filter_name: str,
@@ -141,7 +170,7 @@ def energy_reduction_for(
     seed: int = 1,
 ) -> EnergyReduction:
     """Figure 6's four reduction numbers for one (workload, filter)."""
-    result = run_workload(workload, system, seed)
+    result = workload_metrics(workload, system, seed)
     evaluation = evaluate_filter(workload, filter_name, system, seed)
     return _accountant(system).reduction(result.aggregate, evaluation, filter_name)
 
@@ -172,7 +201,7 @@ def summarize_nway(
     miss_fracs = []
     coverages = []
     for name in names:
-        result = run_workload(name, system, seed)
+        result = workload_metrics(name, system, seed)
         miss_fracs.append(result.snoop_miss_fraction_of_all)
         coverages.append(coverage_for(name, filter_name, system, seed))
     return NWaySummary(

@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.analysis.experiments import coverage_for, run_workload
+from repro.analysis.experiments import coverage_for, workload_metrics
 from repro.coherence.config import SCALED_SYSTEM, SystemConfig
 from repro.errors import ConfigurationError
 
@@ -68,7 +68,7 @@ def snoop_miss_stability(
     if not seeds:
         raise ConfigurationError("need at least one seed")
     values = tuple(
-        run_workload(workload, system, seed).snoop_miss_fraction_of_all
+        workload_metrics(workload, system, seed).snoop_miss_fraction_of_all
         for seed in seeds
     )
     return SeedStatistics(label=f"snoop-miss/all on {workload}", values=values)

@@ -153,8 +153,12 @@ def sim_metrics_to_dict(result: SimResult) -> dict:
 
 def sim_result_to_dict(result: SimResult) -> dict:
     data = sim_metrics_to_dict(result)
+    # Events are serialised as (kind, block, flag) triples — the layout
+    # every payload ever written used — not as packed integers, so the
+    # canonical bytes of a recording are independent of the in-memory
+    # encoding and pre-packing stores stay byte-identical.
     data["event_streams"] = [
-        {"node_id": stream.node_id, "events": stream.events}
+        {"node_id": stream.node_id, "events": stream.triples()}
         for stream in result.event_streams
     ]
     return data
@@ -174,9 +178,12 @@ def sim_result_from_dict(data: dict) -> SimResult:
             remote_hit_histogram=tuple(data["bus"]["remote_hit_histogram"]),
         ),
         event_streams=[
+            # The constructor re-packs the stored (kind, block, flag)
+            # triples — the compatibility decode for recordings written
+            # before (and after) the packed in-memory encoding.
             NodeEventStream(
                 node_id=entry["node_id"],
-                events=[tuple(event) for event in entry["events"]],
+                events=entry["events"],
             )
             for entry in data["event_streams"]
         ],
@@ -255,6 +262,8 @@ class StoreStats:
     path: str | None
     #: Metrics-only results written by streamed runs (kind ``sim-metrics``).
     stream_sims: int = 0
+    #: Total compressed payload bytes per result kind.
+    bytes_by_kind: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -290,6 +299,13 @@ class ExperimentStore:
         #: Backing maps for the in-memory (path=None) flavour.
         self._blobs: dict[str, bytes] = {}
         self._meta: dict[str, tuple] = {}
+        #: Monotonic recency clock: every get/put stamps its key, so GC
+        #: can evict least-recently-used entries first.  Deliberately a
+        #: counter, not wall time — payload bytes and store behaviour
+        #: stay deterministic.
+        self._clock = 0
+        self._used: dict[str, int] = {}
+        self._pending_touches: dict[str, int] = {}
         self._db: sqlite3.Connection | None = None
         if self.path is not None:
             try:
@@ -330,18 +346,73 @@ class ExperimentStore:
             " seed INTEGER NOT NULL,"
             " payload BLOB NOT NULL)"
         )
+        # Migration: recency column for LRU garbage collection.  Added
+        # with ALTER (not a schema bump) so existing stores keep every
+        # payload — the payload layout itself is unchanged.
+        columns = {
+            row[1] for row in db.execute("PRAGMA table_info(results)")
+        }
+        if "last_used" not in columns:
+            db.execute(
+                "ALTER TABLE results ADD COLUMN "
+                "last_used INTEGER NOT NULL DEFAULT 0"
+            )
+        row = db.execute("SELECT MAX(last_used) FROM results").fetchone()
+        self._clock = (row[0] or 0) + 1
         db.commit()
+
+    def _touch(self, key: str) -> None:
+        """Stamp ``key`` as most recently used (both store flavours).
+
+        SQLite stamps are *buffered*: warm reads must not each take the
+        write lock and pay a synchronous commit, so touches accumulate
+        in memory and flush in one batch on the next write, on
+        :meth:`gc` (which reads the recency order), and on
+        :meth:`close`.
+        """
+        self._clock += 1
+        if self._db is None:
+            if key in self._blobs:
+                self._used[key] = self._clock
+            return
+        self._pending_touches[key] = self._clock
+
+    def _flush_touches(self) -> None:
+        """Write buffered recency stamps in one transaction.
+
+        Best-effort: on a read-only store file the stamps are dropped —
+        reads keep working, the LRU order just stays as written.
+        """
+        if self._db is None or not self._pending_touches:
+            return
+        try:
+            self._db.executemany(
+                "UPDATE results SET last_used = ? WHERE key = ?",
+                [
+                    (clock, key)
+                    for key, clock in self._pending_touches.items()
+                ],
+            )
+            self._db.commit()
+        except sqlite3.OperationalError:
+            pass
+        self._pending_touches.clear()
 
     # -- raw payload access (the runner ships blobs to workers) ---------
 
     def get_blob(self, key: str) -> bytes | None:
         if self._db is None:
             blob = self._blobs.get(key)
+            if blob is not None:
+                self._touch(key)
             return blob
         row = self._db.execute(
             "SELECT payload FROM results WHERE key = ?", (key,)
         ).fetchone()
-        return None if row is None else row[0]
+        if row is None:
+            return None
+        self._touch(key)
+        return row[0]
 
     def put_blob(
         self,
@@ -354,33 +425,51 @@ class ExperimentStore:
         n_cpus: int,
         seed: int,
     ) -> None:
+        self._clock += 1
         if self._db is None:
             self._blobs[key] = blob
             self._meta[key] = (kind, workload, filter_name, n_cpus, seed)
+            self._used[key] = self._clock
             return
+        self._flush_touches()
         self._db.execute(
             "INSERT OR REPLACE INTO results "
-            "(key, kind, workload, filter, n_cpus, seed, payload) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?)",
-            (key, kind, workload, filter_name, n_cpus, seed, blob),
+            "(key, kind, workload, filter, n_cpus, seed, payload, last_used) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (key, kind, workload, filter_name, n_cpus, seed, blob, self._clock),
         )
         self._db.commit()
 
     def contains(self, key: str) -> bool:
+        """Presence check; counts as a *use* for LRU purposes.
+
+        The batched runner satisfies warm jobs through ``contains``
+        alone (the payload is never re-read), so recency must be
+        stamped here too — otherwise a daily warm sweep's entries would
+        age out of ``gc`` in plain write order.
+        """
         if key in self._live:
+            self._touch(key)
             return True
         if self._db is None:
-            return key in self._blobs
+            if key in self._blobs:
+                self._touch(key)
+                return True
+            return False
         row = self._db.execute(
             "SELECT 1 FROM results WHERE key = ?", (key,)
         ).fetchone()
-        return row is not None
+        if row is None:
+            return False
+        self._touch(key)
+        return True
 
     # -- typed access ---------------------------------------------------
 
     def get_sim(self, key: str) -> SimResult | None:
         cached = self._live.get(key)
         if cached is not None:
+            self._touch(key)
             return cached  # type: ignore[return-value]
         blob = self.get_blob(key)
         if blob is None:
@@ -414,6 +503,7 @@ class ExperimentStore:
         """Fetch a streamed run's metrics-only result (no event streams)."""
         cached = self._live.get(key)
         if cached is not None:
+            self._touch(key)
             return cached  # type: ignore[return-value]
         blob = self.get_blob(key)
         if blob is None:
@@ -444,6 +534,7 @@ class ExperimentStore:
     def get_eval(self, key: str) -> FilterEvaluation | None:
         cached = self._live.get(key)
         if cached is not None:
+            self._touch(key)
             return cached  # type: ignore[return-value]
         blob = self.get_blob(key)
         if blob is None:
@@ -491,16 +582,20 @@ class ExperimentStore:
 
     def stats(self) -> StoreStats:
         if self._db is None:
-            meta = self._meta
             by_kind: dict[str, int] = {}
-            for m in meta.values():
+            bytes_by_kind: dict[str, int] = {}
+            for key, m in self._meta.items():
                 by_kind[m[0]] = by_kind.get(m[0], 0) + 1
+                bytes_by_kind[m[0]] = (
+                    bytes_by_kind.get(m[0], 0) + len(self._blobs[key])
+                )
             return StoreStats(
                 sims=by_kind.get("sim", 0),
                 evals=by_kind.get("eval", 0),
                 stream_sims=by_kind.get("sim-metrics", 0),
                 payload_bytes=sum(len(b) for b in self._blobs.values()),
                 path=None,
+                bytes_by_kind=tuple(sorted(bytes_by_kind.items())),
             )
         rows = self._db.execute(
             "SELECT kind, COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
@@ -513,6 +608,9 @@ class ExperimentStore:
             stream_sims=counts.get("sim-metrics", (0, 0))[0],
             payload_bytes=sum(nbytes for _, nbytes in counts.values()),
             path=str(self.path),
+            bytes_by_kind=tuple(
+                sorted((kind, nbytes) for kind, (_c, nbytes) in counts.items())
+            ),
         )
 
     def entries(self) -> list[StoreEntry]:
@@ -539,10 +637,58 @@ class ExperimentStore:
         rows = self._db.execute("SELECT key, payload FROM results").fetchall()
         return {key: payload for key, payload in rows}
 
+    def gc(self, max_bytes: int) -> tuple[int, int]:
+        """Evict least-recently-used entries down to a payload budget.
+
+        Entries are removed in recency order (oldest ``last_used`` first)
+        until the total compressed payload is at most ``max_bytes``.
+        Returns ``(entries_removed, bytes_freed)``.  A zero budget
+        empties the store; a budget above the current total removes
+        nothing.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError(
+                f"size budget must be >= 0 bytes, got {max_bytes}"
+            )
+        if self._db is None:
+            total = sum(len(b) for b in self._blobs.values())
+            removed = freed = 0
+            for key in sorted(self._blobs, key=lambda k: self._used.get(k, 0)):
+                if total <= max_bytes:
+                    break
+                size = len(self._blobs.pop(key))
+                self._meta.pop(key, None)
+                self._used.pop(key, None)
+                self._live.pop(key, None)
+                total -= size
+                removed += 1
+                freed += size
+            return removed, freed
+        self._flush_touches()  # gc ranks by recency; stamps must be durable
+        (total,) = self._db.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM results"
+        ).fetchone()
+        removed = freed = 0
+        rows = self._db.execute(
+            "SELECT key, LENGTH(payload) FROM results "
+            "ORDER BY last_used ASC, key ASC"
+        ).fetchall()
+        for key, size in rows:
+            if total <= max_bytes:
+                break
+            self._db.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._live.pop(key, None)
+            total -= size
+            removed += 1
+            freed += size
+        self._db.commit()
+        return removed, freed
+
     def clear(self) -> int:
         """Drop every entry (live and persistent); return entries removed."""
         removed = len(self._live)
         self._live.clear()
+        self._pending_touches.clear()
         if self._db is None:
             removed = max(removed, len(self._blobs))
             self._blobs.clear()
@@ -555,6 +701,7 @@ class ExperimentStore:
 
     def close(self) -> None:
         if self._db is not None:
+            self._flush_touches()
             self._db.close()
             self._db = None
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.experiments import run_workload
+from repro.analysis.experiments import workload_metrics
 from repro.coherence.config import SCALED_SYSTEM, SystemConfig
 from repro.core.config import IJConfig, PAPER_IJ_NAMES, parse_filter_name
 from repro.traces.workloads import WORKLOADS
@@ -82,7 +82,7 @@ def build_table2(
     ]
     rows = []
     for name, spec in WORKLOADS.items():
-        result = run_workload(name, system, seed)
+        result = workload_metrics(name, system, seed)
         agg = result.aggregate
         rows.append([
             name,
@@ -114,7 +114,7 @@ def build_table3(
     sums = [0.0] * (max_hits + 1)
     miss_snoop_sum = miss_all_sum = 0.0
     for name, spec in WORKLOADS.items():
-        result = run_workload(name, system, seed)
+        result = workload_metrics(name, system, seed)
         fracs = result.bus.remote_hit_fractions()
         for i, frac in enumerate(fracs):
             sums[i] += frac

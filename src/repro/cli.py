@@ -222,6 +222,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"cleared {removed} stored result(s)")
         return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            print("error: cache gc requires --max-bytes", file=sys.stderr)
+            return 2
+        removed, freed = store.gc(args.max_bytes)
+        stats = store.stats()
+        print(
+            f"evicted {removed} least-recently-used result(s) "
+            f"({freed / 1024:.1f} KiB); store now holds "
+            f"{stats.payload_bytes / 1024:.1f} KiB "
+            f"(budget {args.max_bytes / 1024:.1f} KiB)"
+        )
+        return 0
     stats = store.stats()
     location = stats.path or "in-memory (set --store or REPRO_STORE to persist)"
     print(f"store:    {location}")
@@ -229,6 +242,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"streamed: {stats.stream_sims}")
     print(f"evals:    {stats.evals}")
     print(f"payload:  {stats.payload_bytes / 1024:.1f} KiB")
+    for kind, nbytes in stats.bytes_by_kind:
+        print(f"  {kind + ':':13s}{nbytes / 1024:.1f} KiB")
     if args.action == "list":
         for entry in store.entries():
             what = entry.filter_name or "(simulation)"
@@ -329,10 +344,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or clear the experiment store"
+        "cache", help="inspect, clear, or garbage-collect the experiment store"
     )
     p_cache.add_argument("action", nargs="?", default="info",
-                         choices=("info", "list", "clear"))
+                         choices=("info", "list", "clear", "gc"))
+    p_cache.add_argument("--max-bytes", type=_count, default=None,
+                         metavar="N",
+                         help="gc: evict least-recently-used results until "
+                         "the compressed payload fits N bytes (accepts "
+                         "forms like 5e6)")
     p_cache.set_defaults(func=_cmd_cache)
 
     return parser

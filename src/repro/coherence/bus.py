@@ -24,9 +24,9 @@ class BusOp(Enum):
     UPGRADE = "BusUpgr"
 
 
-@dataclass
+@dataclass(slots=True)
 class SnoopReply:
-    """One node's answer to a snoop."""
+    """One node's answer to a snoop (slotted: allocated once per snoop)."""
 
     #: The snooped subblock was valid in this node's hierarchy (L2 or WB).
     hit: bool = False
@@ -34,7 +34,7 @@ class SnoopReply:
     supplied: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class BusResult:
     """Aggregated outcome of one bus transaction."""
 
@@ -80,11 +80,22 @@ class Bus:
         self.stats.ensure_cpus(n_cpus)
 
     def record_transaction(self, op: BusOp, replies: list[SnoopReply]) -> BusResult:
-        """Fold snoop replies into a result and update statistics."""
-        remote_hits = sum(1 for r in replies if r.hit)
-        supplied = any(r.supplied for r in replies)
-        self.stats.transactions[op] += 1
-        self.stats.remote_hit_histogram[remote_hits] += 1
+        """Fold snoop replies into a result and update statistics.
+
+        The replies list may be a caller-owned reusable buffer; it is
+        folded immediately and never retained.  The fold is a plain loop
+        (no generator expressions) — this runs once per bus transaction.
+        """
+        remote_hits = 0
+        supplied = False
+        for reply in replies:
+            if reply.hit:
+                remote_hits += 1
+            if reply.supplied:
+                supplied = True
+        stats = self.stats
+        stats.transactions[op] += 1
+        stats.remote_hit_histogram[remote_hits] += 1
         return BusResult(op=op, remote_hits=remote_hits, data_supplied=supplied)
 
     def record_writeback(self) -> None:

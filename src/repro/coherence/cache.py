@@ -11,6 +11,15 @@ Two structures live here:
 
 Addresses handed to these classes are **block numbers** (byte address
 shifted right by the block offset), produced by :class:`CacheGeometry`.
+
+**Tag-probe fast path.**  Both caches keep a flat ``{block: frame}``
+index beside the per-set way arrays, so :meth:`SetAssocCache.find` /
+:meth:`L1Cache.find` are one dict lookup instead of an O(ways) scan —
+``find`` is called on every processor access and every snoop, making it
+the hottest function in the simulator.  The index is maintained on every
+structural change (allocate, fill, invalidate, deallocate); the way
+arrays remain the ground truth for victim selection and the invariant
+checker.
 """
 
 from __future__ import annotations
@@ -47,10 +56,11 @@ class CacheGeometry:
 class Frame:
     """One allocated L2 block frame."""
 
-    __slots__ = ("block", "states", "in_l1")
+    __slots__ = ("block", "way", "states", "in_l1")
 
-    def __init__(self, block: int, n_subblocks: int) -> None:
+    def __init__(self, block: int, n_subblocks: int, way: int = 0) -> None:
         self.block = block
+        self.way = way
         self.states: list[MOESI] = [MOESI.I] * n_subblocks
         self.in_l1: list[bool] = [False] * n_subblocks
 
@@ -93,6 +103,10 @@ class SetAssocCache:
         self._lru: list[LRUTracker] = [
             LRUTracker(config.ways) for _ in range(config.n_sets)
         ]
+        #: O(1) tag probe: every resident block, whatever its set.
+        self._by_block: dict[int, Frame] = {}
+        self._set_mask = (1 << config.index_bits) - 1
+        self._multiway = config.ways > 1
 
     # ------------------------------------------------------------------
 
@@ -100,16 +114,14 @@ class SetAssocCache:
         """Return the frame holding ``block``, or None on a tag miss.
 
         ``touch=True`` refreshes LRU state (local accesses do; snoops in
-        this model do not perturb replacement order).
+        this model do not perturb replacement order).  Direct-mapped
+        caches skip the LRU bookkeeping entirely — a one-way recency
+        order cannot change.
         """
-        set_index = self.geometry.set_index(block)
-        ways = self._sets[set_index]
-        for way, frame in enumerate(ways):
-            if frame is not None and frame.block == block:
-                if touch:
-                    self._lru[set_index].touch(way)
-                return frame
-        return None
+        frame = self._by_block.get(block)
+        if frame is not None and touch and self._multiway:
+            self._lru[block & self._set_mask].touch(frame.way)
+        return frame
 
     def allocate(self, block: int) -> tuple[Frame, EvictedBlock | None]:
         """Allocate a frame for ``block``, evicting the LRU victim if needed.
@@ -118,7 +130,7 @@ class SetAssocCache:
         of the displaced block, or None if a way was free.  The caller owns
         writing back dirty victim subblocks and maintaining L1 inclusion.
         """
-        set_index = self.geometry.set_index(block)
+        set_index = block & self._set_mask
         ways = self._sets[set_index]
         lru = self._lru[set_index]
 
@@ -132,6 +144,7 @@ class SetAssocCache:
             victim_way = lru.victim()
             victim = ways[victim_way]
             assert victim is not None
+            del self._by_block[victim.block]
             evicted = EvictedBlock(
                 block=victim.block,
                 dirty_subblocks=tuple(victim.dirty_subblocks()),
@@ -140,19 +153,26 @@ class SetAssocCache:
                 ),
             )
 
-        frame = Frame(block, self.config.subblocks_per_block)
+        frame = Frame(block, self.config.subblocks_per_block, victim_way)
         ways[victim_way] = frame
+        self._by_block[block] = frame
         lru.touch(victim_way)
         return frame, evicted
 
     def deallocate(self, block: int) -> None:
-        """Drop the frame holding ``block`` (used when reclaiming via WB)."""
-        set_index = self.geometry.set_index(block)
-        ways = self._sets[set_index]
-        for way, frame in enumerate(ways):
-            if frame is not None and frame.block == block:
-                ways[way] = None
-                return
+        """Drop the frame holding ``block`` (used when reclaiming via WB).
+
+        The freed way is retired to the LRU end so it is the preferred
+        victim for the next allocate — leaving it wherever it sat in the
+        recency order would let a stale position shield a *valid* block
+        from eviction.
+        """
+        frame = self._by_block.pop(block, None)
+        if frame is None:
+            return
+        set_index = block & self._set_mask
+        self._sets[set_index][frame.way] = None
+        self._lru[set_index].retire(frame.way)
 
     # ------------------------------------------------------------------
 
@@ -180,10 +200,11 @@ class SetAssocCache:
 class L1Frame:
     """One L1 block (equal to the L2 coherence unit)."""
 
-    __slots__ = ("block", "dirty", "writable")
+    __slots__ = ("block", "way", "dirty", "writable")
 
-    def __init__(self, block: int, writable: bool) -> None:
+    def __init__(self, block: int, writable: bool, way: int = 0) -> None:
         self.block = block
+        self.way = way
         self.dirty = False
         self.writable = writable
 
@@ -200,16 +221,15 @@ class L1Cache:
         self._lru: list[LRUTracker] = [
             LRUTracker(config.ways) for _ in range(config.n_sets)
         ]
+        self._by_block: dict[int, L1Frame] = {}
+        self._set_mask = (1 << config.index_bits) - 1
+        self._multiway = config.ways > 1
 
     def find(self, block: int, touch: bool = True) -> L1Frame | None:
-        set_index = self.geometry.set_index(block)
-        ways = self._sets[set_index]
-        for way, frame in enumerate(ways):
-            if frame is not None and frame.block == block:
-                if touch:
-                    self._lru[set_index].touch(way)
-                return frame
-        return None
+        frame = self._by_block.get(block)
+        if frame is not None and touch and self._multiway:
+            self._lru[block & self._set_mask].touch(frame.way)
+        return frame
 
     def fill(self, block: int, writable: bool) -> L1Frame | None:
         """Install ``block``; return the displaced frame (for writeback).
@@ -217,14 +237,15 @@ class L1Cache:
         Re-filling a resident block (e.g. after a write-permission upgrade)
         refreshes its permission in place instead of installing a duplicate.
         """
-        set_index = self.geometry.set_index(block)
-        ways = self._sets[set_index]
+        set_index = block & self._set_mask
         lru = self._lru[set_index]
-        for way, frame in enumerate(ways):
-            if frame is not None and frame.block == block:
-                frame.writable = writable
-                lru.touch(way)
-                return None
+        frame = self._by_block.get(block)
+        if frame is not None:
+            frame.writable = writable
+            if self._multiway:
+                lru.touch(frame.way)
+            return None
+        ways = self._sets[set_index]
         victim_way = None
         for way, frame in enumerate(ways):
             if frame is None:
@@ -234,19 +255,28 @@ class L1Cache:
         if victim_way is None:
             victim_way = lru.victim()
             displaced = ways[victim_way]
-        ways[victim_way] = L1Frame(block, writable)
+            assert displaced is not None
+            del self._by_block[displaced.block]
+        installed = L1Frame(block, writable, victim_way)
+        ways[victim_way] = installed
+        self._by_block[block] = installed
         lru.touch(victim_way)
         return displaced
 
     def invalidate(self, block: int) -> L1Frame | None:
-        """Remove ``block`` if present; return the dropped frame."""
-        set_index = self.geometry.set_index(block)
-        ways = self._sets[set_index]
-        for way, frame in enumerate(ways):
-            if frame is not None and frame.block == block:
-                ways[way] = None
-                return frame
-        return None
+        """Remove ``block`` if present; return the dropped frame.
+
+        Like :meth:`SetAssocCache.deallocate`, the freed way is retired
+        to the LRU end so the next fill prefers it over evicting a live
+        block.
+        """
+        frame = self._by_block.pop(block, None)
+        if frame is None:
+            return None
+        set_index = block & self._set_mask
+        self._sets[set_index][frame.way] = None
+        self._lru[set_index].retire(frame.way)
+        return frame
 
     def resident_blocks(self) -> list[int]:
         return [

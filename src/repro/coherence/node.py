@@ -11,9 +11,19 @@ The node implements both sides of the protocol:
 
 While snooping, the node records the event stream a JETTY at its bus
 interface would observe (snoops with ground-truth outcome, block
-allocations and evictions).  The simulation itself always performs the tag
-probe — a JETTY changes energy, never behaviour — and filters are applied
-afterwards by replaying the stream (:func:`repro.core.stats.replay_events`).
+allocations and evictions) as packed integers (see
+:mod:`repro.core.stats` for the bit layout).  The simulation itself
+always performs the tag probe — a JETTY changes energy, never behaviour —
+and filters are applied afterwards by replaying the stream
+(:func:`repro.core.stats.replay_events`).
+
+Hot-path notes: :meth:`local_access` and :meth:`snoop` run once per
+access and once per bus transaction per remote node respectively, so
+both inline their address arithmetic against shift/mask integers
+precomputed in ``__init__`` (no per-access geometry method calls), the
+L1-hit fast path returns before any L2 bookkeeping is touched, and
+events append one precomputed packed integer through a cached
+``array.append`` bound method (``_emit``).
 
 Modelling notes (kept deliberately explicit):
 
@@ -35,11 +45,25 @@ from repro.coherence.config import SystemConfig
 from repro.coherence.metrics import NodeStats
 from repro.coherence.states import MOESI
 from repro.coherence.writebuffer import WriteBuffer
-from repro.core.stats import NodeEventStream
+from repro.core.stats import ALLOC, EVICT, BLOCK_SHIFT, FLAG_SHIFT, NodeEventStream
 from repro.errors import CoherenceError
 from typing import Callable
 
 Broadcast = Callable[[BusOp, int], BusResult]
+
+#: Hot-path aliases: identity checks against these beat the MOESI
+#: property descriptors (a Python call per ``state.valid``/``.writable``).
+_I = MOESI.I
+_M = MOESI.M
+_E = MOESI.E
+
+#: BusRd downgrade table (M supplies and becomes Owned, E demotes to S).
+_READ_DOWNGRADE = {
+    MOESI.M: MOESI.O,
+    MOESI.O: MOESI.O,
+    MOESI.E: MOESI.S,
+    MOESI.S: MOESI.S,
+}
 
 
 class CacheNode:
@@ -53,11 +77,48 @@ class CacheNode:
         self.wb = WriteBuffer(config.wb_entries)
         self.stats = NodeStats()
         self.events = NodeEventStream(node_id)
+        #: Cached ``events.events.append`` (refreshed when the stream is
+        #: detached as a shard) — the one-instruction event emit path.
+        self._emit = self.events.events.append
         #: Set by the SMPSystem: callable that broadcasts a transaction to
         #: all other nodes and returns the aggregated bus result.
         self.broadcast: Broadcast | None = None
         #: Called on each memory writeback (bus statistics).
         self.on_writeback: Callable[[], None] | None = None
+
+        # Precomputed address arithmetic (the geometry objects stay the
+        # source of truth; these mirror them as plain ints for the two
+        # per-access/per-snoop hot paths).
+        self._l1_shift = config.l1.block_offset_bits
+        self._l2_shift = config.l2.block_offset_bits
+        if config.l2.subblocked:
+            self._l2_sub_shift = config.l2.subblock_offset_bits
+            self._l2_sub_mask = (
+                1 << (config.l2.block_offset_bits - config.l2.subblock_offset_bits)
+            ) - 1
+        else:
+            self._l2_sub_shift = 0
+            self._l2_sub_mask = 0
+        self._l1_find = self.l1.find
+        #: ``find(block, touch=False)`` is exactly a flat-index lookup,
+        #: so the snoop/mirror paths go straight to the dicts.
+        self._l2_get = self.l2._by_block.get
+        self._wb_get = self.wb._entries.get
+        #: Reused per-node snoop reply: a node contributes at most one
+        #: reply per transaction and the bus folds the buffer before the
+        #: next one starts, so no allocation per snoop is needed.
+        self._reply = SnoopReply()
+
+    def reset_event_stream(self) -> NodeEventStream:
+        """Detach the current event stream; record into a fresh one.
+
+        Returns the detached stream (one shard).  Refreshes the cached
+        append used by the hot paths.
+        """
+        detached = self.events
+        self.events = NodeEventStream(self.node_id)
+        self._emit = self.events.events.append
+        return detached
 
     # ==================================================================
     # Processor side
@@ -66,30 +127,33 @@ class CacheNode:
     def local_access(self, address: int, is_write: bool) -> None:
         """Perform one load or store issued by the local processor."""
         stats = self.stats
+        frame1 = self._l1_find(address >> self._l1_shift)
+        if frame1 is not None and (not is_write or frame1.writable):
+            # L1 hit — the 97-99% case: no geometry beyond the block
+            # shift, no events, no L2 interaction (except the one-off
+            # silent E->M mirror on the first store to a clean line).
+            stats.l1_hits += 1
+            if is_write:
+                stats.local_writes += 1
+                if not frame1.dirty:
+                    frame1.dirty = True
+                    self._mirror_l1_write(address)
+            else:
+                stats.local_reads += 1
+            return
+
         if is_write:
             stats.local_writes += 1
         else:
             stats.local_reads += 1
-
-        l1_block = self.l1.geometry.block_number(address)
-        frame1 = self.l1.find(l1_block)
-        if frame1 is not None and (not is_write or frame1.writable):
-            stats.l1_hits += 1
-            if is_write and not frame1.dirty:
-                frame1.dirty = True
-                self._mirror_l1_write(address)
-            elif is_write:
-                frame1.dirty = True
-            return
-
         stats.l1_misses += 1
         self._access_l2(address, is_write)
 
     def _access_l2(self, address: int, is_write: bool) -> None:
         """Service an L1 miss (or write-permission miss) at the L2."""
         stats = self.stats
-        l2_block = self.l2.geometry.block_number(address)
-        sub = self.l2.geometry.subblock_index(address)
+        l2_block = address >> self._l2_shift
+        sub = (address >> self._l2_sub_shift) & self._l2_sub_mask
 
         stats.l2_local_accesses += 1
         stats.l2_local_tag_probes += 1
@@ -108,7 +172,7 @@ class CacheNode:
         stats.l2_block_allocs += 1
         if evicted is not None:
             self._retire_victim(evicted)
-        self.events.alloc(l2_block)
+        self._emit((l2_block << BLOCK_SHIFT) | ALLOC)
 
         if wb_entry is not None:
             # Reclaim the dirty subblocks with their original states so an
@@ -122,7 +186,7 @@ class CacheNode:
         """Push a displaced block towards memory and keep L1 inclusion."""
         stats = self.stats
         stats.l2_block_evictions += 1
-        self.events.evict(evicted.block)
+        self._emit((evicted.block << BLOCK_SHIFT) | EVICT)
 
         # Inclusion: drop every L1 copy of the victim's subblocks.  Dirty
         # L1 data is newer than the L2 copy; pulling it back is an L1
@@ -147,7 +211,9 @@ class CacheNode:
         stats = self.stats
         state = frame.states[sub]
 
-        if state.valid and (not is_write or state.writable):
+        if state is not _I and (
+            not is_write or state is _M or state is _E
+        ):
             stats.l2_local_hits += 1
             stats.l2_local_data_reads += 1
             if is_write:
@@ -155,7 +221,7 @@ class CacheNode:
             self._fill_l1(frame, address, sub, is_write)
             return
 
-        if state.valid and is_write:
+        if state is not _I and is_write:
             # Write hit on a shared subblock (S or O): bus upgrade.
             stats.l2_local_hits += 1
             stats.upgrades_issued += 1
@@ -182,9 +248,9 @@ class CacheNode:
 
     def _fill_l1(self, frame: Frame, address: int, sub: int, is_write: bool) -> None:
         """Install the serviced subblock into the L1 and track inclusion."""
-        l1_block = self.l1.geometry.block_number(address)
-        writable = frame.states[sub].writable
-        displaced = self.l1.fill(l1_block, writable)
+        l1_block = address >> self._l1_shift
+        state = frame.states[sub]
+        displaced = self.l1.fill(l1_block, state is _M or state is _E)
         frame.in_l1[sub] = True
         if is_write:
             installed = self.l1.find(l1_block, touch=False)
@@ -197,10 +263,10 @@ class CacheNode:
     def _handle_l1_displacement(self, displaced) -> None:
         """An L1 fill displaced another block: write back and un-hint."""
         stats = self.stats
-        address = displaced.block << self.l1.geometry.config.block_offset_bits
-        l2_block = self.l2.geometry.block_number(address)
-        sub = self.l2.geometry.subblock_index(address)
-        frame = self.l2.find(l2_block, touch=False)
+        address = displaced.block << self._l1_shift
+        l2_block = address >> self._l2_shift
+        sub = (address >> self._l2_sub_shift) & self._l2_sub_mask
+        frame = self._l2_get(l2_block)
         if frame is None:
             raise CoherenceError(
                 f"L1 inclusion violated on node {self.node_id}: displaced L1 "
@@ -219,10 +285,10 @@ class CacheNode:
 
     def _mirror_l1_write(self, address: int) -> None:
         """Reflect a silent E->M upgrade of a writable L1 line into the L2."""
-        l2_block = self.l2.geometry.block_number(address)
-        sub = self.l2.geometry.subblock_index(address)
-        frame = self.l2.find(l2_block, touch=False)
-        if frame is None or not frame.states[sub].valid:
+        l2_block = address >> self._l2_shift
+        sub = (address >> self._l2_sub_shift) & self._l2_sub_mask
+        frame = self._l2_get(l2_block)
+        if frame is None or frame.states[sub] is _I:
             raise CoherenceError(
                 f"L1 writable line {address:#x} on node {self.node_id} "
                 "not backed by a valid L2 subblock"
@@ -250,10 +316,7 @@ class CacheNode:
 
     def _l1_block_of(self, l2_block: int, sub: int) -> int:
         """Global L1 block number of subblock ``sub`` of an L2 block."""
-        ratio_bits = (
-            self.l2.geometry.config.block_offset_bits
-            - self.l1.geometry.config.block_offset_bits
-        )
+        ratio_bits = self._l2_shift - self._l1_shift
         return (l2_block << ratio_bits) | sub
 
     # ==================================================================
@@ -261,43 +324,54 @@ class CacheNode:
     # ==================================================================
 
     def snoop(self, op: BusOp, address: int) -> SnoopReply:
-        """React to another node's bus transaction."""
+        """React to another node's bus transaction.
+
+        The returned reply is a per-node reusable object, valid until
+        this node's next snoop — the bus folds it into the transaction
+        result immediately (callers must not retain it).
+        """
         stats = self.stats
-        l2_block = self.l2.geometry.block_number(address)
-        sub = self.l2.geometry.subblock_index(address)
-        reply = SnoopReply()
+        l2_block = address >> self._l2_shift
+        sub = (address >> self._l2_sub_shift) & self._l2_sub_mask
+        reply = self._reply
+        reply.hit = False
+        reply.supplied = False
 
         # --- Write buffer: probed on every snoop, never filtered -------
         stats.wb_probes += 1
-        wb_entry = self.wb.probe(l2_block)
-        wb_states = dict(wb_entry.dirty_subblocks) if wb_entry is not None else {}
-        if sub in wb_states:
-            stats.wb_hits += 1
-            reply.hit = True
-            reply.supplied = True
-            if op in (BusOp.READ_X, BusOp.UPGRADE):
-                self._cancel_wb_subblock(l2_block, sub)
+        wb_entry = self._wb_get(l2_block)
+        if wb_entry is not None:
+            for sub_index, _state in wb_entry.dirty_subblocks:
+                if sub_index == sub:
+                    stats.wb_hits += 1
+                    reply.hit = True
+                    reply.supplied = True
+                    if op is not BusOp.READ:  # READ_X or UPGRADE
+                        self._cancel_wb_subblock(l2_block, sub)
+                    break
 
         # --- L2 tag probe (ground truth; filtering is modelled at replay)
-        frame = self.l2.find(l2_block, touch=False)
-        block_present = frame is not None
-        state = frame.states[sub] if frame is not None else MOESI.I
-        sub_hit = state.valid
-
-        flag = (1 if sub_hit else 0) | (2 if block_present else 0)
-        self.events.snoop(l2_block, flag)
-
+        frame = self._l2_get(l2_block)
         stats.snoops_observed += 1
         stats.snoop_tag_probes += 1
-        if block_present:
-            stats.snoop_block_present += 1
+        if frame is None:
+            # flag bits: subblock invalid, tag absent.
+            self._emit(l2_block << BLOCK_SHIFT)
+            stats.snoop_misses += 1
+            return reply
+
+        state = frame.states[sub]
+        sub_hit = state is not _I
+        flag = 3 if sub_hit else 2  # bit 0: subblock valid; bit 1: tag present
+        self._emit((l2_block << BLOCK_SHIFT) | (flag << FLAG_SHIFT))
+
+        stats.snoop_block_present += 1
         if sub_hit:
             stats.snoop_hits += 1
         else:
             stats.snoop_misses += 1
             return reply
 
-        assert frame is not None
         reply.hit = True
         if op is BusOp.READ:
             self._snoop_read(frame, sub, state, reply)
@@ -325,12 +399,7 @@ class CacheNode:
                 if l1_frame.dirty:
                     l1_frame.dirty = False
                     stats.l1_writebacks += 1
-        new_state = {
-            MOESI.M: MOESI.O,
-            MOESI.O: MOESI.O,
-            MOESI.E: MOESI.S,
-            MOESI.S: MOESI.S,
-        }[state]
+        new_state = _READ_DOWNGRADE[state]
         if new_state is not state:
             frame.states[sub] = new_state
             stats.snoop_state_updates += 1

@@ -62,6 +62,50 @@ from repro.errors import CoherenceError, TraceError
 DEFAULT_CHUNK_SIZE = 65_536
 
 
+def iter_batches(
+    source: Iterable[tuple[int, int, bool]],
+    batch_size: int,
+    limit: int | None = None,
+) -> Iterator[list[tuple[int, int, bool]]]:
+    """Yield bounded in-order batches of accesses from ``source``.
+
+    Sources exposing the *batch protocol* — a ``take(count)`` method
+    returning up to ``count`` items, like
+    :class:`repro.traces.synth.MixStream` — are drained through it, so a
+    whole batch materialises in one call instead of three generator
+    frames per access.  Anything else falls back to ``itertools.islice``
+    (which still drives plain iterators from C).  With ``limit``, at
+    most that many accesses are consumed in total; a short batch always
+    means the source (or the limit) is exhausted.
+    """
+    take = getattr(source, "take", None)
+    if take is None:
+        iterator = iter(source)
+        if limit is not None:
+            iterator = itertools.islice(iterator, limit)
+        while True:
+            batch = list(itertools.islice(iterator, batch_size))
+            if not batch:
+                return
+            yield batch
+            if len(batch) < batch_size:
+                return
+    else:
+        remaining = limit
+        while True:
+            size = batch_size if remaining is None else min(batch_size, remaining)
+            if size <= 0:
+                return
+            batch = take(size)
+            if not batch:
+                return
+            if remaining is not None:
+                remaining -= len(batch)
+            yield batch
+            if len(batch) < size:
+                return
+
+
 class ShardConsumer(Protocol):
     """Anything that can absorb per-chunk event shards from a live run."""
 
@@ -80,17 +124,39 @@ class SMPSystem:
             node.broadcast = self._make_broadcast(node.node_id)
             node.on_writeback = self.bus.record_writeback
         self.accesses = 0
+        #: Per-CPU bound ``local_access`` methods — the run loop indexes
+        #: this tuple instead of resolving two attributes per access.
+        self._handlers = tuple(node.local_access for node in self.nodes)
+        #: For direct-mapped L1s the batch loop resolves read hits inline
+        #: (no LRU order to maintain, so a dict probe fully decides the
+        #: access); set-associative L1s always take ``local_access``.
+        self._l1_maps = (
+            tuple(node.l1._by_block for node in self.nodes)
+            if config.l1.ways == 1
+            else None
+        )
+        self._l1_shift = config.l1.block_offset_bits
 
     def _make_broadcast(self, requester: int):
-        """Build the closure a node uses to put a transaction on the bus."""
+        """Build the closure a node uses to put a transaction on the bus.
+
+        The remote nodes' ``snoop`` bound methods and one reply buffer
+        are captured per requester, so a transaction is a plain loop
+        filling a preallocated list — no per-transaction comprehension,
+        closure cells, or list allocation.  Reusing the buffer is safe
+        because :meth:`Bus.record_transaction` folds the replies
+        immediately and never retains the list.
+        """
+        snoops = tuple(
+            node.snoop for node in self.nodes if node.node_id != requester
+        )
+        record = self.bus.record_transaction
+        replies: list = [None] * len(snoops)
 
         def broadcast(op: BusOp, address: int):
-            replies = [
-                node.snoop(op, address)
-                for node in self.nodes
-                if node.node_id != requester
-            ]
-            return self.bus.record_transaction(op, replies)
+            for i, snoop in enumerate(snoops):
+                replies[i] = snoop(op, address)
+            return record(op, replies)
 
         return broadcast
 
@@ -105,18 +171,66 @@ class SMPSystem:
         self.accesses += 1
         self.nodes[cpu].local_access(address, is_write)
 
-    def run(self, accesses: Iterable[tuple[int, int, bool]]) -> None:
-        """Consume an interleaved stream of ``(cpu, address, is_write)``."""
-        nodes = self.nodes
-        n_cpus = self.config.n_cpus
+    def run(
+        self,
+        accesses: Iterable[tuple[int, int, bool]],
+        limit: int | None = None,
+    ) -> None:
+        """Consume an interleaved stream of ``(cpu, address, is_write)``.
+
+        Batch-protocol sources (``take``-capable, e.g. ``MixStream``) are
+        consumed in bounded batches; with ``limit`` at most that many
+        accesses are taken from the stream (the warm-up prefix).
+        """
+        for batch in iter_batches(accesses, DEFAULT_CHUNK_SIZE, limit):
+            self._run_batch(batch)
+
+    def _run_batch(self, batch) -> None:
+        """The per-access hot loop over one materialised batch.
+
+        For direct-mapped L1s the 97-99% case — an L1 hit that needs no
+        permission or dirty-bit transition — is resolved right here with
+        one dict probe and two counter increments, mirroring the head of
+        :meth:`CacheNode.local_access` exactly; everything else falls
+        through to ``local_access``.
+        """
+        handlers = self._handlers
+        n_cpus = len(handlers)
+        l1_maps = self._l1_maps
+        shift = self._l1_shift
         count = 0
-        for cpu, address, is_write in accesses:
-            if not 0 <= cpu < n_cpus:
-                raise TraceError(
-                    f"access for CPU {cpu} on a {n_cpus}-way system"
-                )
-            nodes[cpu].local_access(address, is_write)
-            count += 1
+        if l1_maps is not None:
+            # Stats objects are only replaced between runs (by
+            # begin_measurement), never inside a batch, so one snapshot
+            # per batch is safe.
+            stats_by_cpu = tuple(node.stats for node in self.nodes)
+            for cpu, address, is_write in batch:
+                if cpu < 0 or cpu >= n_cpus:
+                    raise TraceError(
+                        f"access for CPU {cpu} on a {n_cpus}-way system"
+                    )
+                count += 1
+                frame1 = l1_maps[cpu].get(address >> shift)
+                if frame1 is not None:
+                    if not is_write:
+                        stats = stats_by_cpu[cpu]
+                        stats.l1_hits += 1
+                        stats.local_reads += 1
+                        continue
+                    if frame1.dirty and frame1.writable:
+                        stats = stats_by_cpu[cpu]
+                        stats.l1_hits += 1
+                        stats.local_writes += 1
+                        continue
+                handlers[cpu](address, is_write)
+        else:
+            for cpu, address, is_write in batch:
+                if cpu < 0 or cpu >= n_cpus:
+                    raise TraceError(
+                        f"access for CPU {cpu} on a {n_cpus}-way system"
+                    )
+                count += 1
+                handlers[cpu](address, is_write)
         self.accesses += count
 
     def take_shard(self) -> list[NodeEventStream]:
@@ -127,34 +241,26 @@ class SMPSystem:
         run (per node, in order) reconstructs the exact event list a
         buffered run would have accumulated.
         """
-        shard = [node.events for node in self.nodes]
-        for node in self.nodes:
-            node.events = NodeEventStream(node.node_id)
-        return shard
+        return [node.reset_event_stream() for node in self.nodes]
 
     def run_chunked(
         self,
         accesses: Iterable[tuple[int, int, bool]],
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        limit: int | None = None,
     ) -> Iterator[list[NodeEventStream]]:
         """Consume ``accesses`` in bounded chunks, yielding event shards.
 
         Each yielded shard covers at most ``chunk_size`` accesses; event
         memory never exceeds one chunk's worth.  The access stream itself
-        is consumed lazily (never materialised beyond one chunk).
+        is consumed lazily (never materialised beyond one chunk); with
+        ``limit``, at most that many accesses are consumed.
         """
         if chunk_size < 1:
             raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
-        iterator = iter(accesses)
-        while True:
-            before = self.accesses
-            self.run(itertools.islice(iterator, chunk_size))
-            consumed = self.accesses - before
-            if consumed == 0:
-                break
+        for batch in iter_batches(accesses, chunk_size, limit):
+            self._run_batch(batch)
             yield self.take_shard()
-            if consumed < chunk_size:
-                break
 
     def begin_measurement(self) -> None:
         """End the cache warm-up phase: zero statistics, keep all state.
@@ -217,8 +323,7 @@ def simulate(
     system = SMPSystem(config)
     if warmup > 0:
         iterator = iter(accesses)
-        warm = itertools.islice(iterator, warmup)
-        system.run(warm)
+        system.run(iterator, limit=warmup)
         system.begin_measurement()
         system.run(iterator)
     else:
@@ -251,8 +356,7 @@ def simulate_streaming(
     sinks = list(sinks)
     iterator = iter(accesses)
     if warmup > 0:
-        warm = itertools.islice(iterator, warmup)
-        for shard in system.run_chunked(warm, chunk_size):
+        for shard in system.run_chunked(iterator, chunk_size, limit=warmup):
             for sink in sinks:
                 sink.consume(shard)
         system.begin_measurement()

@@ -146,9 +146,17 @@ class SnoopFilter(ABC):
     # Subclass hooks
     # ------------------------------------------------------------------
 
-    @abstractmethod
     def _probe(self, block: int) -> bool:
-        """Variant-specific probe; True means "may be cached"."""
+        """Variant-specific probe; True means "may be cached".
+
+        A variant implements either this hook (and inherits the counting
+        wrapper above) or overrides :meth:`probe` itself with counting
+        inlined — the hot filters do the latter, and deliberately do
+        *not* also keep a ``_probe`` copy of the same logic in sync.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _probe() or override probe()"
+        )
 
     def _on_snoop_outcome(self, block: int, present: bool) -> None:
         """Variant-specific learning hook (default: ignore)."""

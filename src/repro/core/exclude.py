@@ -53,27 +53,33 @@ class ExcludeJetty(SnoopFilter):
     def _set_index(self, block: int) -> int:
         return block & self._index_mask
 
-    def _probe(self, block: int) -> bool:
-        """Return False (guaranteed absent) on an EJ hit."""
-        set_tags = self._tags[self._set_index(block)]
-        for way in range(self.ways):
-            if set_tags[way] == block:
-                self._lru[self._set_index(block)].touch(way)
-                return False
+    def probe(self, block: int) -> bool:
+        """Hot-path override: counting and lookup in one frame.
+
+        The tag scan runs through the C-level ``in`` operator; the
+        Python-level way loop only executes on a hit (to refresh LRU).
+        """
+        counts = self.counts
+        counts.probes += 1
+        index = block & self._index_mask
+        set_tags = self._tags[index]
+        if block in set_tags:
+            self._lru[index].touch(set_tags.index(block))
+            counts.filtered += 1
+            return False
         return True
 
     def _on_snoop_outcome(self, block: int, present: bool) -> None:
         """Allocate an entry when the snoop missed the whole block."""
         if present:
             return
-        index = self._set_index(block)
+        index = block & self._index_mask
         set_tags = self._tags[index]
         lru = self._lru[index]
         # Refresh an existing entry rather than duplicating it.
-        for way in range(self.ways):
-            if set_tags[way] == block:
-                lru.touch(way)
-                return
+        if block in set_tags:
+            lru.touch(set_tags.index(block))
+            return
         way = self._find_victim(index)
         set_tags[way] = block
         lru.touch(way)
@@ -89,12 +95,10 @@ class ExcludeJetty(SnoopFilter):
 
     def _on_block_allocated(self, block: int) -> None:
         """Safety-critical: drop any entry claiming ``block`` is absent."""
-        set_tags = self._tags[self._set_index(block)]
-        for way in range(self.ways):
-            if set_tags[way] == block:
-                set_tags[way] = None
-                self.counts.entry_writes += 1
-                return
+        set_tags = self._tags[block & self._index_mask]
+        if block in set_tags:
+            set_tags[set_tags.index(block)] = None
+            self.counts.entry_writes += 1
 
     # ------------------------------------------------------------------
 

@@ -70,6 +70,9 @@ class IncludeJetty(SnoopFilter):
         self._counters: list[list[int]] = [
             [0] * (1 << entry_bits) for _ in range(n_arrays)
         ]
+        #: (sub-array, shift) pairs, paired once so the per-snoop probe
+        #: loop does not rebuild a zip object.
+        self._lanes = tuple(zip(self._counters, self._shifts))
 
     # ------------------------------------------------------------------
 
@@ -78,11 +81,14 @@ class IncludeJetty(SnoopFilter):
         m = self._index_mask
         return tuple((block >> s) & m for s in self._shifts)
 
-    def _probe(self, block: int) -> bool:
-        """True unless some sub-array's presence bit is zero."""
+    def probe(self, block: int) -> bool:
+        """Hot-path override: counting and the lane scan in one frame."""
+        counts = self.counts
+        counts.probes += 1
         m = self._index_mask
-        for array, shift in zip(self._counters, self._shifts):
+        for array, shift in self._lanes:
             if array[(block >> shift) & m] == 0:
+                counts.filtered += 1
                 return False
         return True
 

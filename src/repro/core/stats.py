@@ -14,8 +14,42 @@ Events come in three kinds:
 * ``ALLOC`` — the L2 allocated a frame for a block;
 * ``EVICT`` — the L2 deallocated a block.
 
-The replay cross-checks the JETTY safety guarantee on every filtered snoop
-and raises :class:`~repro.errors.FilterSafetyError` on a violation.
+**Packed encoding.**  An event is a single non-negative integer::
+
+      63      ...       4   3   2   1   0
+    +----------------------+---+---+-------+
+    |        block         | P | V | kind  |
+    +----------------------+---+---+-------+
+
+    kind  (bits 0-1)  SNOOP=0, ALLOC=1, EVICT=2, MARKER=3
+    V     (bit 2)     SNOOP only: the snooped subblock was valid
+                      (the tag probe would hit)
+    P     (bit 3)     SNOOP only: the block tag was allocated
+                      (the JETTY safety reference)
+    block (bits 4+)   the L2 block number
+
+Bits 2-3 are the historical two-bit SNOOP ``flag`` mask, shifted up by
+:data:`FLAG_SHIFT`.  Streams store packed events in ``array('q')``
+shards: 8 bytes per event instead of a 3-tuple of boxed integers, and
+the hot append/decode paths handle one ``int`` instead of allocating
+and unpacking tuples.  :func:`pack_event` / :func:`unpack_event`
+round-trip any block number that fits the machine-independent Python
+int; ``array('q')`` storage holds blocks up to 2**59 - 1 (a 65-bit
+physical address space — far beyond any simulated system here).
+
+Recorded payloads in existing stores serialise events as ``(kind,
+block, flag)`` triples; :class:`NodeEventStream` accepts those legacy
+triples alongside packed integers and re-packs them on construction, so
+old buffered recordings replay unchanged (and payload bytes stay
+byte-identical — the store codec always writes triples).
+
+The MARKER pseudo-event separates the cache warm-up prefix from the
+measured region: filter *state* accumulates through it, statistics
+restart at it.
+
+The replay cross-checks the JETTY safety guarantee on every filtered
+snoop and raises :class:`~repro.errors.FilterSafetyError` on a
+violation.
 
 Replay comes in two shapes sharing one kernel (:class:`EventReplayer`):
 
@@ -32,49 +66,87 @@ Replay comes in two shapes sharing one kernel (:class:`EventReplayer`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 
 from repro.core.base import FilterEventCounts, SnoopFilter
 from repro.errors import FilterSafetyError
 
-#: Event kind tags.  Events are plain tuples ``(kind, block, flag)`` for
-#: speed.  For SNOOP events ``flag`` is a two-bit mask: bit 0 = the snooped
-#: subblock was valid (the tag probe would hit), bit 1 = the block tag was
-#: allocated (the JETTY safety reference).  MARKER separates the cache
-#: warm-up prefix from the measured region: filter *state* accumulates
-#: through it, statistics restart at it.
+#: Event kind tags (bits 0-1 of a packed event).
 SNOOP = 0
 ALLOC = 1
 EVICT = 2
 MARKER = 3
 
-Event = tuple[int, int, int]
+#: Bit layout of a packed event (see the module docstring).
+KIND_MASK = 0b11
+FLAG_SHIFT = 2
+FLAG_MASK = 0b11
+BLOCK_SHIFT = 4
+
+#: A packed event.  (Historically a ``(kind, block, flag)`` tuple; the
+#: store codec still speaks triples on disk.)
+Event = int
 
 
-@dataclass
+def pack_event(kind: int, block: int, flag: int = 0) -> int:
+    """Pack ``(kind, block, flag)`` into one integer event."""
+    return kind | (flag << FLAG_SHIFT) | (block << BLOCK_SHIFT)
+
+
+def unpack_event(event: int) -> tuple[int, int, int]:
+    """Decode a packed event back into ``(kind, block, flag)``."""
+    return (
+        event & KIND_MASK,
+        event >> BLOCK_SHIFT,
+        (event >> FLAG_SHIFT) & FLAG_MASK,
+    )
+
+
 class NodeEventStream:
-    """The per-node event stream recorded by the coherence simulator."""
+    """The per-node event stream recorded by the coherence simulator.
 
-    node_id: int
-    events: list[Event] = field(default_factory=list)
+    ``events`` is an ``array('q')`` of packed events (8 bytes each).
+    The constructor also accepts legacy ``(kind, block, flag)`` triples
+    and re-packs them — the compatibility decode layer for recordings
+    serialised before the packed encoding existed.
+    """
+
+    __slots__ = ("node_id", "events")
+
+    def __init__(self, node_id: int, events=()) -> None:
+        self.node_id = node_id
+        packed = array("q")
+        for event in events:
+            if type(event) is int:
+                packed.append(event)
+            else:  # legacy (kind, block, flag) triple
+                kind, block, flag = event
+                packed.append(kind | (flag << FLAG_SHIFT) | (block << BLOCK_SHIFT))
+        self.events = packed
 
     def snoop(self, block: int, flag: int) -> None:
-        self.events.append((SNOOP, block, flag))
+        self.events.append((block << BLOCK_SHIFT) | (flag << FLAG_SHIFT))
 
     def alloc(self, block: int) -> None:
-        self.events.append((ALLOC, block, 0))
+        self.events.append((block << BLOCK_SHIFT) | ALLOC)
 
     def evict(self, block: int) -> None:
-        self.events.append((EVICT, block, 0))
+        self.events.append((block << BLOCK_SHIFT) | EVICT)
 
     def marker(self) -> None:
         """Mark the end of warm-up; replay statistics restart here."""
-        self.events.append((MARKER, 0, 0))
+        self.events.append(MARKER)
+
+    def triples(self) -> list[tuple[int, int, int]]:
+        """The stream decoded to ``(kind, block, flag)`` triples."""
+        return [unpack_event(event) for event in self.events]
 
     def counts(self) -> tuple[int, int, int]:
         """Return ``(snoops, allocs, evicts)`` totals over all events."""
         snoops = allocs = evicts = 0
-        for kind, _block, _flag in self.events:
+        for event in self.events:
+            kind = event & KIND_MASK
             if kind == SNOOP:
                 snoops += 1
             elif kind == ALLOC:
@@ -82,6 +154,12 @@ class NodeEventStream:
             elif kind == EVICT:
                 evicts += 1
         return snoops, allocs, evicts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeEventStream(node_id={self.node_id}, "
+            f"events=<{len(self.events)} packed>)"
+        )
 
 
 @dataclass
@@ -156,6 +234,24 @@ def merge_evaluations(evaluations: list[FilterEvaluation]) -> FilterEvaluation:
     return merged
 
 
+def _bound_hook(snoop_filter: SnoopFilter, public: str, hook: str):
+    """The cheapest correct bound callable for one filter event hook.
+
+    The public ``on_*`` methods on :class:`SnoopFilter` are pure
+    delegations to the ``_on_*`` subclass hooks, so when a filter only
+    overrides the hook, binding the hook directly saves one call layer
+    per event.  A filter that overrode the *public* method keeps it; a
+    filter that overrode neither (the hook is a no-op) yields ``None``,
+    letting the replay loop skip the call entirely.
+    """
+    cls = type(snoop_filter)
+    if getattr(cls, public) is not getattr(SnoopFilter, public):
+        return getattr(snoop_filter, public)
+    if getattr(cls, hook) is not getattr(SnoopFilter, hook):
+        return getattr(snoop_filter, hook)
+    return None
+
+
 class EventReplayer:
     """Incrementally replay one node's event stream through one filter.
 
@@ -174,45 +270,69 @@ class EventReplayer:
         self.allocs = 0
         self.evicts = 0
 
-    def feed(self, events: list[Event]) -> None:
-        """Consume one batch of events (a whole stream or one shard)."""
-        snoop_filter = self.snoop_filter
-        stats = self.stats
-        probe = snoop_filter.probe
-        outcome = snoop_filter.on_snoop_outcome
-        on_alloc = snoop_filter.on_block_allocated
-        on_evict = snoop_filter.on_block_evicted
+    def feed(self, events) -> None:
+        """Consume one batch of packed events (a whole stream or shard).
 
-        for kind, block, flag in events:
-            if kind == SNOOP:
-                would_hit = flag & 1
-                block_present = flag & 2
-                stats.snoops += 1
-                if would_hit:
-                    stats.snoop_would_hit += 1
+        The loop is the replay hot path: filter callbacks are hoisted to
+        locals once per batch, events decode with shifts/masks, and the
+        overwhelmingly common SNOOP kind is tested first.
+        """
+        snoop_filter = self.snoop_filter
+        probe = snoop_filter.probe
+        outcome = _bound_hook(snoop_filter, "on_snoop_outcome", "_on_snoop_outcome")
+        on_alloc = _bound_hook(
+            snoop_filter, "on_block_allocated", "_on_block_allocated"
+        )
+        on_evict = _bound_hook(
+            snoop_filter, "on_block_evicted", "_on_block_evicted"
+        )
+
+        # Coverage counters accumulate in locals and flush once per batch
+        # (and at each MARKER) — plain int adds instead of three dataclass
+        # attribute read-modify-writes per snoop.
+        snoops = would_hit = would_miss = filtered = allocs = evicts = 0
+        for event in events:
+            kind = event & 0b11
+            if kind == 0:  # SNOOP — by far the common case
+                block = event >> 4
+                snoops += 1
+                if event & 0b0100:  # V: the tag probe would hit
+                    would_hit += 1
                 else:
-                    stats.snoop_would_miss += 1
+                    would_miss += 1
                 if probe(block):
-                    outcome(block, bool(block_present))
+                    if outcome is not None:
+                        outcome(block, (event & 0b1000) != 0)
+                elif event & 0b1000:  # P: block tag allocated -> unsafe
+                    raise FilterSafetyError(
+                        f"{snoop_filter.name} filtered a snoop for block "
+                        f"{block:#x} on node {self.node_id}, but the block "
+                        "is cached — JETTY safety guarantee violated"
+                    )
                 else:
-                    if block_present:
-                        raise FilterSafetyError(
-                            f"{snoop_filter.name} filtered a snoop for block "
-                            f"{block:#x} on node {self.node_id}, but the block "
-                            "is cached — JETTY safety guarantee violated"
-                        )
-                    stats.filtered += 1
+                    filtered += 1
             elif kind == ALLOC:
-                self.allocs += 1
-                on_alloc(block)
+                allocs += 1
+                if on_alloc is not None:
+                    on_alloc(event >> 4)
             elif kind == EVICT:
-                self.evicts += 1
-                on_evict(block)
+                evicts += 1
+                if on_evict is not None:
+                    on_evict(event >> 4)
             else:  # MARKER: warm-up ends, statistics restart, state persists.
-                stats = CoverageStats()
-                self.stats = stats
+                snoops = would_hit = would_miss = filtered = 0
+                allocs = evicts = 0
+                self.stats = CoverageStats()
                 self.allocs = self.evicts = 0
                 snoop_filter.reset_counts()
+
+        stats = self.stats
+        stats.snoops += snoops
+        stats.snoop_would_hit += would_hit
+        stats.snoop_would_miss += would_miss
+        stats.filtered += filtered
+        self.allocs += allocs
+        self.evicts += evicts
 
     def finish(self) -> FilterEvaluation:
         """Package the accumulated statistics of everything fed so far."""

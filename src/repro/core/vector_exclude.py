@@ -45,11 +45,25 @@ class VectorExcludeJetty(SnoopFilter):
         self._index_bits = ilog2(sets)
         self._index_mask = mask(self._index_bits)
         self.name = f"VEJ-{sets}x{ways}-{vector_bits}"
-        # Per set and way: (chunk_number, present_vector) or None.
-        self._entries: list[list[tuple[int, int] | None]] = [
+        # Per set and way, in parallel lists (so the hot PV update writes
+        # an int in place instead of allocating a (chunk, vector) tuple):
+        # chunk number (None = invalid way) and present-vector.
+        self._chunks: list[list[int | None]] = [
             [None] * ways for _ in range(sets)
         ]
+        self._vectors: list[list[int]] = [[0] * ways for _ in range(sets)]
         self._lru: list[LRUTracker] = [LRUTracker(ways) for _ in range(sets)]
+
+    @property
+    def _entries(self) -> list[list[tuple[int, int] | None]]:
+        """Inspection view: ``(chunk, vector)`` per way, None if invalid."""
+        return [
+            [
+                None if chunk is None else (chunk, vector)
+                for chunk, vector in zip(chunk_row, vector_row)
+            ]
+            for chunk_row, vector_row in zip(self._chunks, self._vectors)
+        ]
 
     # ------------------------------------------------------------------
 
@@ -60,17 +74,19 @@ class VectorExcludeJetty(SnoopFilter):
     def _set_index(self, chunk: int) -> int:
         return chunk & self._index_mask
 
-    def _probe(self, block: int) -> bool:
-        chunk, bit = self._split(block)
-        index = self._set_index(chunk)
-        entries = self._entries[index]
-        for way in range(self.ways):
-            entry = entries[way]
-            if entry is not None and entry[0] == chunk:
-                self._lru[index].touch(way)
-                if entry[1] & (1 << bit):
-                    return False
-                return True
+    def probe(self, block: int) -> bool:
+        """Hot-path override: counting, split, and scan in one frame."""
+        counts = self.counts
+        counts.probes += 1
+        chunk = block >> self._vec_shift
+        index = chunk & self._index_mask
+        chunks = self._chunks[index]
+        if chunk in chunks:
+            way = chunks.index(chunk)
+            self._lru[index].touch(way)
+            if self._vectors[index][way] & (1 << (block & self._vec_mask)):
+                counts.filtered += 1
+                return False
         return True
 
     def _on_snoop_outcome(self, block: int, present: bool) -> None:
@@ -78,39 +94,36 @@ class VectorExcludeJetty(SnoopFilter):
             return
         chunk, bit = self._split(block)
         index = self._set_index(chunk)
-        entries = self._entries[index]
+        chunks = self._chunks[index]
         lru = self._lru[index]
-        for way in range(self.ways):
-            entry = entries[way]
-            if entry is not None and entry[0] == chunk:
-                entries[way] = (chunk, entry[1] | (1 << bit))
-                lru.touch(way)
-                self.counts.entry_writes += 1
-                return
-        way = self._find_victim(index)
-        entries[way] = (chunk, 1 << bit)
+        if chunk in chunks:
+            way = chunks.index(chunk)
+            self._vectors[index][way] |= 1 << bit
+        else:
+            way = self._find_victim(index)
+            chunks[way] = chunk
+            self._vectors[index][way] = 1 << bit
         lru.touch(way)
         self.counts.entry_writes += 1
 
     def _find_victim(self, index: int) -> int:
-        entries = self._entries[index]
-        for way in range(self.ways):
-            if entries[way] is None:
-                return way
+        chunks = self._chunks[index]
+        if None in chunks:
+            return chunks.index(None)
         return self._lru[index].victim()
 
     def _on_block_allocated(self, block: int) -> None:
         """Clear the PV bit for a block the L2 just filled (safety)."""
         chunk, bit = self._split(block)
         index = self._set_index(chunk)
-        entries = self._entries[index]
-        for way in range(self.ways):
-            entry = entries[way]
-            if entry is not None and entry[0] == chunk:
-                vector = entry[1] & ~(1 << bit)
-                entries[way] = None if vector == 0 else (chunk, vector)
-                self.counts.entry_writes += 1
-                return
+        chunks = self._chunks[index]
+        if chunk in chunks:
+            way = chunks.index(chunk)
+            vector = self._vectors[index][way] & ~(1 << bit)
+            self._vectors[index][way] = vector
+            if vector == 0:
+                chunks[way] = None
+            self.counts.entry_writes += 1
 
     # ------------------------------------------------------------------
 
@@ -122,8 +135,8 @@ class VectorExcludeJetty(SnoopFilter):
     def asserted_bits(self) -> int:
         """Total PV bits currently set (for tests/inspection)."""
         total = 0
-        for entries in self._entries:
-            for entry in entries:
-                if entry is not None:
-                    total += bin(entry[1]).count("1")
+        for chunk_row, vector_row in zip(self._chunks, self._vectors):
+            for chunk, vector in zip(chunk_row, vector_row):
+                if chunk is not None:
+                    total += bin(vector).count("1")
         return total

@@ -51,13 +51,16 @@ class MigratoryPattern(Pattern):
         self.holder_accesses = max(2, holder_accesses)
         # Per object: (holder index into cpus, accesses done this hold).
         self._state: list[tuple[int, int]] = [(0, 0) for _ in range(n_objects)]
+        self._words = max(1, object_bytes // WORD_BYTES)
 
     def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
-        obj = rng.randrange(self.n_objects)
+        # randrange(n)'s fast path is exactly _randbelow(n) — same draw,
+        # no argument parsing (this runs once per generated access).
+        obj = rng._randbelow(self.n_objects)
         holder_index, done = self._state[obj]
         cpu = self.cpus[holder_index]
 
-        words = max(1, self.object_bytes // WORD_BYTES)
+        words = self._words
         address = self.base + obj * self.object_bytes + (done % words) * WORD_BYTES
         # Take-over access is a read; later accesses alternate write/read,
         # ending the hold with a write (the critical-section update).

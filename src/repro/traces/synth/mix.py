@@ -51,10 +51,13 @@ class WorkloadMix:
         self._cumulative = list(
             itertools.accumulate(weight / total for _p, weight in components)
         )
+        #: (pattern, cumulative bound) pairs, zipped once — the per-access
+        #: pick loop must not rebuild a zip object.
+        self._choices = tuple(zip(self.patterns, self._cumulative))
 
     def _pick(self, rng: random.Random) -> Pattern:
         draw = rng.random()
-        for pattern, bound in zip(self.patterns, self._cumulative):
+        for pattern, bound in self._choices:
             if draw <= bound:
                 return pattern
         return self.patterns[-1]
@@ -105,8 +108,36 @@ class MixStream(Iterator[tuple[int, int, bool]]):
         return self._last
 
     def take(self, count: int) -> list[tuple[int, int, bool]]:
-        """Pop up to ``count`` accesses (shorter only at end of stream)."""
-        return list(itertools.islice(self, count))
+        """Pop up to ``count`` accesses (shorter only at end of stream).
+
+        This is the batch fast path the simulation engine drives
+        (:func:`repro.coherence.smp.iter_batches`): the batch list is
+        preallocated and filled by an inline copy of the :meth:`__next__`
+        logic with the RNG, repeat fraction, and pattern picker hoisted
+        to locals — identical draw sequence, none of the per-access
+        iterator-frame overhead.
+        """
+        n = min(count, self.remaining)
+        if n <= 0:
+            return []
+        out: list[tuple[int, int, bool]] = [None] * n  # type: ignore[list-item]
+        rand = self._rng.random
+        rng = self._rng
+        mix = self.mix
+        repeat_frac = mix.repeat_frac
+        pick = mix._pick
+        last = self._last
+        for i in range(n):
+            if last is not None and rand() < repeat_frac:
+                cpu, address, _w = last
+                out[i] = (cpu, address, False)
+            else:
+                last = pick(rng).next_access(rng)
+                out[i] = last
+        self._last = last
+        self.remaining -= n
+        self.position += n
+        return out
 
     def chunks(self, chunk_size: int) -> Iterator[list[tuple[int, int, bool]]]:
         """Yield the remaining accesses as bounded, in-order chunks."""

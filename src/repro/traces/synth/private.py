@@ -55,14 +55,19 @@ class PrivateWorkingSet(Pattern):
         self._cursor: dict[int, tuple[int, int]] = {
             cpu: (base, 0) for cpu, base in zip(cpus, bases)
         }
+        self._n_slots = len(self.cpus)
+        self._ws_words = ws_bytes // WORD_BYTES
+        self._limits = tuple(base + ws_bytes for base in self.bases)
 
     def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
-        cpu = self.cpus[rng.randrange(len(self.cpus))]
+        # Same draw as randrange(len(cpus)) without its argument parsing;
+        # the slot indexes cpus/bases/limits directly (no .index scan).
+        slot = rng._randbelow(self._n_slots)
+        cpu = self.cpus[slot]
         address, remaining = self._cursor[cpu]
-        base = self.bases[self.cpus.index(cpu)]
-        if remaining <= 0 or address >= base + self.ws_bytes:
-            offset = skewed_offset(rng, self.ws_bytes // WORD_BYTES, self.alpha)
-            address = base + offset * WORD_BYTES
+        if remaining <= 0 or address >= self._limits[slot]:
+            offset = skewed_offset(rng, self._ws_words, self.alpha)
+            address = self.bases[slot] + offset * WORD_BYTES
             remaining = geometric_run(rng, self.run_mean)
         self._cursor[cpu] = (address + WORD_BYTES, remaining - 1)
         return cpu, address, rng.random() < self.write_frac

@@ -48,9 +48,11 @@ class ProducerConsumer(Pattern):
         self._state: list[tuple[bool, int, int]] = [
             (True, 0, 0) for _ in self.pairs
         ]
+        self._n_pairs = len(self.pairs)
 
     def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
-        pair_index = rng.randrange(len(self.pairs))
+        # Same draw as randrange(len(pairs)) without its argument parsing.
+        pair_index = rng._randbelow(self._n_pairs)
         producer, consumer = self.pairs[pair_index]
         base = self.bases[pair_index]
         producing, position, repeat = self._state[pair_index]

@@ -49,12 +49,16 @@ class SharedReadOnly(Pattern):
         self._cursor: dict[int, tuple[int, int]] = {
             cpu: (base, 0) for cpu in cpus
         }
+        self._n_slots = len(self.cpus)
+        self._limit = base + region_bytes
+        self._region_words = region_bytes // WORD_BYTES
 
     def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
-        cpu = self.cpus[rng.randrange(len(self.cpus))]
+        # Same draw as randrange(len(cpus)) without its argument parsing.
+        cpu = self.cpus[rng._randbelow(self._n_slots)]
         address, remaining = self._cursor[cpu]
-        if remaining <= 0 or address >= self.base + self.region_bytes:
-            offset = skewed_offset(rng, self.region_bytes // WORD_BYTES, self.alpha)
+        if remaining <= 0 or address >= self._limit:
+            offset = skewed_offset(rng, self._region_words, self.alpha)
             address = self.base + offset * WORD_BYTES
             remaining = geometric_run(rng, self.run_mean)
         self._cursor[cpu] = (address + WORD_BYTES, remaining - 1)

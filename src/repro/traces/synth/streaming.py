@@ -55,18 +55,25 @@ class StreamingSweep(Pattern):
         self.remote_frac = remote_frac
         self.boundary_bytes = min(boundary_bytes, partition_bytes)
         self._cursor: dict[int, int] = {cpu: 0 for cpu in cpus}
+        self._n_slots = len(self.cpus)
+        self._boundary_words = self.boundary_bytes // WORD_BYTES
 
     def next_access(self, rng: random.Random) -> tuple[int, int, bool]:
-        slot = rng.randrange(len(self.cpus))
+        # rng._randbelow(n) is exactly what randrange(n) calls for a
+        # positive stop — same bits consumed, same value, minus the
+        # argument-parsing overhead (this is the per-access hot path).
+        slot = rng._randbelow(self._n_slots)
         cpu = self.cpus[slot]
 
         if self.remote_frac > 0.0 and rng.random() < self.remote_frac:
             # Ghost-cell read trailing just behind the neighbour's sweep
             # cursor — data the neighbour touched recently and still
             # caches, so the snoop finds exactly one remote copy.
-            neighbour_slot = (slot + 1) % len(self.bases)
+            neighbour_slot = slot + 1
+            if neighbour_slot == self._n_slots:
+                neighbour_slot = 0
             neighbour_cpu = self.cpus[neighbour_slot]
-            delta = (1 + rng.randrange(self.boundary_bytes // WORD_BYTES)) * WORD_BYTES
+            delta = (1 + rng._randbelow(self._boundary_words)) * WORD_BYTES
             offset = (self._cursor[neighbour_cpu] - delta) % self.partition_bytes
             return cpu, self.bases[neighbour_slot] + offset, False
 

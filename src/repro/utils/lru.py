@@ -29,8 +29,21 @@ class LRUTracker:
     def touch(self, way: int) -> None:
         """Mark ``way`` as most recently used."""
         order = self._order
+        if order[0] == way:  # already MRU — the common repeated-touch case
+            return
         order.remove(way)
         order.insert(0, way)
+
+    def retire(self, way: int) -> None:
+        """Mark ``way`` as least recently used (its contents were freed).
+
+        A deallocated way must become the preferred victim; leaving it at
+        its old recency position would let the stale entry shield a live
+        way from eviction.
+        """
+        order = self._order
+        order.remove(way)
+        order.append(way)
 
     def victim(self) -> int:
         """Return the least-recently-used way (does not reorder)."""

@@ -105,7 +105,7 @@ class TestPipeline:
         measuring = False
         for stream in sim_result.event_streams:
             measuring = False
-            for kind, _block, flag in stream.events:
+            for kind, _block, flag in stream.triples():
                 if kind == MARKER:
                     measuring = True
                 elif kind == SNOOP and measuring and not flag & 2:

@@ -240,7 +240,7 @@ class TestMeasurementBoundary:
         system.access(0, 0x1000, False)
         system.begin_measurement()
         for node in system.nodes:
-            assert (MARKER, 0, 0) in node.events.events
+            assert (MARKER, 0, 0) in node.events.triples()
 
 
 class TestTraceValidation:

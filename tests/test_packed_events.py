@@ -1,0 +1,258 @@
+"""Packed-event encoding, legacy-payload compatibility, and store GC.
+
+The PR that introduced packed 64-bit events carries three contracts:
+
+* :func:`pack_event` / :func:`unpack_event` round-trip every kind, flag
+  mask, and block number (up to 2**60 as plain ints; ``array('q')``
+  shard storage covers every simulable address space);
+* recorded payloads written before the packed encoding — events as
+  ``(kind, block, flag)`` triples — still decode and replay, and the
+  serialised bytes of a recording are unchanged;
+* the experiment store's LRU garbage collector evicts by recency down
+  to a byte budget, and ``deallocate`` retires freed cache ways.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import zlib
+
+import pytest
+
+from repro.analysis import store as store_mod
+from repro.analysis.store import ExperimentStore
+from repro.coherence.cache import SetAssocCache
+from repro.coherence.config import CacheConfig
+from repro.core.config import build_filter
+from repro.core.stats import (
+    ALLOC,
+    EVICT,
+    MARKER,
+    SNOOP,
+    NodeEventStream,
+    pack_event,
+    replay_events,
+    unpack_event,
+)
+from repro.utils.lru import LRUTracker
+
+
+class TestPackedRoundTrip:
+    BLOCKS = (0, 1, 5, 0xFFFF, (1 << 20) + 3, (1 << 40) - 1, 1 << 59, 1 << 60)
+
+    def test_all_kinds_blocks_and_flags_round_trip(self):
+        for kind, block, flag in itertools.product(
+            (SNOOP, ALLOC, EVICT, MARKER), self.BLOCKS, (0, 1, 2, 3)
+        ):
+            packed = pack_event(kind, block, flag)
+            assert unpack_event(packed) == (kind, block, flag), (
+                kind, block, flag
+            )
+
+    def test_stream_methods_pack_exactly(self):
+        stream = NodeEventStream(0)
+        stream.snoop(0xABC, 3)
+        stream.alloc(0xDEF)
+        stream.evict(0x123)
+        stream.marker()
+        assert stream.triples() == [
+            (SNOOP, 0xABC, 3),
+            (ALLOC, 0xDEF, 0),
+            (EVICT, 0x123, 0),
+            (MARKER, 0, 0),
+        ]
+
+    def test_array_storage_holds_59_bit_blocks(self):
+        """array('q') shards cover every simulable block-address width."""
+        stream = NodeEventStream(0)
+        big = (1 << 59) - 1
+        stream.snoop(big, 2)
+        assert stream.triples() == [(SNOOP, big, 2)]
+
+    def test_counts_decode_packed_events(self):
+        stream = NodeEventStream(0)
+        for _ in range(3):
+            stream.snoop(8, 0)
+        stream.alloc(8)
+        stream.evict(8)
+        stream.marker()
+        assert stream.counts() == (3, 1, 1)
+
+    def test_constructor_accepts_packed_and_legacy(self):
+        packed = NodeEventStream(1, [pack_event(SNOOP, 7, 2), pack_event(ALLOC, 9)])
+        legacy = NodeEventStream(1, [(SNOOP, 7, 2), (ALLOC, 9, 0)])
+        assert list(packed.events) == list(legacy.events)
+
+
+class TestLegacyPayloadCompatibility:
+    def _legacy_sim_blob(self) -> bytes:
+        """A payload exactly as pre-packing versions serialised it."""
+        document = {
+            "workload": "legacy",
+            "n_cpus": 1,
+            "accesses": 3,
+            "node_stats": [vars(__import__(
+                "repro.coherence.metrics", fromlist=["NodeStats"]
+            ).NodeStats()).copy()],
+            "bus": {
+                "reads": 1, "read_exclusives": 0, "upgrades": 0,
+                "writebacks": 0, "remote_hit_histogram": [1, 0],
+            },
+            "event_streams": [
+                {"node_id": 0, "events": [
+                    [ALLOC, 0x40, 0],
+                    [MARKER, 0, 0],
+                    [SNOOP, 0x41, 0],   # absent block: filterable
+                    [SNOOP, 0x40, 2],   # present block: must pass
+                ]},
+            ],
+        }
+        return zlib.compress(
+            json.dumps(document, sort_keys=True, separators=(",", ":")).encode(), 6
+        )
+
+    def test_legacy_blob_decodes_to_packed_stream(self):
+        sim = store_mod.decode_sim(self._legacy_sim_blob())
+        stream = sim.event_streams[0]
+        assert list(stream.events) == [
+            pack_event(ALLOC, 0x40),
+            pack_event(MARKER, 0),
+            pack_event(SNOOP, 0x41, 0),
+            pack_event(SNOOP, 0x40, 2),
+        ]
+
+    def test_legacy_blob_replays(self):
+        sim = store_mod.decode_sim(self._legacy_sim_blob())
+        evaluation = replay_events(build_filter("EJ-8x2"), sim.event_streams[0])
+        assert evaluation.coverage.snoops == 2
+        assert evaluation.allocs == 0  # ALLOC rode the warm-up prefix
+
+    def test_reencode_preserves_triple_layout(self):
+        """Round-tripping a recording through the codec is byte-stable."""
+        blob = self._legacy_sim_blob()
+        sim = store_mod.decode_sim(blob)
+        assert store_mod.encode_sim(sim) == blob
+
+
+class TestStoreGC:
+    def _fill(self, store: ExperimentStore, n: int = 4) -> list[str]:
+        keys = []
+        for i in range(n):
+            key = f"key-{i}"
+            store.put_blob(
+                key, bytes(100), kind="eval", workload="w",
+                filter_name="f", n_cpus=4, seed=i,
+            )
+            keys.append(key)
+        return keys
+
+    @pytest.mark.parametrize("persistent", (False, True))
+    def test_gc_evicts_least_recently_used_first(self, tmp_path, persistent):
+        store = ExperimentStore(tmp_path / "s.sqlite" if persistent else None)
+        keys = self._fill(store)
+        # Refresh key-0 and key-1; key-2 becomes the oldest.
+        assert store.get_blob(keys[0]) is not None
+        assert store.get_blob(keys[1]) is not None
+        removed, freed = store.gc(max_bytes=250)
+        assert (removed, freed) == (2, 200)
+        assert store.get_blob(keys[2]) is None
+        assert store.get_blob(keys[3]) is None
+        assert store.get_blob(keys[0]) is not None
+        assert store.get_blob(keys[1]) is not None
+
+    def test_gc_within_budget_removes_nothing(self):
+        store = ExperimentStore()
+        self._fill(store)
+        assert store.gc(max_bytes=10_000) == (0, 0)
+        assert store.stats().evals == 4
+
+    def test_gc_zero_budget_empties_store(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        self._fill(store)
+        removed, freed = store.gc(max_bytes=0)
+        assert removed == 4 and freed == 400
+        assert store.stats().payload_bytes == 0
+
+    def test_gc_rejects_negative_budget(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentStore().gc(max_bytes=-1)
+
+    def test_recency_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ExperimentStore(path) as store:
+            keys = self._fill(store)
+            assert store.get_blob(keys[0]) is not None
+        with ExperimentStore(path) as reopened:
+            removed, _freed = reopened.gc(max_bytes=150)
+            assert removed == 3
+            assert reopened.get_blob(keys[0]) is not None
+
+    def test_contains_counts_as_use_for_gc(self, tmp_path):
+        """The warm-sweep path checks presence only; that must refresh
+        recency, or daily-warm entries would age out in write order."""
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        keys = self._fill(store)
+        assert store.contains(keys[0])  # oldest-written, freshly used
+        removed, _freed = store.gc(max_bytes=100)
+        assert removed == 3
+        assert store.contains(keys[0])
+        assert not store.contains(keys[1])
+
+    def test_readonly_store_still_serves_reads(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ExperimentStore(path) as store:
+            self._fill(store)
+        path.chmod(0o444)
+        try:
+            with ExperimentStore(path) as readonly:
+                # Recency cannot be written; reads must still succeed.
+                assert readonly.get_blob("key-0") == bytes(100)
+                assert readonly.contains("key-1")
+        finally:
+            path.chmod(0o644)
+
+    def test_stats_reports_bytes_per_kind(self):
+        store = ExperimentStore()
+        store.put_blob("a", bytes(10), kind="sim", workload="w",
+                       filter_name=None, n_cpus=4, seed=1)
+        store.put_blob("b", bytes(20), kind="eval", workload="w",
+                       filter_name="f", n_cpus=4, seed=1)
+        store.put_blob("c", bytes(30), kind="sim-metrics", workload="w",
+                       filter_name=None, n_cpus=4, seed=1)
+        assert dict(store.stats().bytes_by_kind) == {
+            "sim": 10, "eval": 20, "sim-metrics": 30,
+        }
+
+
+class TestDeallocateRetiresWay:
+    def test_freed_way_becomes_the_preferred_victim(self):
+        cache = SetAssocCache(
+            CacheConfig(capacity_bytes=256, block_bytes=32,
+                        subblock_bytes=32, ways=4)
+        )
+        # Fill one set (blocks congruent mod n_sets), touching in order:
+        n_sets = cache.config.n_sets
+        blocks = [i * n_sets for i in range(4)]
+        for block in blocks:
+            cache.allocate(block)
+        # blocks[3] is MRU.  Deallocate it: its way must become LRU.
+        cache.deallocate(blocks[3])
+        set_index = 0
+        assert cache._lru[set_index].victim() == 3
+        # The next allocate reuses the freed way without evicting anyone.
+        _frame, evicted = cache.allocate(blocks[3] + 4 * n_sets)
+        assert evicted is None
+        assert sorted(cache.resident_blocks()) == sorted(
+            blocks[:3] + [blocks[3] + 4 * n_sets]
+        )
+
+    def test_lru_retire_moves_way_to_tail(self):
+        tracker = LRUTracker(3)
+        tracker.touch(2)
+        tracker.touch(0)  # order: 0, 2, 1
+        tracker.retire(0)
+        assert tracker.order() == (2, 1, 0)
+        assert tracker.victim() == 0

@@ -57,7 +57,7 @@ def test_event_streams_match_cache_state(accesses):
         system.access(cpu, word * 8, is_write)
     for node in system.nodes:
         reconstructed: set[int] = set()
-        for kind, block, _flag in node.events.events:
+        for kind, block, _flag in node.events.triples():
             if kind == ALLOC:
                 assert block not in reconstructed
                 reconstructed.add(block)
@@ -81,7 +81,7 @@ def test_snoop_event_flags_truthful(accesses):
     del geometry
     for node in system.nodes:
         resident: set[int] = set()
-        for kind, block, flag in node.events.events:
+        for kind, block, flag in node.events.triples():
             if kind == ALLOC:
                 resident.add(block)
             elif kind == EVICT:

@@ -28,7 +28,7 @@ from repro.analysis import store as store_mod
 from repro.analysis.store import ExperimentStore
 from repro.coherence.config import CacheConfig, SCALED_SYSTEM, SystemConfig
 from repro.coherence.smp import SMPSystem, simulate, simulate_streaming
-from repro.core.stats import MARKER, NodeEventStream
+from repro.core.stats import KIND_MASK, MARKER, NodeEventStream
 from repro.traces.synth import MixStream
 from repro.traces.workloads import (
     WORKLOADS,
@@ -108,13 +108,18 @@ class TestGoldenEquivalence:
                             spec.name, name, chunk_size
                         )
 
-    def test_streamed_reproduces_golden_files_exactly(self):
-        """Streamed numbers equal the *committed* golden JSON documents."""
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_streamed_reproduces_golden_files_exactly(self, chunk_size):
+        """Packed streamed evals equal the *committed* golden JSON files.
+
+        Parametrised over chunk sizes: the packed event encoding must
+        reproduce the golden numbers wherever the shard boundaries fall.
+        """
         for workload, filter_name, seed in CASES:
             spec = next(s for s in GOLDEN_WORKLOADS if s.name == workload)
             golden = json.loads(golden_path(workload, filter_name, seed).read_text())
             metrics, evaluations = runner.compute_stream(
-                spec, SCALED_SYSTEM, seed, (filter_name,), chunk_size=1777
+                spec, SCALED_SYSTEM, seed, (filter_name,), chunk_size=chunk_size
             )
             assert store_mod.evaluation_to_dict(evaluations[filter_name]) == (
                 golden["evaluation"]
@@ -154,7 +159,7 @@ class _CollectingSink:
         self.shard_sizes.append(sum(len(s.events) for s in shard))
         for node_id, stream in enumerate(shard):
             assert stream.node_id == node_id
-            self.events[node_id].extend(stream.events)
+            self.events[node_id].extend(stream.events)  # packed ints
 
 
 class TestShardProtocol:
@@ -167,7 +172,9 @@ class TestShardProtocol:
             tiny2, trace, warmup=300, chunk_size=chunk_size, sinks=[sink]
         )
         for node_id, stream in enumerate(buffered.event_streams):
-            assert sink.events[node_id] == stream.events, (node_id, chunk_size)
+            assert sink.events[node_id] == list(stream.events), (
+                node_id, chunk_size
+            )
         assert streamed.event_streams == []
         assert [vars(s) for s in streamed.node_stats] == (
             [vars(s) for s in buffered.node_stats]
@@ -181,7 +188,10 @@ class TestShardProtocol:
         sink = _CollectingSink(tiny2.n_cpus)
         simulate_streaming(tiny2, trace, warmup=250, chunk_size=100, sinks=[sink])
         for events in sink.events:
-            markers = [i for i, (kind, _b, _f) in enumerate(events) if kind == MARKER]
+            markers = [
+                i for i, event in enumerate(events)
+                if event & KIND_MASK == MARKER
+            ]
             assert len(markers) == 1
 
     def test_warmup_only_trace_flushes_marker_residue(self, tiny2):
@@ -190,7 +200,7 @@ class TestShardProtocol:
         sink = _CollectingSink(tiny2.n_cpus)
         simulate_streaming(tiny2, trace, warmup=200, chunk_size=64, sinks=[sink])
         for events in sink.events:
-            assert events[-1][0] == MARKER
+            assert events[-1] & KIND_MASK == MARKER
 
     def test_run_chunked_rejects_bad_chunk_size(self, tiny2):
         from repro.errors import TraceError

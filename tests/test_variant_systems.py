@@ -82,7 +82,7 @@ class TestNoSubblocking:
         result = simulate(nsb, make_random_trace(2000, seed=7), "nsb")
         snoops = present_but_dead = 0
         for stream in result.event_streams:
-            for kind, _block, flag in stream.events:
+            for kind, _block, flag in stream.triples():
                 if kind == SNOOP:
                     snoops += 1
                     if flag & 1:
