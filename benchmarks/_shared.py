@@ -44,22 +44,26 @@ def prewarm(
 ) -> runner.ExecutionReport:
     """Batch-run every workload x filter x seed job into the shared store.
 
-    Each (workload, seed) becomes one single-pass *streaming* job with
-    all requested filters attached, so a prewarm sweep keeps O(chunk)
-    memory however long the traces (the ten Table 2 sims used to run
-    buffered here, materialising every event stream).  ``filters`` may
-    be empty to prewarm simulation metrics only.  By the determinism
-    contract the stored payloads are byte-identical to buffered runs',
-    so warm stores from either mode satisfy the other.  Returns the
-    execution report (how much was fresh work vs already stored).
+    Each (workload, seed) becomes one record-once / replay-many
+    :class:`~repro.analysis.runner.ReplayJob`: the first bench to touch
+    a configuration records its packed event shards (one O(chunk)-memory
+    streaming pass, exactly as cheap as the previous streamed prewarm),
+    and every *subsequent* bench — including ones sweeping filter
+    configurations no earlier bench asked for, like the ablation tables
+    — hits the replay fast path instead of re-simulating.  ``filters``
+    may be empty to prewarm the trace and simulation metrics only.  By
+    the determinism contract the stored evaluation payloads are
+    byte-identical to buffered and streamed runs', so warm stores from
+    any mode satisfy the others.  Returns the execution report (how much
+    was fresh work vs already stored).
     """
-    stream_jobs = [
-        runner.StreamJob(workload, tuple(filters), system, seed)
+    replay_jobs = [
+        runner.ReplayJob(workload, tuple(filters), system, seed)
         for workload in workloads
         for seed in seeds
     ]
-    return runner.execute_streams(
-        stream_jobs,
+    return runner.execute_replays(
+        replay_jobs,
         experiment_store=experiments.get_store(),
         workers=bench_workers(),
     )

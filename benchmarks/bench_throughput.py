@@ -13,7 +13,15 @@ Protocol (identical across code versions, so numbers are comparable):
   live (the paper-scale configuration; the headline number);
 * **buffered** — the two-phase pipeline (record everything, then replay
   all four filters) at a reduced access count, since buffered memory is
-  O(trace).
+  O(trace);
+* **replay** — the record-once / replay-many trace store: a *cold
+  record* (one streaming simulation persisting its packed event shards)
+  followed by a *warm replay* of all four filter configurations from
+  the stored segments, with no simulation at all.  Warm replay is the
+  number a filter sweep over a recorded configuration actually pays;
+  its ratio to the streamed throughput is reported per workload.  On a
+  multi-core machine the replay is also measured on the ``process``
+  backend with two workers (one filter config per task).
 
 Usage::
 
@@ -35,13 +43,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from dataclasses import replace
 from pathlib import Path
 
 from repro.analysis import runner
+from repro.analysis.store import ExperimentStore
 from repro.coherence.config import SCALED_SYSTEM
 from repro.traces.workloads import get_workload
 
@@ -99,9 +110,67 @@ def measure_buffered(name: str, n_accesses: int, warmup: int) -> dict:
     }
 
 
+def measure_replay(name: str, n_accesses: int, warmup: int) -> dict:
+    """Cold-record one trace, then warm-replay all four filter configs.
+
+    The replay numbers use the same accesses/second accounting as the
+    live modes, so ``replay_accesses_per_sec / streamed accesses_per_sec``
+    is exactly the wall-clock speedup a warm filter sweep enjoys over
+    re-simulating.
+    """
+    spec = _sized(name, n_accesses, warmup)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ExperimentStore(Path(tmp) / "bench-traces.sqlite")
+        started = time.perf_counter()
+        runner.execute_replays(
+            [runner.ReplayJob(name, ())],
+            experiment_store=store, specs={name: spec},
+        )
+        record_elapsed = time.perf_counter() - started
+
+        started = time.perf_counter()
+        runner.execute_replays(
+            [runner.ReplayJob(name, FILTERS)],
+            experiment_store=store, backend="serial", specs={name: spec},
+        )
+        replay_elapsed = time.perf_counter() - started
+
+        entry = {
+            "workload": name,
+            "accesses": n_accesses,
+            "warmup": warmup,
+            "filters": len(FILTERS),
+            "record_seconds": round(record_elapsed, 3),
+            "record_accesses_per_sec": round(n_accesses / record_elapsed),
+            "replay_seconds": round(replay_elapsed, 3),
+            "replay_accesses_per_sec": round(n_accesses / replay_elapsed),
+            "trace_bytes": sum(
+                e.payload_bytes for e in store.entries()
+                if e.kind == "sim-events"
+            ),
+        }
+        if (os.cpu_count() or 1) >= 2:
+            # Re-replay on 2 process workers (evals cleared for a fair
+            # rerun): one filter configuration per worker task.
+            store.delete_kind("eval")
+            started = time.perf_counter()
+            runner.execute_replays(
+                [runner.ReplayJob(name, FILTERS)],
+                experiment_store=store, workers=2, backend="process",
+                specs={name: spec},
+            )
+            process_elapsed = time.perf_counter() - started
+            entry["replay_process2_seconds"] = round(process_elapsed, 3)
+            entry["replay_process2_accesses_per_sec"] = round(
+                n_accesses / process_elapsed
+            )
+        store.close()
+    return entry
+
+
 def run_benchmark(quick: bool) -> dict:
     s_acc, s_warm, b_acc, b_warm = QUICK_SIZES if quick else FULL_SIZES
-    results: dict = {"streamed": {}, "buffered": {}}
+    results: dict = {"streamed": {}, "buffered": {}, "replay": {}}
     for name in BENCH_WORKLOADS:
         print(f"streamed {name}: {s_acc:,} accesses, "
               f"{len(FILTERS)} filter banks ...", flush=True)
@@ -115,12 +184,43 @@ def run_benchmark(quick: bool) -> dict:
         results["buffered"][name] = entry
         print(f"  {entry['accesses_per_sec']:,} accesses/s "
               f"({entry['seconds']}s)")
+    for name in BENCH_WORKLOADS:
+        print(f"replay {name}: {s_acc:,} accesses "
+              f"(cold record, then warm {len(FILTERS)}-filter replay) ...",
+              flush=True)
+        entry = measure_replay(name, s_acc, s_warm)
+        results["replay"][name] = entry
+        print(f"  record {entry['record_accesses_per_sec']:,} acc/s "
+              f"({entry['record_seconds']}s); warm replay "
+              f"{entry['replay_accesses_per_sec']:,} acc/s "
+              f"({entry['replay_seconds']}s)")
     return results
 
 
 def _headline(results: dict) -> int:
     """Slowest streamed workload: the honest end-to-end number."""
     return min(e["accesses_per_sec"] for e in results["streamed"].values())
+
+
+def _replay_headline(results: dict) -> int | None:
+    """Slowest warm replay across workloads (the replay-path floor)."""
+    entries = results.get("replay", {})
+    if not entries:
+        return None
+    return min(e["replay_accesses_per_sec"] for e in entries.values())
+
+
+def _replay_speedups(results: dict) -> dict:
+    """Warm replay vs same-run streamed throughput, per workload."""
+    out = {}
+    for name, entry in results.get("replay", {}).items():
+        streamed = results.get("streamed", {}).get(name)
+        if streamed and streamed.get("accesses_per_sec"):
+            out[name] = round(
+                entry["replay_accesses_per_sec"] / streamed["accesses_per_sec"],
+                2,
+            )
+    return out
 
 
 def _speedups(results: dict, baseline: dict) -> dict:
@@ -148,6 +248,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--assert-floor", type=int, default=None,
                         metavar="N", help="fail when the headline streamed "
                         "throughput drops below N accesses/s")
+    parser.add_argument("--assert-replay-floor", type=int, default=None,
+                        metavar="N", help="fail when the slowest warm-replay "
+                        "throughput drops below N accesses/s")
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
@@ -158,9 +261,12 @@ def main(argv: list[str] | None = None) -> int:
         "label": args.label,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": os.cpu_count(),
         "workloads": list(BENCH_WORKLOADS),
         "filters": list(FILTERS),
         "headline_streamed_accesses_per_sec": _headline(results),
+        "headline_replay_accesses_per_sec": _replay_headline(results),
+        "replay_speedup_vs_streamed": _replay_speedups(results),
         "results": results,
     }
 
@@ -187,6 +293,13 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     headline = document["headline_streamed_accesses_per_sec"]
     print(f"\nheadline (slowest streamed workload): {headline:,} accesses/s")
+    replay_headline = document["headline_replay_accesses_per_sec"]
+    if replay_headline is not None:
+        ratios = document["replay_speedup_vs_streamed"]
+        print(f"warm replay (slowest workload): {replay_headline:,} accesses/s"
+              + ("; vs streamed: "
+                 + ", ".join(f"{n} x{v}" for n, v in sorted(ratios.items()))
+                 if ratios else ""))
     if "speedup_vs_baseline" in document:
         ratios = document["speedup_vs_baseline"].get("streamed", {})
         if ratios:
@@ -197,6 +310,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.assert_floor is not None and headline < args.assert_floor:
         print(f"FAIL: headline {headline:,} accesses/s is below the floor "
               f"of {args.assert_floor:,}", file=sys.stderr)
+        return 1
+    if args.assert_replay_floor is not None and (
+        replay_headline is None or replay_headline < args.assert_replay_floor
+    ):
+        print(f"FAIL: warm-replay headline "
+              f"{replay_headline if replay_headline is not None else 0:,} "
+              f"accesses/s is below the floor of "
+              f"{args.assert_replay_floor:,}", file=sys.stderr)
         return 1
     return 0
 

@@ -29,6 +29,7 @@ from repro.analysis.experiments import (
     coverage_for,
     energy_reduction_for,
     evaluate_filter,
+    evaluate_filters_replay,
     evaluate_filters_streaming,
     get_store,
     run_workload,
@@ -37,11 +38,15 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.runner import (
     EvalJob,
+    ReplayJob,
     SimJob,
     StreamJob,
+    evaluate_replay,
     evaluate_streaming,
     execute,
+    execute_replays,
     execute_streams,
+    record_trace,
     run_sweep,
 )
 from repro.analysis.store import ExperimentStore
@@ -65,6 +70,7 @@ __all__ = [
     "AnalyticalEnergyModel",
     "EvalJob",
     "ExperimentStore",
+    "ReplayJob",
     "SimJob",
     "SnoopEnergyInputs",
     "build_figure2",
@@ -81,11 +87,15 @@ __all__ = [
     "coverage_for",
     "energy_reduction_for",
     "evaluate_filter",
+    "evaluate_filters_replay",
     "evaluate_filters_streaming",
+    "evaluate_replay",
     "evaluate_streaming",
     "execute",
+    "execute_replays",
     "execute_streams",
     "get_store",
+    "record_trace",
     "render_figure",
     "render_table_rows",
     "run_sweep",

@@ -2,11 +2,29 @@
 
 The engine takes batched job lists — :class:`SimJob` (simulate one
 workload on one system with one seed), :class:`EvalJob` (replay one
-filter over that simulation's recorded event streams), and
-:class:`StreamJob` (one single-pass streaming simulation with any number
-of filters attached live) — deduplicates them against an
+filter over that simulation's recorded event streams), :class:`StreamJob`
+(one single-pass streaming simulation with any number of filters
+attached live), and :class:`ReplayJob` (record one simulation's packed
+event shards into the store once, then evaluate any number of filters by
+replaying the persisted trace) — deduplicates them against an
 :class:`~repro.analysis.store.ExperimentStore`, and runs the misses
-either inline (``workers <= 1``) or on a ``multiprocessing`` pool.
+either inline or on a pluggable executor backend (``serial``,
+``process`` — a ``multiprocessing`` pool, the default — or ``thread``
+via :mod:`concurrent.futures`).
+
+**Record once, replay many.**  A filter never alters coherence
+behaviour, so sweeping F filter configurations over one
+``(workload, system, seed)`` re-observes the *same* event stream F
+times.  :func:`execute_replays` exploits that: the first run records
+the stream as a persisted trace (kind ``sim-events`` — fixed-size
+compressed segments of packed events, written incrementally with
+O(segment) memory), and every filter configuration — including ones
+invented weeks later — replays the trace without instantiating caches,
+bus, or nodes.  Replay tasks fan out across workers that each open the
+store read-only and decode segments independently, so a warm filter
+sweep costs O(filters x replay) instead of O(filters x simulation), and
+parallelises per filter configuration.  Replayed evaluations are
+byte-identical to live ones and share the one ``eval`` keyspace.
 
 **Buffered vs streaming.**  A buffered experiment is two phases: the
 simulation records every node's full event stream into the store, then
@@ -39,17 +57,31 @@ store file — is independent of the caller's iteration order.
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
+import sqlite3
 import time
+import urllib.parse
 from dataclasses import dataclass, field, replace
 
 from repro.analysis import store as store_mod
 from repro.analysis.store import ExperimentStore
 from repro.coherence.config import SCALED_SYSTEM, SystemConfig
 from repro.coherence.metrics import SimResult
-from repro.coherence.smp import DEFAULT_CHUNK_SIZE, simulate, simulate_streaming
+from repro.coherence.smp import (
+    DEFAULT_CHUNK_SIZE,
+    TraceSink,
+    simulate,
+    simulate_streaming,
+)
 from repro.core.config import build_filter
-from repro.core.stats import FilterEvaluation, StreamingFilterBank
+from repro.core.stats import (
+    FilterEvaluation,
+    StreamingFilterBank,
+    TraceReader,
+    replay_trace,
+)
+from repro.errors import ConfigurationError
 from repro.traces.workloads import (
     WorkloadSpec,
     apply_preset,
@@ -88,6 +120,29 @@ class EvalJob:
     @property
     def sim_job(self) -> SimJob:
         return SimJob(self.workload, self.system, self.seed)
+
+
+@dataclass(frozen=True)
+class ReplayJob:
+    """Record one simulation's trace once; replay N filters against it.
+
+    The record-once / replay-many unit of work: if the store holds no
+    complete trace for ``(workload, system, seed)``, one streaming
+    simulation runs with a :class:`~repro.coherence.smp.TraceSink`
+    attached, persisting the packed event shards (and the run's metrics)
+    — thereafter, *every* filter evaluation for this configuration is a
+    cheap replay of the stored segments, parallelisable per filter.
+    ``chunk_size`` tunes the recording pass's memory only; it can never
+    change a stored byte (segments are cut at fixed event counts) and is
+    absent from all keys.  An empty ``filter_names`` is a pure record
+    job.
+    """
+
+    workload: str
+    filter_names: tuple[str, ...] = ()
+    system: SystemConfig = SCALED_SYSTEM
+    seed: int = 1
+    chunk_size: int = DEFAULT_CHUNK_SIZE
 
 
 @dataclass(frozen=True)
@@ -227,16 +282,36 @@ def _eval_group_task(
     ]
 
 
-def _map_tasks(worker, tasks, workers: int):
-    """Run ``worker`` over ``tasks``, inline or on a process pool.
+#: Pluggable executor backends (the runner's ``backend=`` knob):
+#: ``serial`` runs inline whatever the worker count, ``process`` is the
+#: default ``multiprocessing`` pool (true parallelism for the CPU-bound
+#: simulate/replay kernels), and ``thread`` is a
+#: :class:`concurrent.futures.ThreadPoolExecutor` — GIL-bound for the
+#: pure-Python kernels, useful when tasks wait on I/O (store reads over
+#: slow storage) or when process spawn cost dwarfs the task.
+EXECUTOR_BACKENDS = ("serial", "process", "thread")
 
-    Results come back in task order either way, so the parent inserts
-    them into the store in a deterministic sequence.
+
+def _map_tasks(worker, tasks, workers: int, backend: str | None = None):
+    """Run ``worker`` over ``tasks`` on the selected executor backend.
+
+    Results come back in task order on every backend, so the parent
+    inserts them into the store in a deterministic sequence — which
+    executor ran a task can never change a stored byte.
     """
-    if workers <= 1 or len(tasks) <= 1:
+    name = backend or "process"
+    if name not in EXECUTOR_BACKENDS:
+        raise ConfigurationError(
+            f"unknown executor backend {name!r}; "
+            f"choose one of {', '.join(EXECUTOR_BACKENDS)}"
+        )
+    if name == "serial" or workers <= 1 or len(tasks) <= 1:
         return [worker(task) for task in tasks]
-    n_procs = min(workers, len(tasks))
-    with multiprocessing.Pool(processes=n_procs) as pool:
+    n_workers = min(workers, len(tasks))
+    if name == "thread":
+        with concurrent.futures.ThreadPoolExecutor(n_workers) as pool:
+            return list(pool.map(worker, tasks))
+    with multiprocessing.Pool(processes=n_workers) as pool:
         return pool.map(worker, tasks, chunksize=1)
 
 
@@ -278,6 +353,7 @@ def execute(
     *,
     experiment_store: ExperimentStore,
     workers: int = 1,
+    backend: str | None = None,
     specs: dict[str, WorkloadSpec] | None = None,
 ) -> ExecutionReport:
     """Run every job not already in the store; return what happened.
@@ -285,6 +361,8 @@ def execute(
     ``specs`` optionally maps workload names to explicit
     :class:`WorkloadSpec` objects (the sweep CLI uses this for reduced
     access counts); unlisted names resolve through the registry.
+    ``backend`` selects the executor (:data:`EXECUTOR_BACKENDS`;
+    default ``process``).
     """
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
@@ -316,7 +394,7 @@ def execute(
             report.sims_cached += 1
         else:
             sim_tasks.append((key, specs[job.workload], job.system, job.seed))
-    for key, blob in _map_tasks(_sim_task, sim_tasks, workers):
+    for key, blob in _map_tasks(_sim_task, sim_tasks, workers, backend):
         job = needed_sims[key]
         experiment_store.put_sim_blob(
             key, blob, workload=specs[job.workload].name,
@@ -350,7 +428,7 @@ def execute(
             raise RuntimeError(f"simulation missing for eval keys {pairs}")
         system = needed_evals[pairs[0][0]].system
         eval_tasks.append((sim_blob, system, pairs))
-    for results in _map_tasks(_eval_group_task, eval_tasks, workers):
+    for results in _map_tasks(_eval_group_task, eval_tasks, workers, backend):
         for key, blob in results:
             job = needed_evals[key]
             experiment_store.put_eval_blob(
@@ -373,6 +451,7 @@ def execute_streams(
     *,
     experiment_store: ExperimentStore,
     workers: int = 1,
+    backend: str | None = None,
     specs: dict[str, WorkloadSpec] | None = None,
 ) -> ExecutionReport:
     """Run every streaming job whose results are not already stored.
@@ -439,7 +518,7 @@ def execute_streams(
     eval_owner = {
         ekey: grouped[mkey] for mkey in grouped for ekey in grouped[mkey][1]
     }
-    for results in _map_tasks(_eval_group_task, replay_tasks, workers):
+    for results in _map_tasks(_eval_group_task, replay_tasks, workers, backend):
         for ekey, blob in results:
             job, filters = eval_owner[ekey]
             experiment_store.put_eval_blob(
@@ -449,7 +528,9 @@ def execute_streams(
             )
             report.evals_run += 1
 
-    for mkey, metrics_blob, eval_blobs in _map_tasks(_stream_task, tasks, workers):
+    for mkey, metrics_blob, eval_blobs in _map_tasks(
+        _stream_task, tasks, workers, backend
+    ):
         job, _filters = grouped[mkey]
         spec = specs[job.workload]
         experiment_store.put_sim_metrics_blob(
@@ -467,6 +548,321 @@ def execute_streams(
 
     report.elapsed_seconds = time.perf_counter() - started
     return report
+
+
+# ----------------------------------------------------------------------
+# Record-once / replay-many execution (persisted traces)
+# ----------------------------------------------------------------------
+
+def record_trace(
+    spec: WorkloadSpec,
+    system: SystemConfig,
+    seed: int,
+    *,
+    experiment_store: ExperimentStore,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> SimResult:
+    """Simulate once, persisting the packed event shards as a trace.
+
+    One streaming pass with a :class:`~repro.coherence.smp.TraceSink`
+    attached: segments are compressed and written to the store *as the
+    simulation advances* (O(segment) memory, never O(trace)), the
+    manifest — per-node segment/event counts plus the run's metrics —
+    lands last, and the ``sim-metrics`` row is stored too if missing, so
+    a recording warms every metrics consumer exactly like a plain
+    streamed run.  Any pre-existing rows under this trace key are
+    dropped first: stale segments from an interrupted or partially
+    collected recording must never mix with fresh ones.  Returns the
+    metrics-only result.
+    """
+    tkey = store_mod.trace_key(spec, system, seed)
+    experiment_store.delete_trace(tkey)
+
+    def write_segment(node_id: int, index: int, raw: bytes) -> None:
+        experiment_store.put_blob(
+            store_mod.trace_segment_key(tkey, node_id, index),
+            store_mod.encode_trace_segment(raw),
+            kind=store_mod.TRACE_KIND,
+            workload=spec.name,
+            filter_name=tkey,
+            n_cpus=system.n_cpus,
+            seed=seed,
+        )
+
+    sink = TraceSink(system.n_cpus, write_segment)
+    stream, warmup = simulate_workload_accesses(
+        spec, n_cpus=system.n_cpus, seed=seed
+    )
+    metrics = simulate_streaming(
+        system, stream, spec.name,
+        warmup=warmup, chunk_size=chunk_size, sinks=[sink],
+    )
+    segments_per_node = sink.finish()
+    manifest = {
+        "version": 1,
+        "workload": spec.name,
+        "n_cpus": system.n_cpus,
+        "seed": seed,
+        "segments_per_node": segments_per_node,
+        "events_per_node": list(sink.events_per_node),
+        "metrics": store_mod.sim_metrics_to_dict(metrics),
+    }
+    experiment_store.put_blob(
+        tkey,
+        store_mod.encode_trace_manifest(manifest),
+        kind=store_mod.TRACE_KIND,
+        workload=spec.name,
+        filter_name=None,
+        n_cpus=system.n_cpus,
+        seed=seed,
+    )
+    mkey = store_mod.sim_metrics_key(spec, system, seed)
+    if not experiment_store.contains(mkey):
+        experiment_store.put_sim_metrics(mkey, metrics, seed=seed)
+    return metrics
+
+
+def load_trace(
+    experiment_store: ExperimentStore, tkey: str
+) -> tuple[dict, list[list[str]]] | None:
+    """Fetch a trace's manifest and verify every segment is present.
+
+    Returns ``(manifest, segment_keys_by_node)``, or ``None`` when the
+    manifest is missing *or any segment row is gone* (e.g. after a
+    partial external deletion) — an incomplete trace must look absent so
+    the caller re-records rather than replaying a truncated stream.  The
+    presence checks double as LRU touches, keeping a replayed trace's
+    rows fresh as one unit.
+    """
+    blob = experiment_store.get_blob(tkey)
+    if blob is None:
+        return None
+    manifest = store_mod.decode_trace_manifest(blob)
+    segment_keys = [
+        [store_mod.trace_segment_key(tkey, node_id, index)
+         for index in range(count)]
+        for node_id, count in enumerate(manifest["segments_per_node"])
+    ]
+    for node_keys in segment_keys:
+        for key in node_keys:
+            if not experiment_store.contains(key):
+                return None
+    return manifest, segment_keys
+
+
+def _segment_payload(
+    experiment_store: ExperimentStore, segment_keys: list[list[str]]
+) -> tuple[str | None, list[list]]:
+    """The ``(path, segments)`` half of a replay task.
+
+    Persistent stores ship their path plus the segment *keys* — workers
+    open the file read-only and fetch one segment at a time (O(segment)
+    memory); in-memory stores have no file, so the compressed blobs ride
+    in the task itself.
+    """
+    if experiment_store.path is not None:
+        return str(experiment_store.path), segment_keys
+    return None, [
+        [experiment_store.get_blob(key) for key in node_keys]
+        for node_keys in segment_keys
+    ]
+
+
+def _replay_task(task) -> list[tuple[str, bytes]]:
+    """Worker entry: replay one trace through one or more filters.
+
+    ``segments`` is either per-node lists of *store keys* (``path`` set:
+    the worker opens the store file read-only — with SQLite's mmap I/O
+    where available — and fetches payloads itself, so nothing heavy
+    crosses the process boundary) or per-node lists of already-compressed
+    blobs (in-memory stores).  Each segment is decoded once and fed to
+    every requested bank via the shared :func:`replay_trace` kernel.
+    """
+    path, segments, system, pairs = task
+    connection = None
+    if path is not None:
+        # Percent-encode the filesystem path: a raw '?', '#', or '%' in
+        # it would be parsed as URI syntax and open the wrong file.
+        quoted = urllib.parse.quote(path, safe="/:")
+        connection = sqlite3.connect(f"file:{quoted}?mode=ro", uri=True)
+        try:
+            connection.execute("PRAGMA mmap_size = 268435456")
+        except sqlite3.Error:  # pragma: no cover - pragma support varies
+            pass
+
+        def fetch(node_id: int, index: int):
+            row = connection.execute(
+                "SELECT payload FROM results WHERE key = ?",
+                (segments[node_id][index],),
+            ).fetchone()
+            if row is None:
+                raise ConfigurationError(
+                    f"trace segment {index} of node {node_id} vanished "
+                    "from the store mid-replay"
+                )
+            return store_mod.decode_trace_segment(row[0])
+    else:
+        def fetch(node_id: int, index: int):
+            return store_mod.decode_trace_segment(segments[node_id][index])
+
+    try:
+        banks = [(ekey, _build_bank(name, system)) for ekey, name in pairs]
+        reader = TraceReader([len(keys) for keys in segments], fetch)
+        replay_trace(reader, [bank for _ekey, bank in banks])
+        return [
+            (ekey, store_mod.encode_eval(bank.finish()))
+            for ekey, bank in banks
+        ]
+    finally:
+        if connection is not None:
+            connection.close()
+
+
+def execute_replays(
+    replay_jobs: list[ReplayJob] | tuple[ReplayJob, ...],
+    *,
+    experiment_store: ExperimentStore,
+    workers: int = 1,
+    backend: str | None = None,
+    specs: dict[str, WorkloadSpec] | None = None,
+) -> ExecutionReport:
+    """Record every missing trace once; replay every missing evaluation.
+
+    Jobs targeting the same ``(workload, system, seed)`` are fused onto
+    one trace.  Recording (the expensive simulation) runs in the parent
+    process, one trace at a time; replays fan out on the selected
+    executor backend — one task per filter configuration when parallel
+    workers are available (each decodes segments independently), or one
+    task per trace when serial (each segment then decodes exactly once
+    for all filters).  Evaluations land under the shared ``eval``
+    keyspace, byte-identical to live streamed or buffered ones.
+    """
+    started = time.perf_counter()
+    report = ExecutionReport(workers=max(1, workers))
+    specs = specs if specs is not None else {}
+
+    grouped: dict[str, tuple[ReplayJob, dict[str, str]]] = {}
+    #: Trace keys some job *explicitly* asked to record (empty
+    #: filter_names = a pure record job, e.g. ``trace record``): these
+    #: must end up recorded even when nothing else needs the trace.
+    record_requested: set[str] = set()
+    for job in replay_jobs:
+        spec = _spec_for(job, specs)
+        tkey = store_mod.trace_key(spec, job.system, job.seed)
+        _job, filters = grouped.setdefault(tkey, (job, {}))
+        if not job.filter_names:
+            record_requested.add(tkey)
+        for name in job.filter_names:
+            filters[store_mod.eval_key(spec, name, job.system, job.seed)] = name
+
+    # Phase 1 — ensure every group's trace (and metrics row) exists.
+    units = []
+    for tkey in sorted(grouped):
+        job, filters = grouped[tkey]
+        spec = specs[job.workload]
+        pairs = []
+        for ekey in sorted(filters):
+            if experiment_store.contains(ekey):
+                report.evals_cached += 1
+            else:
+                pairs.append((ekey, filters[ekey]))
+        loaded = load_trace(experiment_store, tkey)
+        if loaded is None:
+            # Run-the-misses contract: when every requested evaluation
+            # and the metrics row are already stored (e.g. warmed by an
+            # earlier streamed sweep) there is nothing to replay, so a
+            # missing trace is not worth a full simulation — unless a
+            # pure record job asked for the trace itself.
+            mkey = store_mod.sim_metrics_key(spec, job.system, job.seed)
+            if (
+                not pairs
+                and tkey not in record_requested
+                and experiment_store.contains(mkey)
+            ):
+                report.sims_cached += 1
+                continue
+            record_trace(
+                spec, job.system, job.seed,
+                experiment_store=experiment_store,
+                chunk_size=job.chunk_size,
+            )
+            report.sims_run += 1
+            loaded = load_trace(experiment_store, tkey)
+            assert loaded is not None  # record_trace just wrote it
+        else:
+            report.sims_cached += 1
+            mkey = store_mod.sim_metrics_key(spec, job.system, job.seed)
+            if not experiment_store.contains(mkey):
+                # The manifest embeds the run's metrics, so a trace can
+                # resurrect an evicted sim-metrics row byte-identically.
+                experiment_store.put_sim_metrics_blob(
+                    mkey,
+                    store_mod.encode_sim_metrics_dict(loaded[0]["metrics"]),
+                    workload=spec.name,
+                    n_cpus=job.system.n_cpus,
+                    seed=job.seed,
+                )
+        if pairs:
+            manifest, segment_keys = loaded
+            units.append((tkey, segment_keys, pairs, job))
+
+    # Phase 2 — replay, fanned out per filter configuration.
+    backend_name = backend or "process"
+    parallel = backend_name != "serial" and workers > 1
+    owners = {
+        ekey: grouped[tkey] for tkey in grouped for ekey in grouped[tkey][1]
+    }
+    tasks = []
+    for tkey, segment_keys, pairs, job in units:
+        path, segments = _segment_payload(experiment_store, segment_keys)
+        if parallel and len(pairs) > 1:
+            tasks.extend((path, segments, job.system, [pair]) for pair in pairs)
+        else:
+            tasks.append((path, segments, job.system, pairs))
+    for results in _map_tasks(_replay_task, tasks, workers, backend):
+        for ekey, blob in results:
+            job, filters = owners[ekey]
+            experiment_store.put_eval_blob(
+                ekey, blob, workload=specs[job.workload].name,
+                filter_name=filters[ekey],
+                n_cpus=job.system.n_cpus, seed=job.seed,
+            )
+            report.evals_run += 1
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def replay_filter_from_store(
+    spec: WorkloadSpec,
+    filter_name: str,
+    system: SystemConfig,
+    seed: int,
+    *,
+    experiment_store: ExperimentStore,
+) -> FilterEvaluation | None:
+    """Evaluate one filter from an already-recorded trace, if any.
+
+    The opportunistic fast path behind
+    :func:`repro.analysis.experiments.evaluate_filter`: when the store
+    holds a complete trace for this configuration, the evaluation is a
+    cheap replay (stored under the shared ``eval`` key as usual);
+    otherwise ``None`` — the caller decides whether simulating (or
+    recording) is worth it.  Never records a trace itself.
+    """
+    tkey = store_mod.trace_key(spec, system, seed)
+    loaded = load_trace(experiment_store, tkey)
+    if loaded is None:
+        return None
+    _manifest, segment_keys = loaded
+    path, segments = _segment_payload(experiment_store, segment_keys)
+    ekey = store_mod.eval_key(spec, filter_name, system, seed)
+    [(_key, blob)] = _replay_task((path, segments, system, [(ekey, filter_name)]))
+    experiment_store.put_eval_blob(
+        ekey, blob, workload=spec.name, filter_name=filter_name,
+        n_cpus=system.n_cpus, seed=seed,
+    )
+    return store_mod.decode_eval(blob)
 
 
 @dataclass
@@ -527,6 +923,53 @@ def evaluate_streaming(
     return StreamOutcome(metrics=metrics, evaluations=evaluations, report=report)
 
 
+def evaluate_replay(
+    spec: WorkloadSpec | str,
+    system: SystemConfig = SCALED_SYSTEM,
+    filters: tuple[str, ...] = DEFAULT_SWEEP_FILTERS,
+    seed: int = 1,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+    backend: str | None = None,
+    experiment_store: ExperimentStore | None = None,
+) -> StreamOutcome:
+    """Evaluate N filters via the record-once / replay-many path.
+
+    The trace-backed sibling of :func:`evaluate_streaming`: the first
+    call records the configuration's trace (one streaming simulation),
+    and every call after that — with these filters or any others — only
+    replays stored segments, fanning out across ``workers`` when a
+    parallel backend is selected.  Results are byte-identical to the
+    other modes' and share their store entries.
+    """
+    if isinstance(spec, str):
+        spec = get_workload(spec)
+    if experiment_store is None:
+        from repro.analysis import experiments
+
+        experiment_store = experiments.get_store()
+
+    filters = tuple(filters)
+    job = ReplayJob(spec.name, filters, system, seed, chunk_size)
+    report = execute_replays(
+        [job], experiment_store=experiment_store,
+        workers=workers, backend=backend, specs={spec.name: spec},
+    )
+    metrics = experiment_store.get_sim_metrics(
+        store_mod.sim_metrics_key(spec, system, seed)
+    )
+    assert metrics is not None  # record/restore guarantees it
+    evaluations = {}
+    for name in filters:
+        evaluation = experiment_store.get_eval(
+            store_mod.eval_key(spec, name, system, seed)
+        )
+        assert evaluation is not None
+        evaluations[name] = evaluation
+    return StreamOutcome(metrics=metrics, evaluations=evaluations, report=report)
+
+
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
@@ -557,6 +1000,8 @@ def run_sweep(
     warmup: int | None = None,
     preset: str | None = None,
     stream: bool = False,
+    replay: bool = False,
+    backend: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SweepResult:
     """Run a full workload x filter x seed sweep through the store.
@@ -568,11 +1013,19 @@ def run_sweep(
 
     With ``stream=True`` each (workload, seed) becomes one single-pass
     :class:`StreamJob` evaluating all filters with O(chunk_size) memory —
-    the required mode for paper-scale access counts.  Evaluations land
-    under the same store keys either way (they are byte-identical by the
-    determinism contract), so streamed and buffered sweeps warm each
-    other.
+    the required mode for paper-scale access counts.  With
+    ``replay=True`` each (workload, seed) becomes a :class:`ReplayJob`:
+    the first sweep records the trace once, and every later sweep — any
+    filter set — replays it without simulating, fanning filter configs
+    out across ``workers`` on the chosen ``backend``.  Evaluations land
+    under the same store keys in every mode (they are byte-identical by
+    the determinism contract), so all modes warm each other.
     """
+    if stream and replay:
+        raise ConfigurationError(
+            "choose stream=True or replay=True, not both: streaming "
+            "discards events as they are consumed, replay persists them"
+        )
     if experiment_store is None:
         from repro.analysis import experiments
 
@@ -589,7 +1042,18 @@ def run_sweep(
             spec = replace(spec, warmup_accesses=warmup)
         specs[name] = spec
 
-    if stream:
+    if replay:
+        replay_jobs = [
+            ReplayJob(workload, tuple(filters), system, seed, chunk_size)
+            for workload in workloads
+            for seed in seeds
+        ]
+        report = execute_replays(
+            replay_jobs,
+            experiment_store=experiment_store, workers=workers,
+            backend=backend, specs=specs,
+        )
+    elif stream:
         stream_jobs = [
             StreamJob(workload, tuple(filters), system, seed, chunk_size)
             for workload in workloads
@@ -597,7 +1061,8 @@ def run_sweep(
         ]
         report = execute_streams(
             stream_jobs,
-            experiment_store=experiment_store, workers=workers, specs=specs,
+            experiment_store=experiment_store, workers=workers,
+            backend=backend, specs=specs,
         )
     else:
         eval_jobs = [
@@ -608,7 +1073,8 @@ def run_sweep(
         ]
         report = execute(
             (), eval_jobs,
-            experiment_store=experiment_store, workers=workers, specs=specs,
+            experiment_store=experiment_store, workers=workers,
+            backend=backend, specs=specs,
         )
 
     result = SweepResult(report=report)

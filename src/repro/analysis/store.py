@@ -7,12 +7,26 @@ maps a *complete* configuration fingerprint — workload spec, full system
 geometry (both cache levels, associativity, block and subblock sizes),
 and seed — to a canonical, compressed JSON payload of the result.
 
-Three result kinds share the one table: ``sim`` (a full buffered
+Four result kinds share the one table: ``sim`` (a full buffered
 :class:`SimResult`, event streams included), ``sim-metrics`` (the
 statistics of a *streamed* run, whose event streams were consumed on the
-fly and never retained), and ``eval`` (one :class:`FilterEvaluation` —
-identical bytes whether it came from a buffered replay or a streaming
-pass, which is what lets the two modes share warm evaluations).
+fly and never retained), ``eval`` (one :class:`FilterEvaluation` —
+identical bytes whether it came from a buffered replay, a streaming
+pass, or a trace replay, which is what lets all modes share warm
+evaluations), and ``sim-events`` (a persisted *trace*: the packed event
+shards of one simulation, recorded once so any number of filter
+configurations can replay them later without re-simulating).
+
+A trace is several rows of kind ``sim-events`` sharing one key prefix:
+a *manifest* row (``filter IS NULL``) under :func:`trace_key` holding
+per-node segment counts plus the run's metrics, and one *segment* row
+per :func:`trace_segment_key` whose ``filter`` column carries the
+manifest's key (the grouping handle garbage collection uses to evict a
+trace atomically — a trace with a missing segment is useless).  Segment
+payloads are zlib-compressed raw ``array('q')`` bytes, little-endian on
+disk, cut at exact event counts so the stored bytes are independent of
+the simulation chunk size (which is also why chunk size never appears
+in any key).
 
 Keys are content hashes over canonical JSON, so two configurations that
 differ in any field (including L1 associativity, which the old in-process
@@ -36,7 +50,9 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import sys
 import zlib
+from array import array
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -51,6 +67,12 @@ from repro.traces.workloads import WorkloadSpec
 #: layout change: every existing row becomes unreachable (stale results
 #: must never be revived under a new meaning).
 SCHEMA_VERSION = 1
+
+#: Result kind of persisted traces (manifest and segment rows alike).
+#: Introduced *without* a schema bump: the new kind only adds rows under
+#: fresh keys, so every pre-existing ``sim``/``sim-metrics``/``eval``
+#: entry keeps its key and its exact payload bytes.
+TRACE_KIND = "sim-events"
 
 
 # ----------------------------------------------------------------------
@@ -113,6 +135,33 @@ def sim_metrics_key(spec: WorkloadSpec, system: SystemConfig, seed: int) -> str:
         "spec": spec_fingerprint(spec),
         "system": system_fingerprint(system),
         "seed": seed,
+    })
+
+
+def trace_key(spec: WorkloadSpec, system: SystemConfig, seed: int) -> str:
+    """Store key of one persisted trace's manifest row.
+
+    The fingerprint is the simulation identity — workload spec, system
+    geometry, seed — and nothing else: no filter spec (a trace serves
+    *every* filter configuration) and no chunk or segment size (the
+    recorded bytes are invariant to both by construction).
+    """
+    return _digest({
+        "kind": TRACE_KIND,
+        "schema": SCHEMA_VERSION,
+        "spec": spec_fingerprint(spec),
+        "system": system_fingerprint(system),
+        "seed": seed,
+    })
+
+
+def trace_segment_key(trace: str, node_id: int, index: int) -> str:
+    """Store key of one node's ``index``-th event segment of a trace."""
+    return _digest({
+        "kind": "sim-events-segment",
+        "trace": trace,
+        "node": node_id,
+        "segment": index,
     })
 
 
@@ -240,12 +289,60 @@ def decode_sim_metrics(blob: bytes) -> SimResult:
     return sim_metrics_from_dict(json.loads(zlib.decompress(blob)))
 
 
+def encode_sim_metrics_dict(data: dict) -> bytes:
+    """Canonical metrics payload bytes from an already-built dict.
+
+    Byte-identical to ``encode_sim_metrics(result)`` for the dict that
+    ``sim_metrics_to_dict(result)`` produced — the property that lets a
+    trace manifest's embedded metrics restore a ``sim-metrics`` row
+    without re-simulating.
+    """
+    return zlib.compress(_canonical(data), 6)
+
+
 def encode_eval(evaluation: FilterEvaluation) -> bytes:
     return zlib.compress(_canonical(evaluation_to_dict(evaluation)), 6)
 
 
 def decode_eval(blob: bytes) -> FilterEvaluation:
     return evaluation_from_dict(json.loads(zlib.decompress(blob)))
+
+
+# ----------------------------------------------------------------------
+# Trace payloads (persisted packed-event shards)
+# ----------------------------------------------------------------------
+
+def encode_trace_manifest(manifest: dict) -> bytes:
+    """Canonical compressed bytes of a trace's manifest row."""
+    return zlib.compress(_canonical(manifest), 6)
+
+
+def decode_trace_manifest(blob: bytes) -> dict:
+    return json.loads(zlib.decompress(blob))
+
+
+def encode_trace_segment(raw: bytes) -> bytes:
+    """Compress one segment of native-order packed-event bytes.
+
+    On-disk byte order is little-endian (the byte swap is a no-op on
+    every mainstream platform), so a trace recorded on one machine
+    replays on any other.
+    """
+    if sys.byteorder == "big":  # pragma: no cover - exotic platforms
+        events = array("q")
+        events.frombytes(raw)
+        events.byteswap()
+        raw = events.tobytes()
+    return zlib.compress(raw, 6)
+
+
+def decode_trace_segment(blob: bytes) -> array:
+    """Decompress one segment back into an ``array('q')`` of events."""
+    events = array("q")
+    events.frombytes(zlib.decompress(blob))
+    if sys.byteorder == "big":  # pragma: no cover - exotic platforms
+        events.byteswap()
+    return events
 
 
 # ----------------------------------------------------------------------
@@ -262,6 +359,9 @@ class StoreStats:
     path: str | None
     #: Metrics-only results written by streamed runs (kind ``sim-metrics``).
     stream_sims: int = 0
+    #: Persisted traces (``sim-events`` manifest rows; each trace also
+    #: owns segment rows, all counted in ``bytes_by_kind``).
+    traces: int = 0
     #: Total compressed payload bytes per result kind.
     bytes_by_kind: tuple[tuple[str, int], ...] = ()
 
@@ -584,15 +684,19 @@ class ExperimentStore:
         if self._db is None:
             by_kind: dict[str, int] = {}
             bytes_by_kind: dict[str, int] = {}
+            traces = 0
             for key, m in self._meta.items():
                 by_kind[m[0]] = by_kind.get(m[0], 0) + 1
                 bytes_by_kind[m[0]] = (
                     bytes_by_kind.get(m[0], 0) + len(self._blobs[key])
                 )
+                if m[0] == TRACE_KIND and m[2] is None:
+                    traces += 1
             return StoreStats(
                 sims=by_kind.get("sim", 0),
                 evals=by_kind.get("eval", 0),
                 stream_sims=by_kind.get("sim-metrics", 0),
+                traces=traces,
                 payload_bytes=sum(len(b) for b in self._blobs.values()),
                 path=None,
                 bytes_by_kind=tuple(sorted(bytes_by_kind.items())),
@@ -602,10 +706,16 @@ class ExperimentStore:
             "FROM results GROUP BY kind"
         ).fetchall()
         counts = {kind: (count, nbytes) for kind, count, nbytes in rows}
+        # Segment rows share the trace kind; a *trace* is one manifest.
+        (traces,) = self._db.execute(
+            "SELECT COUNT(*) FROM results WHERE kind = ? AND filter IS NULL",
+            (TRACE_KIND,),
+        ).fetchone()
         return StoreStats(
             sims=counts.get("sim", (0, 0))[0],
             evals=counts.get("eval", (0, 0))[0],
             stream_sims=counts.get("sim-metrics", (0, 0))[0],
+            traces=traces,
             payload_bytes=sum(nbytes for _, nbytes in counts.values()),
             path=str(self.path),
             bytes_by_kind=tuple(
@@ -637,52 +747,143 @@ class ExperimentStore:
         rows = self._db.execute("SELECT key, payload FROM results").fetchall()
         return {key: payload for key, payload in rows}
 
+    @staticmethod
+    def _gc_units(rows) -> list[tuple[int, str, list[str], int]]:
+        """Group ``(key, kind, filter, size, used)`` rows into GC units.
+
+        Most rows are their own unit, but a trace's manifest and segment
+        rows form *one* unit (grouped by the manifest key every segment
+        carries in its ``filter`` column): a trace with an evicted
+        segment would be useless, so traces are evicted atomically, LRU
+        like everything else.  A unit's recency is its most recently
+        used member.  Returns ``(recency, group_key, keys, total_size)``
+        sorted oldest first (key as the deterministic tie-break).
+        """
+        units: dict[str, list] = {}
+        for key, kind, filter_name, size, used in rows:
+            group = (
+                filter_name
+                if kind == TRACE_KIND and filter_name is not None
+                else key
+            )
+            unit = units.setdefault(group, [0, [], 0])
+            unit[0] = max(unit[0], used)
+            unit[1].append(key)
+            unit[2] += size
+        return sorted(
+            (used, group, keys, size)
+            for group, (used, keys, size) in units.items()
+        )
+
     def gc(self, max_bytes: int) -> tuple[int, int]:
         """Evict least-recently-used entries down to a payload budget.
 
         Entries are removed in recency order (oldest ``last_used`` first)
-        until the total compressed payload is at most ``max_bytes``.
-        Returns ``(entries_removed, bytes_freed)``.  A zero budget
-        empties the store; a budget above the current total removes
-        nothing.
+        until the total compressed payload is at most ``max_bytes``; a
+        persisted trace (manifest plus all its segments) counts — and is
+        evicted — as a single unit.  Returns ``(entries_removed,
+        bytes_freed)``.  A zero budget empties the store; a budget above
+        the current total removes nothing.
         """
         if max_bytes < 0:
             raise ConfigurationError(
                 f"size budget must be >= 0 bytes, got {max_bytes}"
             )
         if self._db is None:
-            total = sum(len(b) for b in self._blobs.values())
+            rows = [
+                (key, m[0], m[2], len(self._blobs[key]), self._used.get(key, 0))
+                for key, m in self._meta.items()
+            ]
+            total = sum(size for _k, _kind, _f, size, _u in rows)
             removed = freed = 0
-            for key in sorted(self._blobs, key=lambda k: self._used.get(k, 0)):
+            for _used, _group, keys, size in self._gc_units(rows):
                 if total <= max_bytes:
                     break
-                size = len(self._blobs.pop(key))
-                self._meta.pop(key, None)
-                self._used.pop(key, None)
-                self._live.pop(key, None)
+                for key in keys:
+                    del self._blobs[key]
+                    self._meta.pop(key, None)
+                    self._used.pop(key, None)
+                    self._live.pop(key, None)
                 total -= size
-                removed += 1
+                removed += len(keys)
                 freed += size
             return removed, freed
         self._flush_touches()  # gc ranks by recency; stamps must be durable
-        (total,) = self._db.execute(
-            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM results"
-        ).fetchone()
-        removed = freed = 0
         rows = self._db.execute(
-            "SELECT key, LENGTH(payload) FROM results "
-            "ORDER BY last_used ASC, key ASC"
+            "SELECT key, kind, filter, LENGTH(payload), last_used FROM results"
         ).fetchall()
-        for key, size in rows:
+        total = sum(size for _k, _kind, _f, size, _u in rows)
+        removed = freed = 0
+        for _used, _group, keys, size in self._gc_units(rows):
             if total <= max_bytes:
                 break
-            self._db.execute("DELETE FROM results WHERE key = ?", (key,))
-            self._live.pop(key, None)
+            for key in keys:
+                self._db.execute("DELETE FROM results WHERE key = ?", (key,))
+                self._live.pop(key, None)
             total -= size
-            removed += 1
+            removed += len(keys)
             freed += size
         self._db.commit()
         return removed, freed
+
+    def delete_trace(self, trace: str) -> int:
+        """Drop a trace's manifest and every segment row; return rows removed.
+
+        Used before re-recording (a partially garbage-collected or
+        interrupted recording must never mix stale segments with fresh
+        ones) and harmless when nothing is stored under the key.
+        """
+        removed = 0
+        if self._db is None:
+            doomed = [trace] + [
+                key
+                for key, m in self._meta.items()
+                if m[0] == TRACE_KIND and m[2] == trace
+            ]
+            for key in doomed:
+                if self._blobs.pop(key, None) is not None:
+                    removed += 1
+                self._meta.pop(key, None)
+                self._used.pop(key, None)
+                self._live.pop(key, None)
+            return removed
+        self._flush_touches()
+        cursor = self._db.execute(
+            "DELETE FROM results WHERE key = ? "
+            "OR (kind = ? AND filter = ?)",
+            (trace, TRACE_KIND, trace),
+        )
+        removed = cursor.rowcount
+        self._db.commit()
+        self._live.pop(trace, None)
+        return removed
+
+    def delete_kind(self, kind: str) -> int:
+        """Drop every entry of one result kind; return entries removed.
+
+        Benchmarks use this to clear ``eval`` rows between timed replay
+        reruns without touching the recorded trace (and without poking
+        at store internals).
+        """
+        if self._db is None:
+            doomed = [key for key, m in self._meta.items() if m[0] == kind]
+            for key in doomed:
+                del self._blobs[key]
+                del self._meta[key]
+                self._used.pop(key, None)
+                self._live.pop(key, None)
+            return len(doomed)
+        self._flush_touches()
+        doomed = [
+            key for (key,) in self._db.execute(
+                "SELECT key FROM results WHERE kind = ?", (kind,)
+            )
+        ]
+        self._db.execute("DELETE FROM results WHERE kind = ?", (kind,))
+        self._db.commit()
+        for key in doomed:
+            self._live.pop(key, None)
+        return len(doomed)
 
     def clear(self) -> int:
         """Drop every entry (live and persistent); return entries removed."""

@@ -11,6 +11,10 @@ Examples::
     jetty-repro sweep --workers 4 --workloads lu fft --filters EJ-32x4 IJ-10x4x7
     jetty-repro sweep --stream --workloads em3d --accesses 2e6 --chunk-size 65536
     jetty-repro sweep --stream --preset paper-scale --workloads lu
+    jetty-repro --store traces.sqlite trace record em3d --accesses 2e6
+    jetty-repro --store traces.sqlite trace replay em3d --accesses 2e6 \
+        --workers 2 --backend process
+    jetty-repro --store traces.sqlite sweep --replay --workloads lu radix
     jetty-repro --store results.sqlite cache info
 """
 
@@ -151,7 +155,7 @@ def _cmd_size(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _cmd_trace_save(args: argparse.Namespace) -> int:
     from repro.traces.io import save_trace, trace_length
     from repro.traces.workloads import build_workload_stream
 
@@ -164,16 +168,139 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_spec(args: argparse.Namespace):
+    """The (possibly access-count-overridden) spec a trace command targets.
+
+    Record and replay must apply identical overrides or their store keys
+    would never meet — one helper keeps them in lockstep.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.traces.workloads import get_workload
+
+    spec = get_workload(args.workload)
+    if args.accesses is not None:
+        spec = dc_replace(spec, n_accesses=args.accesses)
+    if args.warmup is not None:
+        spec = dc_replace(spec, warmup_accesses=args.warmup)
+    return spec
+
+
+def _trace_system(args: argparse.Namespace):
+    return SCALED_SYSTEM if args.cpus is None else SCALED_SYSTEM.with_cpus(args.cpus)
+
+
+def _trace_sizes(store) -> dict[str, tuple[int, int]]:
+    """Per-trace ``(segment rows, compressed bytes)`` in one store pass."""
+    from repro.analysis.store import TRACE_KIND
+
+    sizes: dict[str, tuple[int, int]] = {}
+    for entry in store.entries():
+        if entry.kind != TRACE_KIND:
+            continue
+        if entry.filter_name is None:  # manifest row
+            segments, total = sizes.get(entry.key, (0, 0))
+            sizes[entry.key] = (segments, total + entry.payload_bytes)
+        else:  # segment row, grouped by its manifest key
+            segments, total = sizes.get(entry.filter_name, (0, 0))
+            sizes[entry.filter_name] = (
+                segments + 1, total + entry.payload_bytes
+            )
+    return sizes
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.analysis import store as store_mod
+
+    spec = _replay_spec(args)
+    system = _trace_system(args)
+    store = experiments.get_store()
+    report = runner.execute_replays(
+        [runner.ReplayJob(spec.name, (), system, args.seed, args.chunk_size)],
+        experiment_store=store, specs={spec.name: spec},
+    )
+    tkey = store_mod.trace_key(spec, system, args.seed)
+    segments, nbytes = _trace_sizes(store).get(tkey, (0, 0))
+    verb = "recorded" if report.sims_run else "already recorded"
+    print(f"{verb}: {spec.name} seed {args.seed} on {system.n_cpus} CPUs — "
+          f"{spec.n_accesses:,} accesses, {segments} segment(s), "
+          f"{nbytes / 1024:.1f} KiB compressed")
+    print(report.summary())
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.core.config import parse_filter_name
+
+    spec = _replay_spec(args)
+    system = _trace_system(args)
+    filters = args.filters if args.filters else list(runner.DEFAULT_SWEEP_FILTERS)
+    for filter_name in filters:
+        parse_filter_name(filter_name)
+    outcome = runner.evaluate_replay(
+        spec, system, tuple(filters), args.seed,
+        workers=args.workers, backend=args.backend,
+        experiment_store=experiments.get_store(),
+    )
+    headers = ["filter", "coverage"]
+    rows = [[name, format_percent(outcome.coverage(name))] for name in filters]
+    print(render_table(
+        headers, rows,
+        title=f"replay: {spec.name} seed {args.seed} ({system.n_cpus} CPUs)",
+    ))
+    print(outcome.report.summary())
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.analysis import store as store_mod
+    from repro.analysis.store import TRACE_KIND
+
+    store = experiments.get_store()
+    manifests = [
+        entry for entry in store.entries()
+        if entry.kind == TRACE_KIND and entry.filter_name is None
+    ]
+    if args.workload is not None:
+        manifests = [m for m in manifests if m.workload == args.workload]
+    if not manifests:
+        print("no recorded traces"
+              + (f" for workload {args.workload!r}" if args.workload else ""))
+        return 0
+    headers = ["workload", "cpus", "seed", "accesses", "events",
+               "segments", "size"]
+    sizes = _trace_sizes(store)
+    rows = []
+    for entry in manifests:
+        manifest = store_mod.decode_trace_manifest(store.get_blob(entry.key))
+        segments, nbytes = sizes.get(entry.key, (0, 0))
+        rows.append([
+            entry.workload,
+            str(entry.n_cpus),
+            str(entry.seed),
+            f"{manifest['metrics']['accesses']:,}",
+            f"{sum(manifest['events_per_node']):,}",
+            str(segments),
+            f"{nbytes / 1024:.1f} KiB",
+        ])
+    print(render_table(headers, rows, title="recorded traces (sim-events)"))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.config import parse_filter_name
     from repro.traces.workloads import get_workload
 
-    if args.preset == "paper-scale" and not args.stream:
+    if args.preset == "paper-scale" and not (args.stream or args.replay):
         print(
-            "error: --preset paper-scale requires --stream (buffered mode "
-            "materialises the full event trace at paper scale)",
+            "error: --preset paper-scale requires --stream or --replay "
+            "(buffered mode materialises the full event trace in memory "
+            "at paper scale)",
             file=sys.stderr,
         )
+        return 2
+    if args.stream and args.replay:
+        print("error: choose --stream or --replay, not both", file=sys.stderr)
         return 2
     workloads = args.workloads if args.workloads else list(WORKLOADS)
     filters = args.filters if args.filters else list(runner.DEFAULT_SWEEP_FILTERS)
@@ -196,6 +323,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         preset=args.preset,
         stream=args.stream,
+        replay=args.replay,
+        backend=args.backend,
         chunk_size=args.chunk_size,
     )
     headers = ["workload"] + [f"{f} (cov)" for f in filters]
@@ -209,6 +338,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     title = f"sweep: {len(workloads)} workloads x {len(filters)} filters"
     if args.stream:
         title += " [streamed]"
+    if args.replay:
+        title += " [replayed]"
     if len(seeds) > 1:
         title += f" (mean over seeds {seeds})"
     print(render_table(headers, rows, title=title))
@@ -240,13 +371,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"store:    {location}")
     print(f"sims:     {stats.sims}")
     print(f"streamed: {stats.stream_sims}")
+    print(f"traces:   {stats.traces}")
     print(f"evals:    {stats.evals}")
     print(f"payload:  {stats.payload_bytes / 1024:.1f} KiB")
     for kind, nbytes in stats.bytes_by_kind:
         print(f"  {kind + ':':13s}{nbytes / 1024:.1f} KiB")
     if args.action == "list":
+        from repro.analysis.store import TRACE_KIND
+
         for entry in store.entries():
-            what = entry.filter_name or "(simulation)"
+            if entry.kind == TRACE_KIND:
+                what = (
+                    "(trace manifest)" if entry.filter_name is None
+                    else f"(trace segment of {entry.filter_name[:12]})"
+                )
+            else:
+                what = entry.filter_name or "(simulation)"
             print(
                 f"  {entry.kind:4s} {entry.workload:14s} {what:28s} "
                 f"{entry.n_cpus}-way seed {entry.seed} "
@@ -304,12 +444,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_size.add_argument("workloads", nargs="+", help="workload names")
     p_size.set_defaults(func=_cmd_size)
 
-    p_trace = sub.add_parser("trace", help="archive a workload trace (.npz)")
-    p_trace.add_argument("workload")
-    p_trace.add_argument("path")
-    p_trace.add_argument("--accesses", type=_count, default=None,
-                         help="override the workload's access count")
-    p_trace.set_defaults(func=_cmd_trace)
+    p_trace = sub.add_parser(
+        "trace",
+        help="record, replay, inspect, or archive workload traces",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_overrides(p) -> None:
+        p.add_argument("--accesses", type=_count, default=None,
+                       help="override the workload's access count "
+                       "(record and replay must agree)")
+        p.add_argument("--warmup", type=_count, default=None,
+                       help="override the workload's warm-up accesses")
+        p.add_argument("--cpus", type=int, default=None,
+                       help="SMP width (default: the scaled system's 4)")
+
+    t_record = trace_sub.add_parser(
+        "record", help="simulate once, persisting the packed event shards"
+    )
+    t_record.add_argument("workload")
+    _trace_overrides(t_record)
+    t_record.add_argument("--chunk-size", type=_positive_count,
+                          default=runner.DEFAULT_CHUNK_SIZE,
+                          help="recording pass chunk size (memory knob; "
+                          "never changes the stored bytes)")
+    t_record.set_defaults(func=_cmd_trace_record)
+
+    t_replay = trace_sub.add_parser(
+        "replay", help="evaluate filters against a recorded trace "
+        "(records it first if missing)"
+    )
+    t_replay.add_argument("workload")
+    t_replay.add_argument("--filters", nargs="+", default=None,
+                          help="filter configuration names "
+                          "(default: best of each family)")
+    _trace_overrides(t_replay)
+    t_replay.add_argument("--workers", type=int, default=1,
+                          help="replay workers (one filter config per task)")
+    t_replay.add_argument("--backend", default=None,
+                          choices=runner.EXECUTOR_BACKENDS,
+                          help="executor backend for replay fan-out "
+                          "(default: process)")
+    t_replay.set_defaults(func=_cmd_trace_replay)
+
+    t_info = trace_sub.add_parser(
+        "info", help="list recorded traces in the experiment store"
+    )
+    t_info.add_argument("workload", nargs="?", default=None)
+    t_info.set_defaults(func=_cmd_trace_info)
+
+    t_save = trace_sub.add_parser(
+        "save", help="archive a workload trace to a .npz file"
+    )
+    t_save.add_argument("workload")
+    t_save.add_argument("path")
+    t_save.add_argument("--accesses", type=_count, default=None,
+                        help="override the workload's access count")
+    t_save.set_defaults(func=_cmd_trace_save)
 
     p_sweep = sub.add_parser(
         "sweep", help="run a workload x filter sweep on N worker processes"
@@ -333,6 +524,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="single-pass streaming mode: evaluate all "
                          "filters live with O(chunk) memory (required for "
                          "paper-scale access counts)")
+    p_sweep.add_argument("--replay", action="store_true",
+                         help="record-once / replay-many mode: persist each "
+                         "(workload, seed) trace on first run, then replay "
+                         "it for every filter config without re-simulating")
+    p_sweep.add_argument("--backend", default=None,
+                         choices=runner.EXECUTOR_BACKENDS,
+                         help="executor backend for worker fan-out "
+                         "(default: process)")
     p_sweep.add_argument("--chunk-size", type=_positive_count,
                          default=runner.DEFAULT_CHUNK_SIZE,
                          help="accesses per streaming chunk (memory/overhead "

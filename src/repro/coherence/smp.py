@@ -13,7 +13,8 @@ warm-up MARKER) to an unbounded per-node list that ships inside the
 is cut into *chunks* of at most ``chunk_size`` accesses; after each chunk
 :meth:`SMPSystem.take_shard` detaches the per-node event lists — one
 bounded *shard* per node, in node order — and hands them to the attached
-consumers (e.g. :class:`~repro.core.stats.StreamingFilterBank`), then the
+consumers (e.g. :class:`~repro.core.stats.StreamingFilterBank`, or a
+:class:`TraceSink` persisting the run for later replay), then the
 nodes start fresh lists.  Because events are only ever appended in global
 access order and a shard boundary never reorders or drops anything, the
 per-node concatenation of all shards is exactly the event list buffered
@@ -60,6 +61,14 @@ from repro.errors import CoherenceError, TraceError
 #: proportional to this (a few events per access at most), independent of
 #: trace length.
 DEFAULT_CHUNK_SIZE = 65_536
+
+#: Packed events per persisted trace segment (2 MiB of raw ``array('q')``
+#: bytes).  Segment boundaries are cut at exact event counts, never at
+#: chunk boundaries, so the bytes of a recorded trace are independent of
+#: the simulation chunk size.  Changing this constant only changes how a
+#: *new* recording is sliced — old recordings replay through their own
+#: manifests unchanged.
+TRACE_SEGMENT_EVENTS = 1 << 18
 
 
 def iter_batches(
@@ -111,6 +120,73 @@ class ShardConsumer(Protocol):
 
     def consume(self, shard: list[NodeEventStream]) -> None:
         """Receive one chunk's per-node event shards, in node order."""
+
+
+class TraceSink:
+    """Shard consumer that repacks a live run's events into fixed segments.
+
+    Attached to :func:`simulate_streaming` alongside (or instead of) the
+    filter banks, the sink accumulates each node's packed events in a
+    byte buffer and hands off one *segment* — exactly
+    ``segment_events`` events of raw native-order ``array('q')`` bytes —
+    to the ``write_segment(node_id, index, raw_bytes)`` callable every
+    time a node's buffer fills, keeping memory O(segment) for any trace
+    length.  :meth:`finish` flushes the (possibly short) tail segments
+    and returns the per-node segment counts for the trace manifest.
+
+    Because segments are cut at exact per-node event counts, the bytes
+    written are a pure function of the event streams: recording the same
+    ``(workload, system, seed)`` at any simulation chunk size produces
+    identical segments.  The sink is storage-agnostic (compression and
+    store keys belong to :mod:`repro.analysis.store`), which keeps the
+    coherence layer free of analysis imports.
+    """
+
+    _ITEMSIZE = 8  # bytes per packed event in an array('q')
+
+    def __init__(
+        self,
+        n_cpus: int,
+        write_segment,
+        segment_events: int = TRACE_SEGMENT_EVENTS,
+    ) -> None:
+        if segment_events < 1:
+            raise TraceError(
+                f"segment_events must be >= 1, got {segment_events}"
+            )
+        self._write = write_segment
+        self._segment_bytes = segment_events * self._ITEMSIZE
+        self._buffers = [bytearray() for _ in range(n_cpus)]
+        self._next_index = [0] * n_cpus
+        #: Total events recorded per node (for the manifest).
+        self.events_per_node = [0] * n_cpus
+
+    def consume(self, shard: list[NodeEventStream]) -> None:
+        segment_bytes = self._segment_bytes
+        for node_id, stream in enumerate(shard):
+            events = stream.events
+            if not events:
+                continue
+            self.events_per_node[node_id] += len(events)
+            buffer = self._buffers[node_id]
+            buffer += events.tobytes()
+            while len(buffer) >= segment_bytes:
+                self._write(
+                    node_id,
+                    self._next_index[node_id],
+                    bytes(buffer[:segment_bytes]),
+                )
+                self._next_index[node_id] += 1
+                del buffer[:segment_bytes]
+
+    def finish(self) -> list[int]:
+        """Flush tail segments; return each node's total segment count."""
+        for node_id, buffer in enumerate(self._buffers):
+            if buffer:
+                self._write(node_id, self._next_index[node_id], bytes(buffer))
+                self._next_index[node_id] += 1
+                buffer.clear()
+        return list(self._next_index)
 
 
 class SMPSystem:

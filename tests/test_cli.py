@@ -79,12 +79,65 @@ class TestCommands:
     def test_size_command_unreachable(self, capsys):
         assert main(["size", "1.0", "test-tiny"]) == 1
 
-    def test_trace_command(self, tmp_path, capsys):
+    def test_trace_save_command(self, tmp_path, capsys):
         path = str(tmp_path / "t.npz")
-        assert main(["trace", "test-tiny", path, "--accesses", "200"]) == 0
+        assert main(["trace", "save", "test-tiny", path,
+                     "--accesses", "200"]) == 0
         from repro.traces.io import trace_length
 
         assert trace_length(path) == 200
+
+    def test_trace_record_replay_info(self, tmp_path, capsys):
+        store = str(tmp_path / "traces.sqlite")
+        assert main(["--store", store, "trace", "record", "test-tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded: test-tiny" in out
+        assert "sims: 1 run" in out
+        # A second record is a warm no-op.
+        assert main(["--store", store, "trace", "record", "test-tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "already recorded" in out
+        assert "sims: 0 run" in out
+        # Replay evaluates filters without re-simulating.
+        assert main(["--store", store, "trace", "replay", "test-tiny",
+                     "--filters", "EJ-8x2", "null"]) == 0
+        out = capsys.readouterr().out
+        assert "EJ-8x2" in out
+        assert "sims: 0 run" in out
+        assert "evals: 2 run" in out
+        assert main(["--store", store, "trace", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "test-tiny" in out
+        assert "segments" in out
+        assert main(["--store", store, "trace", "info", "no-such"]) == 0
+        assert "no recorded traces" in capsys.readouterr().out
+
+    def test_sweep_replay_records_then_replays(self, tmp_path, capsys):
+        store = str(tmp_path / "replay.sqlite")
+        argv = ["--store", store, "sweep", "--replay",
+                "--workloads", "test-tiny", "--filters", "EJ-8x2", "null"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[replayed]" in out
+        assert "sims: 1 run / 0 cached" in out
+        assert "evals: 2 run / 0 cached" in out
+        # Warm: the recorded trace satisfies everything without simulating.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sims: 0 run / 1 cached" in out
+        assert "evals: 0 run / 2 cached" in out
+        # A *new* filter config still needs no simulation: pure replay.
+        assert main(["--store", store, "sweep", "--replay",
+                     "--workloads", "test-tiny",
+                     "--filters", "VEJ-16x2-4"]) == 0
+        out = capsys.readouterr().out
+        assert "sims: 0 run / 1 cached" in out
+        assert "evals: 1 run / 0 cached" in out
+
+    def test_sweep_rejects_stream_plus_replay(self, capsys):
+        assert main(["sweep", "--stream", "--replay",
+                     "--workloads", "test-tiny"]) == 2
+        assert "not both" in capsys.readouterr().err
 
     def test_sweep_command_parallel_then_warm(self, tmp_path, capsys):
         store = str(tmp_path / "sweep.sqlite")
