@@ -21,7 +21,16 @@ Protocol (identical across code versions, so numbers are comparable):
   number a filter sweep over a recorded configuration actually pays;
   its ratio to the streamed throughput is reported per workload.  On a
   multi-core machine the replay is also measured on the ``process``
-  backend with two workers (one filter config per task).
+  backend with two workers (one filter config per task);
+* **checkpoint** (with ``--checkpoint-every N``) — the streamed run
+  again, snapshotting the full simulation state into a scratch store
+  every N accesses.  The per-workload ``overhead_vs_streamed`` fraction
+  is the wall time spent inside snapshot writes over the pure
+  simulation time (the loop is otherwise instruction-identical to the
+  streamed path, so this is the checkpoint price without cross-run
+  machine noise); the target budget is under 5% at
+  ``--checkpoint-every 500000`` (``--assert-checkpoint-overhead 0.05``
+  guards it).
 
 Usage::
 
@@ -168,7 +177,44 @@ def measure_replay(name: str, n_accesses: int, warmup: int) -> dict:
     return entry
 
 
-def run_benchmark(quick: bool) -> dict:
+def measure_checkpointed(name: str, n_accesses: int, warmup: int,
+                         every: int) -> dict:
+    """One streamed run with mid-run checkpointing into a scratch store.
+
+    Same protocol as :func:`measure_streamed` plus ``checkpoint_every``.
+    The reported overhead is the wall time spent inside snapshot writes
+    over the remaining (pure simulation) time — the loop around the
+    saves is instruction-identical to the plain streamed path, so this
+    ratio is the checkpoint price, measured without the minutes-apart
+    cross-run comparison that machine noise would otherwise dominate.
+    """
+    spec = _sized(name, n_accesses, warmup)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ExperimentStore(Path(tmp) / "bench-checkpoints.sqlite")
+        report = runner.execute_streams(
+            [runner.StreamJob(name, FILTERS, SCALED_SYSTEM, 1)],
+            experiment_store=store, specs={name: spec},
+            checkpoint_every=every,
+        )
+        store.close()
+    elapsed = report.elapsed_seconds
+    saving = report.checkpoint_seconds
+    overhead = saving / (elapsed - saving) if elapsed > saving else 0.0
+    return {
+        "workload": name,
+        "accesses": n_accesses,
+        "warmup": warmup,
+        "filters": len(FILTERS),
+        "checkpoint_every": every,
+        "checkpoints_written": report.checkpoints_written,
+        "seconds": round(elapsed, 3),
+        "checkpoint_seconds": round(saving, 3),
+        "accesses_per_sec": round(n_accesses / elapsed),
+        "overhead_vs_streamed": round(overhead, 4),
+    }
+
+
+def run_benchmark(quick: bool, checkpoint_every: int | None = None) -> dict:
     s_acc, s_warm, b_acc, b_warm = QUICK_SIZES if quick else FULL_SIZES
     results: dict = {"streamed": {}, "buffered": {}, "replay": {}}
     for name in BENCH_WORKLOADS:
@@ -194,6 +240,17 @@ def run_benchmark(quick: bool) -> dict:
               f"({entry['record_seconds']}s); warm replay "
               f"{entry['replay_accesses_per_sec']:,} acc/s "
               f"({entry['replay_seconds']}s)")
+    if checkpoint_every is not None:
+        results["checkpoint"] = {}
+        for name in BENCH_WORKLOADS:
+            print(f"checkpointed {name}: {s_acc:,} accesses, snapshot "
+                  f"every {checkpoint_every:,} ...", flush=True)
+            entry = measure_checkpointed(name, s_acc, s_warm, checkpoint_every)
+            results["checkpoint"][name] = entry
+            print(f"  {entry['accesses_per_sec']:,} accesses/s "
+                  f"({entry['seconds']}s; {entry['checkpoints_written']} "
+                  f"snapshots costing {entry['checkpoint_seconds']}s = "
+                  f"{entry['overhead_vs_streamed']:+.1%} overhead)")
     return results
 
 
@@ -251,10 +308,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--assert-replay-floor", type=int, default=None,
                         metavar="N", help="fail when the slowest warm-replay "
                         "throughput drops below N accesses/s")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N", help="also measure the streamed runs "
+                        "with mid-run checkpointing every N accesses, "
+                        "recording the overhead vs plain streaming")
+    parser.add_argument("--assert-checkpoint-overhead", type=float,
+                        default=None, metavar="FRAC",
+                        help="fail when any workload's checkpoint overhead "
+                        "exceeds FRAC (e.g. 0.05 for the 5%% budget)")
     args = parser.parse_args(argv)
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be >= 1")
+    if args.assert_checkpoint_overhead is not None and (
+        args.checkpoint_every is None
+    ):
+        parser.error("--assert-checkpoint-overhead requires "
+                     "--checkpoint-every (nothing is measured otherwise)")
 
     mode = "quick" if args.quick else "full"
-    results = run_benchmark(args.quick)
+    results = run_benchmark(args.quick, args.checkpoint_every)
     document = {
         "schema": 1,
         "mode": mode,
@@ -269,6 +341,12 @@ def main(argv: list[str] | None = None) -> int:
         "replay_speedup_vs_streamed": _replay_speedups(results),
         "results": results,
     }
+    if "checkpoint" in results:
+        document["checkpoint_every"] = args.checkpoint_every
+        document["checkpoint_overhead_frac"] = {
+            name: entry["overhead_vs_streamed"]
+            for name, entry in results["checkpoint"].items()
+        }
 
     previous = {}
     if args.output.exists():
@@ -319,6 +397,15 @@ def main(argv: list[str] | None = None) -> int:
               f"accesses/s is below the floor of "
               f"{args.assert_replay_floor:,}", file=sys.stderr)
         return 1
+    if args.assert_checkpoint_overhead is not None:
+        worst = max(
+            document.get("checkpoint_overhead_frac", {"none": 0.0}).values()
+        )
+        if worst > args.assert_checkpoint_overhead:
+            print(f"FAIL: checkpoint overhead {worst:.1%} exceeds the "
+                  f"{args.assert_checkpoint_overhead:.1%} budget",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

@@ -47,6 +47,19 @@ streamed evaluation's payload is byte-identical to the buffered replay's,
 regardless of chunk size or worker count, which is why both modes share
 one ``eval`` keyspace in the store.
 
+**Checkpointing.**  Streamed runs (live-filter or recording) accept a
+``checkpoint_every`` cadence: every N stream accesses the run snapshots
+its *complete* logical state — caches, write buffers, bus, filter
+banks, trace-sink watermarks, generator — into the store (kind
+``checkpoint``), and a warm start resumes from the newest usable
+snapshot instead of access 0.  Snapshots ride the uniform
+``snapshot()``/``restore()`` protocol every stateful layer implements;
+restore rebuilds each layer's derived fast-path state, and the
+determinism contract extends to interruption: a killed-and-resumed run
+produces byte-identical metrics, evaluations, and recorded trace
+segments.  Completed runs retire their checkpoint chains; ``repro
+checkpoint list|info|rm`` inspects or drops leftovers.
+
 Buffered execution is two-phase: first every missing simulation runs
 (these are the expensive, minutes-scale jobs), then every missing filter
 replay runs with its simulation's compressed payload shipped to the
@@ -57,11 +70,13 @@ store file — is independent of the caller's iteration order.
 
 from __future__ import annotations
 
+import base64
 import concurrent.futures
 import multiprocessing
 import sqlite3
 import time
 import urllib.parse
+import zlib
 from dataclasses import dataclass, field, replace
 
 from repro.analysis import store as store_mod
@@ -70,6 +85,8 @@ from repro.coherence.config import SCALED_SYSTEM, SystemConfig
 from repro.coherence.metrics import SimResult
 from repro.coherence.smp import (
     DEFAULT_CHUNK_SIZE,
+    SMPSystem,
+    TRACE_SEGMENT_EVENTS,
     TraceSink,
     simulate,
     simulate_streaming,
@@ -82,6 +99,7 @@ from repro.core.stats import (
     replay_trace,
 )
 from repro.errors import ConfigurationError
+from repro.traces.synth import MixStream
 from repro.traces.workloads import (
     WorkloadSpec,
     apply_preset,
@@ -212,6 +230,9 @@ def compute_stream(
     seed: int,
     filter_names: tuple[str, ...] = (),
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    checkpoint_every: int | None = None,
+    experiment_store: ExperimentStore | None = None,
 ) -> tuple[SimResult, dict[str, FilterEvaluation]]:
     """Run one streaming simulation with all ``filter_names`` attached.
 
@@ -219,7 +240,27 @@ def compute_stream(
     filter.  Every number is identical to what the buffered
     :func:`compute_sim` + :func:`compute_eval` pair produces — only the
     memory profile differs (O(chunk_size) instead of O(trace)).
+
+    With ``checkpoint_every`` (which requires ``experiment_store``), the
+    run snapshots its complete state — caches, write buffers, bus,
+    filter banks, generator — into the store every that many accesses
+    and warm-starts from the latest stored checkpoint, so a killed run
+    repeats only the tail since its last snapshot.  The returned values
+    are byte-for-byte what an uninterrupted (or checkpoint-free) run
+    produces; the run's checkpoint chain is deleted on completion.
     """
+    if checkpoint_every is not None:
+        if experiment_store is None:
+            raise ConfigurationError(
+                "checkpoint_every needs an experiment_store to keep "
+                "checkpoints in"
+            )
+        metrics, evaluations, _sink, chain = _run_checkpointed(
+            spec, system, seed, tuple(filter_names), chunk_size,
+            checkpoint_every, experiment_store,
+        )
+        experiment_store.delete_group(store_mod.CHECKPOINT_KIND, chain)
+        return metrics, evaluations
     stream, warmup = simulate_workload_accesses(
         spec, n_cpus=system.n_cpus, seed=seed
     )
@@ -239,6 +280,291 @@ def compute_stream(
         sinks=banks.values(),
     )
     return metrics, {name: bank.finish() for name, bank in banks.items()}
+
+
+# ----------------------------------------------------------------------
+# Checkpointed streaming (mid-run snapshot / resume)
+# ----------------------------------------------------------------------
+
+def _save_checkpoint(
+    experiment_store: ExperimentStore,
+    chain: str,
+    spec: WorkloadSpec,
+    system_cfg: SystemConfig,
+    seed: int,
+    *,
+    system: SMPSystem,
+    banks: dict[str, StreamingFilterBank],
+    sink: TraceSink | None,
+    stream: MixStream,
+    position: int,
+    measured: bool,
+    mkey: str,
+    tkey: str | None,
+) -> None:
+    """Persist one mid-run snapshot under ``(chain, position)``.
+
+    The payload composes every layer's ``snapshot()`` (system, filter
+    banks, trace sink) with the generator checkpoint and enough identity
+    (``mkey``/``tkey``) for garbage collection to recognise the chain as
+    superseded once the run's results land.  Unlike result payloads the
+    encoding is non-canonical fast-path JSON at zlib level 1 (see
+    :func:`repro.analysis.store.encode_checkpoint`); the *state* itself
+    is chunk-size-invariant, because the machine at access ``position``
+    is by the determinism contract.
+    """
+    state = {
+        "version": 1,
+        "workload": spec.name,
+        "n_cpus": system_cfg.n_cpus,
+        "seed": seed,
+        "filters": sorted(banks),
+        "record": sink is not None,
+        "position": position,
+        "measured": measured,
+        "mkey": mkey,
+        "tkey": tkey,
+        "system": system.snapshot(),
+        "banks": {name: bank.snapshot() for name, bank in banks.items()},
+        "sink": None if sink is None else sink.snapshot(),
+        "stream": base64.b64encode(stream.checkpoint()).decode("ascii"),
+    }
+    experiment_store.put_blob(
+        store_mod.checkpoint_key(chain, position),
+        store_mod.encode_checkpoint(state),
+        kind=store_mod.CHECKPOINT_KIND,
+        workload=spec.name,
+        filter_name=chain,
+        n_cpus=system_cfg.n_cpus,
+        seed=seed,
+    )
+
+
+def _load_latest_checkpoint(
+    experiment_store: ExperimentStore, chain: str, validate=None
+) -> tuple[str, dict] | None:
+    """The newest usable checkpoint of a chain, as ``(key, state)``.
+
+    Candidates are tried highest watermark first; one that fails to
+    decode, carries an unknown snapshot version, or fails ``validate``
+    is *deleted* and the previous watermark is tried — the resume
+    ladder the interrupted-recording satellite requires (a truncated
+    final segment must send the run back one checkpoint, never crash
+    it).  The key rides along so the caller can extend the same
+    treatment to restore-time failures.
+    """
+    candidates = []
+    for key in experiment_store.group_keys(store_mod.CHECKPOINT_KIND, chain):
+        blob = experiment_store.get_blob(key)
+        if blob is None:  # pragma: no cover - raced deletion
+            continue
+        try:
+            state = store_mod.decode_checkpoint(blob)
+            position = int(state["position"])
+            usable = state.get("version") == 1
+        except Exception:
+            usable = False
+        if not usable:
+            experiment_store.delete_key(key)
+            continue
+        candidates.append((position, key, state))
+    for _position, key, state in sorted(candidates, reverse=True):
+        if validate is None or validate(state):
+            return key, state
+        experiment_store.delete_key(key)
+    return None
+
+
+def _validate_recording(
+    experiment_store: ExperimentStore, tkey: str, sink_state: dict
+) -> bool:
+    """Check a checkpoint's recorded segments are durable and intact.
+
+    Every segment below the snapshot's watermark must be present, and
+    the *last* one per node must decompress to exactly the segment size
+    with the CRC the sink computed when writing it — the last write is
+    the one an interruption can truncate.  A bad final segment is
+    deleted (the resume from the previous watermark rewrites it
+    byte-identically); any failure makes the whole checkpoint unusable.
+    """
+    segment_bytes = sink_state["segment_bytes"]
+    for node_id, count in enumerate(sink_state["next_index"]):
+        if count == 0:
+            continue
+        for index in range(count - 1):
+            key = store_mod.trace_segment_key(tkey, node_id, index)
+            if not experiment_store.contains(key):
+                return False
+        last_key = store_mod.trace_segment_key(tkey, node_id, count - 1)
+        blob = experiment_store.get_blob(last_key)
+        if blob is None:
+            return False
+        try:
+            events = store_mod.decode_trace_segment(blob)
+            raw = events.tobytes()
+        except Exception:
+            experiment_store.delete_key(last_key)
+            return False
+        crc = sink_state["last_segment_crc"][node_id]
+        if len(raw) != segment_bytes or (
+            crc is not None and zlib.crc32(raw) != crc
+        ):
+            experiment_store.delete_key(last_key)
+            return False
+    return True
+
+
+def _run_checkpointed(
+    spec: WorkloadSpec,
+    system_cfg: SystemConfig,
+    seed: int,
+    filter_names: tuple[str, ...],
+    chunk_size: int,
+    checkpoint_every: int,
+    experiment_store: ExperimentStore,
+    *,
+    record: bool = False,
+    write_segment=None,
+    tkey: str | None = None,
+    report: ExecutionReport | None = None,
+    segment_events: int = TRACE_SEGMENT_EVENTS,
+) -> tuple[SimResult, dict[str, FilterEvaluation], TraceSink | None, str]:
+    """One streaming run that snapshots every ``checkpoint_every`` accesses.
+
+    The loop is :func:`repro.coherence.smp.simulate_streaming` with stops
+    cut at checkpoint watermarks (multiples of ``checkpoint_every`` of
+    the *stream* position, warm-up included) as well as the warm-up
+    boundary.  On entry the store is probed for this run's chain and the
+    newest usable checkpoint restores every layer — machine, filter
+    banks, trace sink, generator — so only the tail since that watermark
+    re-simulates.  By the determinism contract the results (and, when
+    recording, every written segment) are byte-identical to an
+    uninterrupted run's, whatever the chunk size of either attempt.
+
+    Returns ``(metrics, evaluations, sink, chain)``; the *caller* owns
+    finishing the sink (tail segments/manifest) and retiring the chain
+    once its results are durable.
+    """
+    if checkpoint_every < 1:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    chain = store_mod.checkpoint_chain_key(
+        spec, system_cfg, seed, filter_names, record
+    )
+    mkey = store_mod.sim_metrics_key(spec, system_cfg, seed)
+    warmup = spec.warmup_accesses
+
+    def build_fresh():
+        fresh_system = SMPSystem(system_cfg)
+        fresh_banks = {
+            name: _build_bank(name, system_cfg) for name in filter_names
+        }
+        fresh_sink = (
+            TraceSink(system_cfg.n_cpus, write_segment, segment_events)
+            if record else None
+        )
+        return fresh_system, fresh_banks, fresh_sink
+
+    system, banks, sink = build_fresh()
+    validate = None
+    if record:
+        def validate(state):
+            return _validate_recording(experiment_store, tkey, state["sink"])
+
+    # Resume ladder: a checkpoint that decodes and validates can still
+    # fail to *restore* (a structurally damaged payload); such a row is
+    # deleted like any other bad checkpoint, partially mutated objects
+    # are rebuilt fresh, and the next-lower watermark is tried — a bad
+    # snapshot must never brick the chain.
+    resumed = False
+    while not resumed:
+        loaded = _load_latest_checkpoint(experiment_store, chain, validate)
+        if loaded is None:
+            break
+        key, state = loaded
+        try:
+            system.restore(state["system"])
+            for name, bank in banks.items():
+                bank.restore(state["banks"][name])
+            if sink is not None:
+                sink.restore(state["sink"])
+            stream = MixStream.resume(base64.b64decode(state["stream"]))
+            position = int(state["position"])
+            measured = bool(state["measured"])
+        except Exception:
+            experiment_store.delete_key(key)
+            system, banks, sink = build_fresh()
+            continue
+        resumed = True
+        if report is not None:
+            report.checkpoints_resumed += 1
+            report.resumed_accesses = position
+    if not resumed:
+        if record:
+            # Fresh recording: stale segments from an interrupted or
+            # partially collected attempt must never mix with new ones.
+            experiment_store.delete_trace(tkey)
+        stream, _warmup = simulate_workload_accesses(
+            spec, n_cpus=system_cfg.n_cpus, seed=seed
+        )
+        position = 0
+        measured = warmup == 0
+
+    consumers = list(banks.values())
+    if sink is not None:
+        consumers.append(sink)
+    saved_positions: list[int] = []
+    while stream.remaining > 0:
+        if not measured and position >= warmup:
+            system.begin_measurement()
+            measured = True
+        next_checkpoint = (
+            position - position % checkpoint_every + checkpoint_every
+        )
+        stop = next_checkpoint if measured else min(next_checkpoint, warmup)
+        for shard in system.run_chunked(
+            stream, chunk_size, limit=stop - position
+        ):
+            for consumer in consumers:
+                consumer.consume(shard)
+        position = stream.position
+        if position == next_checkpoint and stream.remaining > 0:
+            save_started = time.perf_counter()
+            _save_checkpoint(
+                experiment_store, chain, spec, system_cfg, seed,
+                system=system, banks=banks, sink=sink, stream=stream,
+                position=position, measured=measured, mkey=mkey, tkey=tkey,
+            )
+            # Keep the chain short while the run lives: the resume
+            # ladder only ever wants the newest snapshot plus one
+            # fallback (truncated-segment or failed-restore cases), so
+            # older rows written by *this* run are dead weight — prune
+            # them instead of letting a 25M-access run accumulate
+            # hundreds.  Rows inherited from a killed attempt are left
+            # for completion (or gc) to clear.
+            saved_positions.append(position)
+            if len(saved_positions) > 2:
+                experiment_store.delete_key(
+                    store_mod.checkpoint_key(chain, saved_positions.pop(0))
+                )
+            if report is not None:
+                report.checkpoints_written += 1
+                report.checkpoint_seconds += (
+                    time.perf_counter() - save_started
+                )
+    if not measured:
+        system.begin_measurement()
+    # The warm-up MARKER (and nothing else) can remain pending, exactly
+    # as in simulate_streaming.
+    residue = system.take_shard()
+    if any(node_stream.events for node_stream in residue):
+        for consumer in consumers:
+            consumer.consume(residue)
+    system.finish()
+    metrics = system.result(spec.name, include_events=False)
+    evaluations = {name: bank.finish() for name, bank in banks.items()}
+    return metrics, evaluations, sink, chain
 
 
 def _sim_task(task: tuple[str, WorkloadSpec, SystemConfig, int]) -> tuple[str, bytes]:
@@ -329,14 +655,37 @@ class ExecutionReport:
     evals_cached: int = 0
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: Mid-run checkpoints written during this batch (``checkpoint_every``).
+    checkpoints_written: int = 0
+    #: Runs that warm-started from a stored checkpoint instead of access 0.
+    checkpoints_resumed: int = 0
+    #: Access watermark the most recent resume started from.
+    resumed_accesses: int = 0
+    #: Wall time spent snapshotting + writing checkpoints (the pause a
+    #: run pays for resumability; the rest of the loop is untouched).
+    checkpoint_seconds: float = 0.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"sims: {self.sims_run} run / {self.sims_cached} cached; "
             f"evals: {self.evals_run} run / {self.evals_cached} cached; "
             f"workers: {self.workers}; "
             f"wall time {self.elapsed_seconds:.2f}s"
         )
+        if self.checkpoints_resumed == 1:
+            text += (
+                f"; resumed from checkpoint @ {self.resumed_accesses:,} "
+                "accesses"
+            )
+        elif self.checkpoints_resumed:
+            # Several runs resumed; a single watermark would misattribute.
+            text += (
+                f"; resumed from checkpoints ({self.checkpoints_resumed} "
+                "runs)"
+            )
+        if self.checkpoints_written:
+            text += f"; checkpoints: {self.checkpoints_written} written"
+        return text
 
 
 def _spec_for(job: SimJob | EvalJob, specs: dict[str, WorkloadSpec]) -> WorkloadSpec:
@@ -453,6 +802,7 @@ def execute_streams(
     workers: int = 1,
     backend: str | None = None,
     specs: dict[str, WorkloadSpec] | None = None,
+    checkpoint_every: int | None = None,
 ) -> ExecutionReport:
     """Run every streaming job whose results are not already stored.
 
@@ -461,6 +811,15 @@ def execute_streams(
     skipped entirely when its metrics *and* every requested evaluation
     are already in the store — including evaluations produced earlier by
     the buffered path, since both modes share the ``eval`` keyspace.
+
+    With ``checkpoint_every``, each simulation snapshots its full state
+    into the store at that access cadence and resumes from the newest
+    stored checkpoint on a warm start (see :func:`_run_checkpointed`).
+    Checkpointed simulations run serially in the parent process — they
+    are the minutes-to-hours paper-scale runs whose wall clock one
+    worker dominates anyway, and the parent owns the store connection.
+    Results are byte-identical either way; completed runs retire their
+    checkpoint chains.
     """
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
@@ -528,6 +887,41 @@ def execute_streams(
             )
             report.evals_run += 1
 
+    if checkpoint_every is not None:
+        # Checkpointed runs stay in the parent: they need the live store
+        # connection for their snapshots, and each simulates serially.
+        for mkey, spec, system, seed, task_chunk, pairs in tasks:
+            # The chain (and the attached banks) covers the job's *full*
+            # filter union, not just the currently missing evaluations:
+            # deriving it from the warm-state-dependent subset would
+            # orphan the chain if a kill landed between the metrics and
+            # eval writes (or another sweep warmed one eval meanwhile),
+            # silently restarting a near-complete run from access 0.
+            _job, filters_map = grouped[mkey]
+            all_names = tuple(sorted(set(filters_map.values())))
+            metrics, evaluations, _sink, chain = _run_checkpointed(
+                spec, system, seed, all_names,
+                task_chunk, checkpoint_every, experiment_store,
+                report=report,
+            )
+            experiment_store.put_sim_metrics_blob(
+                mkey, store_mod.encode_sim_metrics(metrics),
+                workload=spec.name, n_cpus=system.n_cpus, seed=seed,
+            )
+            report.sims_run += 1
+            for ekey, name in pairs:
+                experiment_store.put_eval_blob(
+                    ekey, store_mod.encode_eval(evaluations[name]),
+                    workload=spec.name, filter_name=name,
+                    n_cpus=system.n_cpus, seed=seed,
+                )
+                report.evals_run += 1
+            # Results are durable; the chain can never be resumed into
+            # anything new, so retire it now rather than waiting for gc.
+            experiment_store.delete_group(store_mod.CHECKPOINT_KIND, chain)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
     for mkey, metrics_blob, eval_blobs in _map_tasks(
         _stream_task, tasks, workers, backend
     ):
@@ -561,6 +955,9 @@ def record_trace(
     *,
     experiment_store: ExperimentStore,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint_every: int | None = None,
+    report: ExecutionReport | None = None,
+    segment_events: int = TRACE_SEGMENT_EVENTS,
 ) -> SimResult:
     """Simulate once, persisting the packed event shards as a trace.
 
@@ -570,13 +967,21 @@ def record_trace(
     manifest — per-node segment/event counts plus the run's metrics —
     lands last, and the ``sim-metrics`` row is stored too if missing, so
     a recording warms every metrics consumer exactly like a plain
-    streamed run.  Any pre-existing rows under this trace key are
-    dropped first: stale segments from an interrupted or partially
-    collected recording must never mix with fresh ones.  Returns the
-    metrics-only result.
+    streamed run.  When starting fresh, any pre-existing rows under this
+    trace key are dropped first: stale segments from an interrupted or
+    partially collected recording must never mix with fresh ones.
+    Returns the metrics-only result.
+
+    With ``checkpoint_every``, the recording snapshots its state (the
+    machine *and* the sink's segment watermarks) at that access cadence;
+    an interrupted recording then resumes at its last durable segment
+    instead of re-recording from scratch.  The resume first validates
+    the newest recorded segment per node against the checkpoint's CRC —
+    a truncated final segment is dropped and the run falls back to the
+    previous watermark.  Either way the recorded bytes equal an
+    uninterrupted recording's exactly.
     """
     tkey = store_mod.trace_key(spec, system, seed)
-    experiment_store.delete_trace(tkey)
 
     def write_segment(node_id: int, index: int, raw: bytes) -> None:
         experiment_store.put_blob(
@@ -589,14 +994,23 @@ def record_trace(
             seed=seed,
         )
 
-    sink = TraceSink(system.n_cpus, write_segment)
-    stream, warmup = simulate_workload_accesses(
-        spec, n_cpus=system.n_cpus, seed=seed
-    )
-    metrics = simulate_streaming(
-        system, stream, spec.name,
-        warmup=warmup, chunk_size=chunk_size, sinks=[sink],
-    )
+    chain = None
+    if checkpoint_every is not None:
+        metrics, _evaluations, sink, chain = _run_checkpointed(
+            spec, system, seed, (), chunk_size, checkpoint_every,
+            experiment_store, record=True, write_segment=write_segment,
+            tkey=tkey, report=report, segment_events=segment_events,
+        )
+    else:
+        experiment_store.delete_trace(tkey)
+        sink = TraceSink(system.n_cpus, write_segment, segment_events)
+        stream, warmup = simulate_workload_accesses(
+            spec, n_cpus=system.n_cpus, seed=seed
+        )
+        metrics = simulate_streaming(
+            system, stream, spec.name,
+            warmup=warmup, chunk_size=chunk_size, sinks=[sink],
+        )
     segments_per_node = sink.finish()
     manifest = {
         "version": 1,
@@ -619,6 +1033,9 @@ def record_trace(
     mkey = store_mod.sim_metrics_key(spec, system, seed)
     if not experiment_store.contains(mkey):
         experiment_store.put_sim_metrics(mkey, metrics, seed=seed)
+    if chain is not None:
+        # Manifest and metrics are durable — the chain is now stale.
+        experiment_store.delete_group(store_mod.CHECKPOINT_KIND, chain)
     return metrics
 
 
@@ -725,6 +1142,7 @@ def execute_replays(
     workers: int = 1,
     backend: str | None = None,
     specs: dict[str, WorkloadSpec] | None = None,
+    checkpoint_every: int | None = None,
 ) -> ExecutionReport:
     """Record every missing trace once; replay every missing evaluation.
 
@@ -736,6 +1154,11 @@ def execute_replays(
     task per trace when serial (each segment then decodes exactly once
     for all filters).  Evaluations land under the shared ``eval``
     keyspace, byte-identical to live streamed or buffered ones.
+
+    ``checkpoint_every`` makes each *recording* checkpointable: an
+    interrupted recording resumes at its last durable segment (see
+    :func:`record_trace`) rather than re-recording from scratch.
+    Replays need no checkpoints — they are already cheap restarts.
     """
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
@@ -785,6 +1208,8 @@ def execute_replays(
                 spec, job.system, job.seed,
                 experiment_store=experiment_store,
                 chunk_size=job.chunk_size,
+                checkpoint_every=checkpoint_every,
+                report=report,
             )
             report.sims_run += 1
             loaded = load_trace(experiment_store, tkey)
@@ -1003,6 +1428,7 @@ def run_sweep(
     replay: bool = False,
     backend: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint_every: int | None = None,
 ) -> SweepResult:
     """Run a full workload x filter x seed sweep through the store.
 
@@ -1020,11 +1446,22 @@ def run_sweep(
     out across ``workers`` on the chosen ``backend``.  Evaluations land
     under the same store keys in every mode (they are byte-identical by
     the determinism contract), so all modes warm each other.
+
+    ``checkpoint_every`` (streamed and replay modes only) snapshots each
+    in-flight simulation into the store every N accesses, so a killed
+    paper-scale sweep restarted with the same flags resumes from its
+    latest checkpoint and still lands byte-identical results.
     """
     if stream and replay:
         raise ConfigurationError(
             "choose stream=True or replay=True, not both: streaming "
             "discards events as they are consumed, replay persists them"
+        )
+    if checkpoint_every is not None and not (stream or replay):
+        raise ConfigurationError(
+            "checkpoint_every applies to streamed or replay sweeps: "
+            "buffered simulations already persist whole recordings, so "
+            "there is no mid-run state to checkpoint"
         )
     if experiment_store is None:
         from repro.analysis import experiments
@@ -1052,6 +1489,7 @@ def run_sweep(
             replay_jobs,
             experiment_store=experiment_store, workers=workers,
             backend=backend, specs=specs,
+            checkpoint_every=checkpoint_every,
         )
     elif stream:
         stream_jobs = [
@@ -1063,6 +1501,7 @@ def run_sweep(
             stream_jobs,
             experiment_store=experiment_store, workers=workers,
             backend=backend, specs=specs,
+            checkpoint_every=checkpoint_every,
         )
     else:
         eval_jobs = [

@@ -7,15 +7,20 @@ maps a *complete* configuration fingerprint — workload spec, full system
 geometry (both cache levels, associativity, block and subblock sizes),
 and seed — to a canonical, compressed JSON payload of the result.
 
-Four result kinds share the one table: ``sim`` (a full buffered
+Five result kinds share the one table: ``sim`` (a full buffered
 :class:`SimResult`, event streams included), ``sim-metrics`` (the
 statistics of a *streamed* run, whose event streams were consumed on the
 fly and never retained), ``eval`` (one :class:`FilterEvaluation` —
 identical bytes whether it came from a buffered replay, a streaming
 pass, or a trace replay, which is what lets all modes share warm
-evaluations), and ``sim-events`` (a persisted *trace*: the packed event
+evaluations), ``sim-events`` (a persisted *trace*: the packed event
 shards of one simulation, recorded once so any number of filter
-configurations can replay them later without re-simulating).
+configurations can replay them later without re-simulating), and
+``checkpoint`` (a mid-run snapshot of an in-flight streamed simulation —
+caches, write buffers, bus, filter banks, trace-sink watermarks, and
+generator state — keyed by the run's chain plus the access watermark, so
+a killed paper-scale run resumes from its latest durable point instead
+of restarting from zero).
 
 A trace is several rows of kind ``sim-events`` sharing one key prefix:
 a *manifest* row (``filter IS NULL``) under :func:`trace_key` holding
@@ -73,6 +78,16 @@ SCHEMA_VERSION = 1
 #: fresh keys, so every pre-existing ``sim``/``sim-metrics``/``eval``
 #: entry keeps its key and its exact payload bytes.
 TRACE_KIND = "sim-events"
+
+#: Result kind of mid-run checkpoints: the serialised snapshot of an
+#: in-flight streamed simulation (caches, write buffers, bus, filter
+#: banks, trace-sink watermarks, generator state) at an access
+#: watermark.  Like ``sim-events``, added without a schema bump — the
+#: kind only creates rows under fresh keys.  A run's checkpoints form a
+#: *chain*: every row's ``filter`` column carries the chain key, the
+#: grouping handle garbage collection (and ``checkpoint rm``) uses to
+#: treat the chain as one atomic unit.
+CHECKPOINT_KIND = "checkpoint"
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +177,44 @@ def trace_segment_key(trace: str, node_id: int, index: int) -> str:
         "trace": trace,
         "node": node_id,
         "segment": index,
+    })
+
+
+def checkpoint_chain_key(
+    spec: WorkloadSpec,
+    system: SystemConfig,
+    seed: int,
+    filter_names=(),
+    record: bool = False,
+) -> str:
+    """Grouping key of one run's checkpoint chain.
+
+    The fingerprint is the simulation identity (the same fields as
+    :func:`trace_key`) plus what the run is *doing*: the filter banks
+    riding it (their live state is part of every snapshot, so a sweep
+    with a different filter set cannot resume this chain) and whether a
+    trace is being recorded.  Chunk size and ``checkpoint_every`` are
+    deliberately absent — a snapshot at access K is invariant to both by
+    the determinism contract, so a restart may change either and still
+    resume.
+    """
+    return _digest({
+        "kind": "checkpoint-chain",
+        "schema": SCHEMA_VERSION,
+        "spec": spec_fingerprint(spec),
+        "system": system_fingerprint(system),
+        "seed": seed,
+        "filters": sorted(filter_names),
+        "record": bool(record),
+    })
+
+
+def checkpoint_key(chain: str, accesses: int) -> str:
+    """Store key of one checkpoint: a chain at an access watermark."""
+    return _digest({
+        "kind": CHECKPOINT_KIND,
+        "chain": chain,
+        "accesses": accesses,
     })
 
 
@@ -321,6 +374,24 @@ def decode_trace_manifest(blob: bytes) -> dict:
     return json.loads(zlib.decompress(blob))
 
 
+def encode_checkpoint(state: dict) -> bytes:
+    """Compressed bytes of one checkpoint snapshot.
+
+    Unlike every other payload, checkpoints are *not* content-addressed
+    (their key is chain + watermark) and never outlive their run, so
+    canonical key ordering buys nothing and the write sits on the
+    simulation's critical path — plain insertion-order JSON at the
+    fastest zlib level keeps the snapshot pause small.
+    """
+    return zlib.compress(
+        json.dumps(state, separators=(",", ":")).encode(), 1
+    )
+
+
+def decode_checkpoint(blob: bytes) -> dict:
+    return json.loads(zlib.decompress(blob))
+
+
 def encode_trace_segment(raw: bytes) -> bytes:
     """Compress one segment of native-order packed-event bytes.
 
@@ -362,6 +433,9 @@ class StoreStats:
     #: Persisted traces (``sim-events`` manifest rows; each trace also
     #: owns segment rows, all counted in ``bytes_by_kind``).
     traces: int = 0
+    #: Mid-run checkpoint rows (kind ``checkpoint``); one row per saved
+    #: watermark, chains share ``bytes_by_kind`` accounting.
+    checkpoints: int = 0
     #: Total compressed payload bytes per result kind.
     bytes_by_kind: tuple[tuple[str, int], ...] = ()
 
@@ -697,6 +771,7 @@ class ExperimentStore:
                 evals=by_kind.get("eval", 0),
                 stream_sims=by_kind.get("sim-metrics", 0),
                 traces=traces,
+                checkpoints=by_kind.get(CHECKPOINT_KIND, 0),
                 payload_bytes=sum(len(b) for b in self._blobs.values()),
                 path=None,
                 bytes_by_kind=tuple(sorted(bytes_by_kind.items())),
@@ -716,6 +791,7 @@ class ExperimentStore:
             evals=counts.get("eval", (0, 0))[0],
             stream_sims=counts.get("sim-metrics", (0, 0))[0],
             traces=traces,
+            checkpoints=counts.get(CHECKPOINT_KIND, (0, 0))[0],
             payload_bytes=sum(nbytes for _, nbytes in counts.values()),
             path=str(self.path),
             bytes_by_kind=tuple(
@@ -751,19 +827,22 @@ class ExperimentStore:
     def _gc_units(rows) -> list[tuple[int, str, list[str], int]]:
         """Group ``(key, kind, filter, size, used)`` rows into GC units.
 
-        Most rows are their own unit, but a trace's manifest and segment
-        rows form *one* unit (grouped by the manifest key every segment
-        carries in its ``filter`` column): a trace with an evicted
-        segment would be useless, so traces are evicted atomically, LRU
-        like everything else.  A unit's recency is its most recently
-        used member.  Returns ``(recency, group_key, keys, total_size)``
-        sorted oldest first (key as the deterministic tie-break).
+        Most rows are their own unit, but two kinds group by the handle
+        their ``filter`` column carries: a trace's manifest and segment
+        rows form one unit (a trace with an evicted segment would be
+        useless), and a run's checkpoint rows form one unit (a chain
+        whose newest link vanished would silently resume from an older
+        watermark).  Both are evicted atomically, LRU like everything
+        else.  A unit's recency is its most recently used member.
+        Returns ``(recency, group_key, keys, total_size)`` sorted oldest
+        first (key as the deterministic tie-break).
         """
         units: dict[str, list] = {}
         for key, kind, filter_name, size, used in rows:
             group = (
                 filter_name
-                if kind == TRACE_KIND and filter_name is not None
+                if kind in (TRACE_KIND, CHECKPOINT_KIND)
+                and filter_name is not None
                 else key
             )
             unit = units.setdefault(group, [0, [], 0])
@@ -775,13 +854,68 @@ class ExperimentStore:
             for group, (used, keys, size) in units.items()
         )
 
+    def _has_key(self, key: str) -> bool:
+        """Raw presence check with no recency side effects (gc internal)."""
+        if self._db is None:
+            return key in self._blobs
+        return self._db.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone() is not None
+
+    def _raw_blob(self, key: str) -> bytes | None:
+        """Raw payload fetch with no recency side effects (gc internal)."""
+        if self._db is None:
+            return self._blobs.get(key)
+        row = self._db.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def _checkpoint_superseded(self, keys: list[str]) -> bool:
+        """True when a checkpoint chain's run has already completed.
+
+        A chain snapshot embeds the store keys its run was working
+        toward (the ``sim-metrics`` row, plus the trace manifest when
+        recording); once those exist the chain can never be resumed
+        into anything new, so GC treats it as the first thing to evict.
+        Undecodable payloads count as superseded — a chain that cannot
+        restore is dead weight.
+        """
+        try:
+            state = decode_checkpoint(self._raw_blob(keys[0]))
+        except Exception:
+            return True
+        mkey = state.get("mkey")
+        tkey = state.get("tkey")
+        if not mkey or not self._has_key(mkey):
+            return False
+        return tkey is None or self._has_key(tkey)
+
+    def _eviction_order(self, rows) -> list[tuple[int, str, list[str], int]]:
+        """GC units with superseded checkpoint chains moved to the front."""
+        kinds = {key: kind for key, kind, _f, _s, _u in rows}
+        stale, live = [], []
+        for unit in self._gc_units(rows):
+            _used, _group, keys, _size = unit
+            if (
+                kinds[keys[0]] == CHECKPOINT_KIND
+                and self._checkpoint_superseded(keys)
+            ):
+                stale.append(unit)
+            else:
+                live.append(unit)
+        return stale + live
+
     def gc(self, max_bytes: int) -> tuple[int, int]:
         """Evict least-recently-used entries down to a payload budget.
 
         Entries are removed in recency order (oldest ``last_used`` first)
         until the total compressed payload is at most ``max_bytes``; a
-        persisted trace (manifest plus all its segments) counts — and is
-        evicted — as a single unit.  Returns ``(entries_removed,
+        persisted trace (manifest plus all its segments) and a run's
+        checkpoint chain each count — and are evicted — as a single
+        unit.  Checkpoint chains whose run already completed (their
+        ``sim-metrics``/manifest rows exist) are stale and evicted
+        before anything else.  Returns ``(entries_removed,
         bytes_freed)``.  A zero budget empties the store; a budget above
         the current total removes nothing.
         """
@@ -796,7 +930,7 @@ class ExperimentStore:
             ]
             total = sum(size for _k, _kind, _f, size, _u in rows)
             removed = freed = 0
-            for _used, _group, keys, size in self._gc_units(rows):
+            for _used, _group, keys, size in self._eviction_order(rows):
                 if total <= max_bytes:
                     break
                 for key in keys:
@@ -814,7 +948,7 @@ class ExperimentStore:
         ).fetchall()
         total = sum(size for _k, _kind, _f, size, _u in rows)
         removed = freed = 0
-        for _used, _group, keys, size in self._gc_units(rows):
+        for _used, _group, keys, size in self._eviction_order(rows):
             if total <= max_bytes:
                 break
             for key in keys:
@@ -857,6 +991,68 @@ class ExperimentStore:
         self._db.commit()
         self._live.pop(trace, None)
         return removed
+
+    def group_keys(self, kind: str, group: str) -> list[str]:
+        """Keys of one kind whose ``filter`` column carries ``group``.
+
+        The lookup behind checkpoint-chain enumeration (and usable for
+        a trace's segment rows): sorted for deterministic iteration.
+        """
+        if self._db is None:
+            return sorted(
+                key for key, m in self._meta.items()
+                if m[0] == kind and m[2] == group
+            )
+        rows = self._db.execute(
+            "SELECT key FROM results WHERE kind = ? AND filter = ?",
+            (kind, group),
+        ).fetchall()
+        return sorted(key for (key,) in rows)
+
+    def delete_group(self, kind: str, group: str) -> int:
+        """Drop every ``kind`` row grouped under ``group``; return count.
+
+        Used to retire a checkpoint chain — after its run completes, or
+        when an individual snapshot proves unusable — without touching
+        any other result.
+        """
+        doomed = self.group_keys(kind, group)
+        if self._db is None:
+            for key in doomed:
+                self._blobs.pop(key, None)
+                self._meta.pop(key, None)
+                self._used.pop(key, None)
+                self._live.pop(key, None)
+            return len(doomed)
+        self._flush_touches()
+        self._db.execute(
+            "DELETE FROM results WHERE kind = ? AND filter = ?",
+            (kind, group),
+        )
+        self._db.commit()
+        for key in doomed:
+            self._live.pop(key, None)
+        return len(doomed)
+
+    def delete_key(self, key: str) -> bool:
+        """Drop one row by key; return whether it existed.
+
+        The resume path uses this to discard an individual checkpoint
+        (or a truncated trace segment) that failed validation.
+        """
+        if self._db is None:
+            existed = self._blobs.pop(key, None) is not None
+            self._meta.pop(key, None)
+            self._used.pop(key, None)
+            self._live.pop(key, None)
+            return existed
+        self._flush_touches()
+        cursor = self._db.execute(
+            "DELETE FROM results WHERE key = ?", (key,)
+        )
+        self._db.commit()
+        self._live.pop(key, None)
+        return cursor.rowcount > 0
 
     def delete_kind(self, kind: str) -> int:
         """Drop every entry of one result kind; return entries removed.

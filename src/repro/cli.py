@@ -15,6 +15,9 @@ Examples::
     jetty-repro --store traces.sqlite trace replay em3d --accesses 2e6 \
         --workers 2 --backend process
     jetty-repro --store traces.sqlite sweep --replay --workloads lu radix
+    jetty-repro --store results.sqlite sweep --stream --preset paper-scale \
+        --workloads em3d --checkpoint-every 500000
+    jetty-repro --store results.sqlite checkpoint list
     jetty-repro --store results.sqlite cache info
 """
 
@@ -302,6 +305,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.stream and args.replay:
         print("error: choose --stream or --replay, not both", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and not (args.stream or args.replay):
+        print(
+            "error: --checkpoint-every requires --stream or --replay "
+            "(buffered sweeps persist whole recordings; only streamed "
+            "simulations have mid-run state to checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
     workloads = args.workloads if args.workloads else list(WORKLOADS)
     filters = args.filters if args.filters else list(runner.DEFAULT_SWEEP_FILTERS)
     # Validate every name up front: a typo'd filter must not surface only
@@ -326,6 +337,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         replay=args.replay,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        checkpoint_every=args.checkpoint_every,
     )
     headers = ["workload"] + [f"{f} (cov)" for f in filters]
     rows = []
@@ -372,12 +384,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"sims:     {stats.sims}")
     print(f"streamed: {stats.stream_sims}")
     print(f"traces:   {stats.traces}")
+    print(f"checkpoints: {stats.checkpoints}")
     print(f"evals:    {stats.evals}")
     print(f"payload:  {stats.payload_bytes / 1024:.1f} KiB")
     for kind, nbytes in stats.bytes_by_kind:
         print(f"  {kind + ':':13s}{nbytes / 1024:.1f} KiB")
     if args.action == "list":
-        from repro.analysis.store import TRACE_KIND
+        from repro.analysis.store import CHECKPOINT_KIND, TRACE_KIND
 
         for entry in store.entries():
             if entry.kind == TRACE_KIND:
@@ -385,6 +398,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                     "(trace manifest)" if entry.filter_name is None
                     else f"(trace segment of {entry.filter_name[:12]})"
                 )
+            elif entry.kind == CHECKPOINT_KIND:
+                what = f"(checkpoint, chain {entry.filter_name[:12]})"
             else:
                 what = entry.filter_name or "(simulation)"
             print(
@@ -392,6 +407,109 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{entry.n_cpus}-way seed {entry.seed} "
                 f"{entry.payload_bytes / 1024:.1f} KiB"
             )
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.analysis import store as store_mod
+    from repro.analysis.store import CHECKPOINT_KIND
+
+    store = experiments.get_store()
+    rows = [e for e in store.entries() if e.kind == CHECKPOINT_KIND]
+
+    if args.action == "rm":
+        if not args.all and args.workload is None:
+            print("error: checkpoint rm needs a workload (or --all)",
+                  file=sys.stderr)
+            return 2
+        chains = sorted({
+            e.filter_name for e in rows
+            if args.all or e.workload == args.workload
+        })
+        removed = sum(
+            store.delete_group(CHECKPOINT_KIND, chain) for chain in chains
+        )
+        print(f"removed {removed} checkpoint(s) across {len(chains)} chain(s)")
+        return 0
+
+    if args.workload is not None:
+        rows = [e for e in rows if e.workload == args.workload]
+    if not rows:
+        print("no stored checkpoints"
+              + (f" for workload {args.workload!r}" if args.workload else ""))
+        return 0
+
+    chains: dict[str, list] = {}
+    for entry in rows:
+        chains.setdefault(entry.filter_name, []).append(entry)
+
+    def decoded(entry):
+        """The entry's snapshot dict, or None for a damaged payload.
+
+        Corrupt checkpoint rows are the one artifact class this feature
+        exists to survive — inspection must render them, never crash on
+        them (the resume ladder deletes them when it next runs).
+        """
+        try:
+            return store_mod.decode_checkpoint(store.get_blob(entry.key))
+        except Exception:
+            return None
+
+    if args.action == "list":
+        headers = ["workload", "cpus", "seed", "mode", "filters",
+                   "checkpoints", "latest", "size"]
+        out = []
+        for chain in sorted(chains):
+            entries = chains[chain]
+            states = [s for s in map(decoded, entries) if s is not None]
+            size = f"{sum(e.payload_bytes for e in entries) / 1024:.1f} KiB"
+            if states:
+                newest = max(states, key=lambda s: s.get("position", 0))
+                out.append([
+                    newest["workload"],
+                    str(newest["n_cpus"]),
+                    str(newest["seed"]),
+                    "record" if newest["record"] else "stream",
+                    str(len(newest["filters"])),
+                    str(len(entries)),
+                    f"{newest['position']:,}",
+                    size,
+                ])
+            else:
+                first = entries[0]
+                out.append([
+                    first.workload, str(first.n_cpus), str(first.seed),
+                    "?", "?", str(len(entries)), "(undecodable)", size,
+                ])
+        print(render_table(headers, out,
+                           title="checkpoint chains (interrupted runs)"))
+        return 0
+
+    # info: every stored watermark, newest first per chain.
+    headers = ["workload", "seed", "mode", "accesses", "measured",
+               "chain", "size"]
+    out = []
+    for chain in sorted(chains):
+        pairs = [(decoded(entry), entry) for entry in chains[chain]]
+        pairs.sort(
+            key=lambda pair: -(pair[0] or {}).get("position", -1)
+        )
+        for state, entry in pairs:
+            size = f"{entry.payload_bytes / 1024:.1f} KiB"
+            if state is None:
+                out.append([entry.workload, str(entry.seed), "?",
+                            "(undecodable)", "?", chain[:12], size])
+                continue
+            out.append([
+                state["workload"],
+                str(state["seed"]),
+                "record" if state["record"] else "stream",
+                f"{state['position']:,}",
+                "yes" if state["measured"] else "warm-up",
+                chain[:12],
+                size,
+            ])
+    print(render_table(headers, out, title="stored checkpoints"))
     return 0
 
 
@@ -540,7 +658,25 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(PRESETS),
                          help="named workload transformation, e.g. "
                          "paper-scale (Table 2 trace lengths, capped)")
+    p_sweep.add_argument("--checkpoint-every", type=_positive_count,
+                         default=None, metavar="N",
+                         help="snapshot each streamed/recorded simulation "
+                         "to the store every N accesses; a killed sweep "
+                         "rerun with the same flags resumes from its "
+                         "latest checkpoint (requires --stream/--replay)")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_checkpoint = sub.add_parser(
+        "checkpoint",
+        help="inspect or drop mid-run checkpoints of interrupted sweeps",
+    )
+    p_checkpoint.add_argument("action", nargs="?", default="list",
+                              choices=("list", "info", "rm"))
+    p_checkpoint.add_argument("workload", nargs="?", default=None,
+                              help="restrict to one workload's checkpoints")
+    p_checkpoint.add_argument("--all", action="store_true",
+                              help="rm: drop every stored checkpoint chain")
+    p_checkpoint.set_defaults(func=_cmd_checkpoint)
 
     p_cache = sub.add_parser(
         "cache", help="inspect, clear, or garbage-collect the experiment store"

@@ -100,3 +100,24 @@ class Bus:
 
     def record_writeback(self) -> None:
         self.stats.writebacks += 1
+
+    def snapshot(self) -> dict:
+        """Serialisable transaction counters (the bus has no other state)."""
+        stats = self.stats
+        return {
+            "transactions": {op.name: n for op, n in stats.transactions.items()},
+            "writebacks": stats.writebacks,
+            "remote_hit_histogram": list(stats.remote_hit_histogram),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt snapshotted counters (a fresh counter object is fine:
+        :meth:`record_transaction` reads ``self.stats`` dynamically)."""
+        counter = BusStatsCounter(
+            transactions={
+                op: state["transactions"][op.name] for op in BusOp
+            },
+            writebacks=state["writebacks"],
+            remote_hit_histogram=list(state["remote_hit_histogram"]),
+        )
+        self.stats = counter

@@ -185,6 +185,60 @@ class SetAssocCache:
             if frame is not None
         ]
 
+    def snapshot(self) -> dict:
+        """Serialisable logical state: resident frames plus LRU orders.
+
+        Each frame is ``[block, way, states, in_l1]`` with the MOESI
+        states joined into a string of one-letter names and the L1
+        inclusion hints packed into a bitmask — compact enough that
+        checkpointing a paper-scale run stays cheap.  Direct-mapped
+        caches omit the (trivial) LRU orders.  The flat ``_by_block``
+        tag index is *derived* state and deliberately absent:
+        :meth:`restore` rebuilds it.
+        """
+        frames = []
+        for ways in self._sets:
+            for frame in ways:
+                if frame is None:
+                    continue
+                frames.append([
+                    frame.block,
+                    frame.way,
+                    "".join(s.name for s in frame.states),
+                    sum(1 << i for i, bit in enumerate(frame.in_l1) if bit),
+                ])
+        return {
+            "frames": frames,
+            "lru": (
+                [tracker.snapshot() for tracker in self._lru]
+                if self._multiway else None
+            ),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot, rebuilding all derived state.
+
+        The way arrays are repopulated from the frame list and the flat
+        ``_by_block`` index is rebuilt **in place** — hot-path consumers
+        hold bound references to the dict itself
+        (:class:`~repro.coherence.node.CacheNode` caches its ``.get``),
+        so the object identity must survive a restore.
+        """
+        n_subblocks = self.config.subblocks_per_block
+        for ways in self._sets:
+            for way in range(len(ways)):
+                ways[way] = None
+        self._by_block.clear()
+        for block, way, states, in_l1 in state["frames"]:
+            frame = Frame(block, n_subblocks, way)
+            frame.states = [MOESI[name] for name in states]
+            frame.in_l1 = [bool(in_l1 >> i & 1) for i in range(n_subblocks)]
+            self._sets[block & self._set_mask][way] = frame
+            self._by_block[block] = frame
+        if self._multiway:
+            for tracker, order in zip(self._lru, state["lru"]):
+                tracker.restore(order)
+
     def valid_subblock_count(self) -> int:
         """Total subblocks in a valid state across the cache."""
         return sum(
@@ -285,3 +339,44 @@ class L1Cache:
             for frame in ways
             if frame is not None
         ]
+
+    def snapshot(self) -> dict:
+        """Serialisable logical state (see :meth:`SetAssocCache.snapshot`).
+
+        Frames are ``[block, way, dirty, writable]`` with the two flag
+        bits as 0/1 ints.
+        """
+        frames = []
+        for ways in self._sets:
+            for frame in ways:
+                if frame is None:
+                    continue
+                frames.append([
+                    frame.block,
+                    frame.way,
+                    int(frame.dirty),
+                    int(frame.writable),
+                ])
+        return {
+            "frames": frames,
+            "lru": (
+                [tracker.snapshot() for tracker in self._lru]
+                if self._multiway else None
+            ),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot; ``_by_block`` is rebuilt in place (the
+        :class:`~repro.coherence.smp.SMPSystem` fast path aliases it)."""
+        for ways in self._sets:
+            for way in range(len(ways)):
+                ways[way] = None
+        self._by_block.clear()
+        for block, way, dirty, writable in state["frames"]:
+            frame = L1Frame(block, bool(writable), way)
+            frame.dirty = bool(dirty)
+            self._sets[block & self._set_mask][way] = frame
+            self._by_block[block] = frame
+        if self._multiway:
+            for tracker, order in zip(self._lru, state["lru"]):
+                tracker.restore(order)

@@ -109,6 +109,38 @@ class CacheNode:
         #: next one starts, so no allocation per snoop is needed.
         self._reply = SnoopReply()
 
+    def snapshot(self) -> dict:
+        """Serialisable logical state of the whole node.
+
+        Covers the statistics counters, both cache levels, the write
+        buffer, and any *pending* (not yet sharded) events.  Derived
+        state — the precomputed shift/mask ints, the cached bound
+        methods, the reusable snoop reply — is reconstruction-only and
+        never serialised.
+        """
+        return {
+            "stats": vars(self.stats).copy(),
+            "l1": self.l1.snapshot(),
+            "l2": self.l2.snapshot(),
+            "wb": self.wb.snapshot(),
+            "events": list(self.events.events),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot and rebuild every piece of derived state.
+
+        The caches and write buffer restore their flat indexes in place
+        (the bound ``_l2_get``/``_wb_get`` fast paths alias those
+        dicts); the pending event stream is rebuilt fresh, so the cached
+        ``_emit`` append must be re-bound afterwards.
+        """
+        self.stats = NodeStats(**state["stats"])
+        self.l1.restore(state["l1"])
+        self.l2.restore(state["l2"])
+        self.wb.restore(state["wb"])
+        self.events = NodeEventStream(self.node_id, state["events"])
+        self._emit = self.events.events.append
+
     def reset_event_stream(self) -> NodeEventStream:
         """Detach the current event stream; record into a fresh one.
 

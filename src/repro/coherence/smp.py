@@ -45,7 +45,9 @@ integration and property-based tests to assert protocol correctness after
 
 from __future__ import annotations
 
+import base64
 import itertools
+import zlib
 from collections.abc import Iterable, Iterator
 from typing import Protocol
 
@@ -160,6 +162,12 @@ class TraceSink:
         self._next_index = [0] * n_cpus
         #: Total events recorded per node (for the manifest).
         self.events_per_node = [0] * n_cpus
+        #: CRC32 of each node's most recently written segment's raw
+        #: bytes.  A resumed recording checks the last durable segment
+        #: against this before trusting it (a truncated store row must
+        #: send the resume back to an earlier watermark, not replay on
+        #: top of garbage).
+        self.last_segment_crc: list[int | None] = [None] * n_cpus
 
     def consume(self, shard: list[NodeEventStream]) -> None:
         segment_bytes = self._segment_bytes
@@ -171,12 +179,10 @@ class TraceSink:
             buffer = self._buffers[node_id]
             buffer += events.tobytes()
             while len(buffer) >= segment_bytes:
-                self._write(
-                    node_id,
-                    self._next_index[node_id],
-                    bytes(buffer[:segment_bytes]),
-                )
+                raw = bytes(buffer[:segment_bytes])
+                self._write(node_id, self._next_index[node_id], raw)
                 self._next_index[node_id] += 1
+                self.last_segment_crc[node_id] = zlib.crc32(raw)
                 del buffer[:segment_bytes]
 
     def finish(self) -> list[int]:
@@ -187,6 +193,48 @@ class TraceSink:
                 self._next_index[node_id] += 1
                 buffer.clear()
         return list(self._next_index)
+
+    def snapshot(self) -> dict:
+        """Serialisable sink state: buffered tails plus segment watermarks.
+
+        ``next_index`` is the per-node *durable watermark* — every
+        segment below it has been handed to ``write_segment`` already —
+        and the byte buffers carry whatever has not yet filled a
+        segment.  A restored sink continues writing at exactly the next
+        index with exactly the bytes an uninterrupted run would have
+        buffered, so the recorded segments stay a pure function of the
+        event streams.
+        """
+        return {
+            "segment_bytes": self._segment_bytes,
+            "buffers": [
+                base64.b64encode(bytes(buffer)).decode("ascii")
+                for buffer in self._buffers
+            ],
+            "next_index": list(self._next_index),
+            "events_per_node": list(self.events_per_node),
+            "last_segment_crc": list(self.last_segment_crc),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot (buffer contents, watermarks, checksums)."""
+        if len(state["buffers"]) != len(self._buffers):
+            raise TraceError(
+                f"sink snapshot covers {len(state['buffers'])} node(s), "
+                f"sink has {len(self._buffers)}"
+            )
+        if state["segment_bytes"] != self._segment_bytes:
+            raise TraceError(
+                f"sink snapshot cut segments at {state['segment_bytes']} "
+                f"bytes, this sink cuts at {self._segment_bytes}"
+            )
+        self._buffers = [
+            bytearray(base64.b64decode(encoded))
+            for encoded in state["buffers"]
+        ]
+        self._next_index = list(state["next_index"])
+        self.events_per_node = list(state["events_per_node"])
+        self.last_segment_crc = list(state["last_segment_crc"])
 
 
 class SMPSystem:
@@ -308,6 +356,39 @@ class SMPSystem:
                 count += 1
                 handlers[cpu](address, is_write)
         self.accesses += count
+
+    def snapshot(self) -> dict:
+        """Serialisable logical state of the whole machine.
+
+        Composes every node's snapshot with the bus counters and the
+        measured-access counter.  Everything derived — the handler
+        tuple, the direct-mapped L1 fast-path maps, the per-requester
+        broadcast closures — is rebuilt by :meth:`restore` (or simply
+        stays valid because the underlying dicts are restored in
+        place).
+        """
+        return {
+            "accesses": self.accesses,
+            "nodes": [node.snapshot() for node in self.nodes],
+            "bus": self.bus.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot taken from an identically configured system."""
+        if len(state["nodes"]) != len(self.nodes):
+            raise TraceError(
+                f"snapshot covers {len(state['nodes'])} node(s), "
+                f"system has {len(self.nodes)}"
+            )
+        for node, node_state in zip(self.nodes, state["nodes"]):
+            node.restore(node_state)
+        self.bus.restore(state["bus"])
+        self.accesses = state["accesses"]
+        # The L1 fast-path maps alias each node's ``_by_block`` dict,
+        # which restores in place; rebuild anyway so a restore can never
+        # depend on that aliasing subtlety.
+        if self._l1_maps is not None:
+            self._l1_maps = tuple(node.l1._by_block for node in self.nodes)
 
     def take_shard(self) -> list[NodeEventStream]:
         """Detach and return every node's pending events as one shard.

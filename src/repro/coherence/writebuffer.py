@@ -85,3 +85,36 @@ class WriteBuffer:
     def blocks(self) -> tuple[int, ...]:
         """Currently buffered block numbers (tests/inspection)."""
         return tuple(self._entries.keys())
+
+    def snapshot(self) -> dict:
+        """Serialisable logical state: entries in FIFO order.
+
+        Each entry is ``[block, [[sub, state_name], ...]]`` — the FIFO
+        position is the list position, so drain order survives a
+        round trip exactly.
+        """
+        return {
+            "entries": [
+                [entry.block,
+                 [[sub, state.name] for sub, state in entry.dirty_subblocks]]
+                for entry in self._entries.values()
+            ]
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot, rebuilding ``_entries`` **in place**.
+
+        :class:`~repro.coherence.node.CacheNode` caches a bound
+        ``_entries.get`` for the snoop CAM probe, so the OrderedDict
+        object itself must survive the restore.
+        """
+        if len(state["entries"]) > self.capacity:
+            raise ConfigurationError(
+                f"write-buffer snapshot holds {len(state['entries'])} "
+                f"entries, capacity is {self.capacity}"
+            )
+        self._entries.clear()
+        for block, dirty in state["entries"]:
+            self._entries[block] = WBEntry(
+                block, tuple((sub, MOESI[name]) for sub, name in dirty)
+            )

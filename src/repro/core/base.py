@@ -139,6 +139,37 @@ class SnoopFilter(ABC):
         """
         return self.counts
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialisable logical state: event counters plus variant state.
+
+        Part of the uniform ``snapshot()``/``restore()`` checkpoint
+        protocol: the returned dict is canonical-JSON-safe, and feeding
+        it to :meth:`restore` on a freshly built filter of the same
+        configuration reproduces this filter exactly — subsequent probes
+        and updates behave (and count) identically.
+        """
+        return {
+            "name": self.name,
+            "counts": vars(self.counts).copy(),
+            "state": self._snapshot_state(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot taken from an identically configured filter."""
+        from repro.errors import ConfigurationError
+
+        if state.get("name") != self.name:
+            raise ConfigurationError(
+                f"snapshot is for filter {state.get('name')!r}, "
+                f"this filter is {self.name!r}"
+            )
+        self.counts = FilterEventCounts(**state["counts"])
+        self._restore_state(state["state"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name}>"
 
@@ -166,3 +197,17 @@ class SnoopFilter(ABC):
 
     def _on_block_evicted(self, block: int) -> None:
         """Variant-specific eviction hook (default: ignore)."""
+
+    def _snapshot_state(self):
+        """Variant-specific storage state (default: stateless)."""
+        return None
+
+    def _restore_state(self, state) -> None:
+        """Adopt variant-specific storage state (default: stateless)."""
+        if state is not None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"{type(self).__name__} is stateless but the snapshot "
+                "carries state"
+            )

@@ -116,3 +116,14 @@ class ExcludeJetty(SnoopFilter):
     def contains(self, block: int) -> bool:
         """True if the EJ currently records ``block`` as absent."""
         return block in self._tags[self._set_index(block)]
+
+    def _snapshot_state(self):
+        return {
+            "tags": [list(row) for row in self._tags],
+            "lru": [tracker.snapshot() for tracker in self._lru],
+        }
+
+    def _restore_state(self, state) -> None:
+        self._tags = [list(row) for row in state["tags"]]
+        for tracker, order in zip(self._lru, state["lru"]):
+            tracker.restore(order)

@@ -104,3 +104,9 @@ class HashedIncludeJetty(SnoopFilter):
     def tracked_blocks(self) -> int:
         """Allocations currently recorded (total count / k)."""
         return sum(self._counters) // self.k
+
+    def _snapshot_state(self):
+        return {"counters": list(self._counters)}
+
+    def _restore_state(self, state) -> None:
+        self._counters = list(state["counters"])

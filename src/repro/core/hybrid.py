@@ -86,6 +86,21 @@ class HybridJetty(SnoopFilter):
     def storage_bits(self) -> int:
         return self.include.storage_bits() + self.exclude.storage_bits()
 
+    def _snapshot_state(self):
+        # Full component snapshots (their counts included): the energy
+        # model prices component counters separately, so they are
+        # logical state of the hybrid.  The bound component hooks read
+        # their storage through ``self`` and need no rebinding — each
+        # component's restore swaps the storage behind the same object.
+        return {
+            "include": self.include.snapshot(),
+            "exclude": self.exclude.snapshot(),
+        }
+
+    def _restore_state(self, state) -> None:
+        self.include.restore(state["include"])
+        self.exclude.restore(state["exclude"])
+
     def reset_counts(self) -> None:
         super().reset_counts()
         self.include.reset_counts()

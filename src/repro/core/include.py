@@ -136,3 +136,12 @@ class IncludeJetty(SnoopFilter):
     def max_counter(self) -> int:
         """Largest live counter value (tests use this to bound widths)."""
         return max(max(array) for array in self._counters)
+
+    def _snapshot_state(self):
+        return {"counters": [list(array) for array in self._counters]}
+
+    def _restore_state(self, state) -> None:
+        self._counters = [list(array) for array in state["counters"]]
+        # The probe fast path iterates (sub-array, shift) pairs zipped
+        # once at construction — derived state, rebuilt here.
+        self._lanes = tuple(zip(self._counters, self._shifts))

@@ -54,3 +54,9 @@ class OracleFilter(SnoopFilter):
     def cached_blocks(self) -> frozenset[int]:
         """Expose the tracked block set for tests."""
         return frozenset(self._cached)
+
+    def _snapshot_state(self):
+        return {"cached": sorted(self._cached)}
+
+    def _restore_state(self, state) -> None:
+        self._cached = set(state["cached"])

@@ -355,6 +355,29 @@ class EventReplayer:
             evicts=self.evicts,
         )
 
+    def snapshot(self) -> dict:
+        """Serialisable replay state: coverage counters plus filter state.
+
+        Together with the filter's own :meth:`~repro.core.base.
+        SnoopFilter.snapshot`, this captures everything :meth:`feed`
+        accumulates — restoring it and feeding the remaining events
+        finishes with exactly the evaluation an uninterrupted replay
+        produces.
+        """
+        return {
+            "stats": vars(self.stats).copy(),
+            "allocs": self.allocs,
+            "evicts": self.evicts,
+            "filter": self.snoop_filter.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot taken from an identically configured replayer."""
+        self.stats = CoverageStats(**state["stats"])
+        self.allocs = state["allocs"]
+        self.evicts = state["evicts"]
+        self.snoop_filter.restore(state["filter"])
+
 
 class StreamingFilterBank:
     """One filter configuration evaluated live across all nodes.
@@ -400,6 +423,20 @@ class StreamingFilterBank:
         return merge_evaluations(
             [replayer.finish() for replayer in self.replayers]
         )
+
+    def snapshot(self) -> list[dict]:
+        """Per-node replayer snapshots, in node order."""
+        return [replayer.snapshot() for replayer in self.replayers]
+
+    def restore(self, state: list[dict]) -> None:
+        """Adopt a snapshot taken from an identically configured bank."""
+        if len(state) != len(self.replayers):
+            raise ValueError(
+                f"bank snapshot covers {len(state)} node(s), bank has "
+                f"{len(self.replayers)}"
+            )
+        for replayer, replayer_state in zip(self.replayers, state):
+            replayer.restore(replayer_state)
 
 
 class TraceReader:

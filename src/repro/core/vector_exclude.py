@@ -132,6 +132,19 @@ class VectorExcludeJetty(SnoopFilter):
         chunk_tag_bits = (self.tag_bits - self._vec_shift) - self._index_bits
         return self.sets * self.ways * (chunk_tag_bits + self.vector_bits)
 
+    def _snapshot_state(self):
+        return {
+            "chunks": [list(row) for row in self._chunks],
+            "vectors": [list(row) for row in self._vectors],
+            "lru": [tracker.snapshot() for tracker in self._lru],
+        }
+
+    def _restore_state(self, state) -> None:
+        self._chunks = [list(row) for row in state["chunks"]]
+        self._vectors = [list(row) for row in state["vectors"]]
+        for tracker, order in zip(self._lru, state["lru"]):
+            tracker.restore(order)
+
     def asserted_bits(self) -> int:
         """Total PV bits currently set (for tests/inspection)."""
         total = 0

@@ -49,6 +49,19 @@ class LRUTracker:
         """Return the least-recently-used way (does not reorder)."""
         return self._order[-1]
 
+    def snapshot(self) -> list[int]:
+        """The recency ordering as serialisable logical state."""
+        return list(self._order)
+
+    def restore(self, state: list[int]) -> None:
+        """Adopt a previously snapshotted recency ordering."""
+        if sorted(state) != sorted(self._order):
+            raise ConfigurationError(
+                f"LRU snapshot covers ways {sorted(state)}, "
+                f"tracker has {sorted(self._order)}"
+            )
+        self._order = list(state)
+
     def mru(self) -> int:
         """Return the most-recently-used way."""
         return self._order[0]
