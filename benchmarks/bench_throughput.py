@@ -125,8 +125,14 @@ def measure_replay(name: str, n_accesses: int, warmup: int) -> dict:
     The replay numbers use the same accesses/second accounting as the
     live modes, so ``replay_accesses_per_sec / streamed accesses_per_sec``
     is exactly the wall-clock speedup a warm filter sweep enjoys over
-    re-simulating.
+    re-simulating.  The warm replay is measured once per available
+    kernel (``replay_python_*``, and ``replay_numpy_*`` when NumPy is
+    importable); the canonical ``replay_*`` / ``accesses_per_sec``
+    numbers are the default ``auto`` kernel's — the throughput a plain
+    replay sweep actually gets.
     """
+    from repro.core import vector_replay
+
     spec = _sized(name, n_accesses, warmup)
     with tempfile.TemporaryDirectory() as tmp:
         store = ExperimentStore(Path(tmp) / "bench-traces.sqlite")
@@ -137,13 +143,23 @@ def measure_replay(name: str, n_accesses: int, warmup: int) -> dict:
         )
         record_elapsed = time.perf_counter() - started
 
-        started = time.perf_counter()
-        runner.execute_replays(
-            [runner.ReplayJob(name, FILTERS)],
-            experiment_store=store, backend="serial", specs={name: spec},
-        )
-        replay_elapsed = time.perf_counter() - started
+        kernels = ["python"]
+        if vector_replay.numpy_available():
+            kernels.append("numpy")
+        elapsed_by_kernel = {}
+        for kernel in kernels:
+            store.delete_kind("eval")
+            started = time.perf_counter()
+            runner.execute_replays(
+                [runner.ReplayJob(name, FILTERS)],
+                experiment_store=store, backend="serial", specs={name: spec},
+                kernel=kernel,
+            )
+            elapsed_by_kernel[kernel] = time.perf_counter() - started
 
+        # What "auto" resolves to on this machine: numpy when available.
+        auto_kernel = kernels[-1]
+        replay_elapsed = elapsed_by_kernel[auto_kernel]
         entry = {
             "workload": name,
             "accesses": n_accesses,
@@ -151,13 +167,23 @@ def measure_replay(name: str, n_accesses: int, warmup: int) -> dict:
             "filters": len(FILTERS),
             "record_seconds": round(record_elapsed, 3),
             "record_accesses_per_sec": round(n_accesses / record_elapsed),
+            "replay_kernel": auto_kernel,
             "replay_seconds": round(replay_elapsed, 3),
             "replay_accesses_per_sec": round(n_accesses / replay_elapsed),
+            # The uniform cross-mode key: every mode's entry reports its
+            # end-to-end rate under the same name, so cross-mode readers
+            # never fall back to a missing-key None.
+            "accesses_per_sec": round(n_accesses / replay_elapsed),
             "trace_bytes": sum(
                 e.payload_bytes for e in store.entries()
                 if e.kind == "sim-events"
             ),
         }
+        for kernel, elapsed in elapsed_by_kernel.items():
+            entry[f"replay_{kernel}_seconds"] = round(elapsed, 3)
+            entry[f"replay_{kernel}_accesses_per_sec"] = round(
+                n_accesses / elapsed
+            )
         if (os.cpu_count() or 1) >= 2:
             # Re-replay on 2 process workers (evals cleared for a fair
             # rerun): one filter configuration per worker task.
@@ -236,10 +262,16 @@ def run_benchmark(quick: bool, checkpoint_every: int | None = None) -> dict:
               flush=True)
         entry = measure_replay(name, s_acc, s_warm)
         results["replay"][name] = entry
-        print(f"  record {entry['record_accesses_per_sec']:,} acc/s "
-              f"({entry['record_seconds']}s); warm replay "
-              f"{entry['replay_accesses_per_sec']:,} acc/s "
-              f"({entry['replay_seconds']}s)")
+        line = (f"  record {entry['record_accesses_per_sec']:,} acc/s "
+                f"({entry['record_seconds']}s); warm replay "
+                f"{entry['replay_accesses_per_sec']:,} acc/s "
+                f"({entry['replay_seconds']}s, {entry['replay_kernel']} "
+                "kernel)")
+        if "replay_numpy_accesses_per_sec" in entry:
+            ratio = (entry["replay_numpy_accesses_per_sec"]
+                     / entry["replay_python_accesses_per_sec"])
+            line += f"; numpy vs python x{ratio:.2f}"
+        print(line, flush=True)
     if checkpoint_every is not None:
         results["checkpoint"] = {}
         for name in BENCH_WORKLOADS:
@@ -260,11 +292,25 @@ def _headline(results: dict) -> int:
 
 
 def _replay_headline(results: dict) -> int | None:
-    """Slowest warm replay across workloads (the replay-path floor)."""
+    """Slowest warm replay across workloads (the replay-path floor).
+
+    Reads the uniform ``accesses_per_sec`` key and fails loudly when an
+    entry lacks it: a silent ``.get(...) -> None`` here once turned the
+    replay floor assertion into a no-op comparison against ``None``.
+    """
     entries = results.get("replay", {})
     if not entries:
         return None
-    return min(e["replay_accesses_per_sec"] for e in entries.values())
+    rates = []
+    for name, entry in entries.items():
+        rate = entry.get("accesses_per_sec")
+        if rate is None:
+            raise KeyError(
+                f"replay entry for {name!r} has no accesses_per_sec rate; "
+                "the replay floor cannot be checked against a missing key"
+            )
+        rates.append(rate)
+    return min(rates)
 
 
 def _replay_speedups(results: dict) -> dict:

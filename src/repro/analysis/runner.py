@@ -94,6 +94,7 @@ from repro.coherence.smp import (
 from repro.core.config import build_filter
 from repro.core.stats import (
     FilterEvaluation,
+    REPLAY_KERNELS,
     StreamingFilterBank,
     TraceReader,
     replay_trace,
@@ -219,9 +220,18 @@ def _build_filters(filter_name: str, system: SystemConfig) -> list:
     ]
 
 
-def _build_bank(filter_name: str, system: SystemConfig) -> StreamingFilterBank:
-    """One live filter bank: a freshly built filter per node."""
-    return StreamingFilterBank(_build_filters(filter_name, system))
+def _build_bank(
+    filter_name: str, system: SystemConfig, kernel: str = "python"
+) -> StreamingFilterBank:
+    """One live filter bank: a freshly built filter per node.
+
+    ``kernel`` selects the replay kernel per node (see
+    :data:`repro.core.stats.REPLAY_KERNELS`).  Live-streaming and
+    checkpointed call sites keep the default ``"python"`` — the vector
+    kernels neither drive live filters nor snapshot; replay call sites
+    pass the caller's choice (``"auto"`` by default).
+    """
+    return StreamingFilterBank(_build_filters(filter_name, system), kernel=kernel)
 
 
 def compute_stream(
@@ -1095,7 +1105,7 @@ def _replay_task(task) -> list[tuple[str, bytes]]:
     blobs (in-memory stores).  Each segment is decoded once and fed to
     every requested bank via the shared :func:`replay_trace` kernel.
     """
-    path, segments, system, pairs = task
+    path, segments, system, pairs, kernel = task
     connection = None
     if path is not None:
         # Percent-encode the filesystem path: a raw '?', '#', or '%' in
@@ -1123,7 +1133,9 @@ def _replay_task(task) -> list[tuple[str, bytes]]:
             return store_mod.decode_trace_segment(segments[node_id][index])
 
     try:
-        banks = [(ekey, _build_bank(name, system)) for ekey, name in pairs]
+        banks = [
+            (ekey, _build_bank(name, system, kernel)) for ekey, name in pairs
+        ]
         reader = TraceReader([len(keys) for keys in segments], fetch)
         replay_trace(reader, [bank for _ekey, bank in banks])
         return [
@@ -1143,6 +1155,7 @@ def execute_replays(
     backend: str | None = None,
     specs: dict[str, WorkloadSpec] | None = None,
     checkpoint_every: int | None = None,
+    kernel: str = "auto",
 ) -> ExecutionReport:
     """Record every missing trace once; replay every missing evaluation.
 
@@ -1159,7 +1172,18 @@ def execute_replays(
     interrupted recording resumes at its last durable segment (see
     :func:`record_trace`) rather than re-recording from scratch.
     Replays need no checkpoints — they are already cheap restarts.
+
+    ``kernel`` selects the replay kernel (``"auto"`` vectorises
+    supported filter families when NumPy is importable and falls back
+    per family otherwise; see :data:`repro.core.stats.REPLAY_KERNELS`).
+    Evaluations are byte-identical across kernels by the parity
+    contract, so kernel choice never participates in store keys.
     """
+    if kernel not in REPLAY_KERNELS:
+        raise ConfigurationError(
+            f"unknown replay kernel {kernel!r}; choose one of "
+            f"{', '.join(REPLAY_KERNELS)}"
+        )
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
     specs = specs if specs is not None else {}
@@ -1241,9 +1265,12 @@ def execute_replays(
     for tkey, segment_keys, pairs, job in units:
         path, segments = _segment_payload(experiment_store, segment_keys)
         if parallel and len(pairs) > 1:
-            tasks.extend((path, segments, job.system, [pair]) for pair in pairs)
+            tasks.extend(
+                (path, segments, job.system, [pair], kernel)
+                for pair in pairs
+            )
         else:
-            tasks.append((path, segments, job.system, pairs))
+            tasks.append((path, segments, job.system, pairs, kernel))
     for results in _map_tasks(_replay_task, tasks, workers, backend):
         for ekey, blob in results:
             job, filters = owners[ekey]
@@ -1265,6 +1292,7 @@ def replay_filter_from_store(
     seed: int,
     *,
     experiment_store: ExperimentStore,
+    kernel: str = "auto",
 ) -> FilterEvaluation | None:
     """Evaluate one filter from an already-recorded trace, if any.
 
@@ -1282,7 +1310,9 @@ def replay_filter_from_store(
     _manifest, segment_keys = loaded
     path, segments = _segment_payload(experiment_store, segment_keys)
     ekey = store_mod.eval_key(spec, filter_name, system, seed)
-    [(_key, blob)] = _replay_task((path, segments, system, [(ekey, filter_name)]))
+    [(_key, blob)] = _replay_task(
+        (path, segments, system, [(ekey, filter_name)], kernel)
+    )
     experiment_store.put_eval_blob(
         ekey, blob, workload=spec.name, filter_name=filter_name,
         n_cpus=system.n_cpus, seed=seed,
@@ -1358,6 +1388,7 @@ def evaluate_replay(
     workers: int = 1,
     backend: str | None = None,
     experiment_store: ExperimentStore | None = None,
+    kernel: str = "auto",
 ) -> StreamOutcome:
     """Evaluate N filters via the record-once / replay-many path.
 
@@ -1380,6 +1411,7 @@ def evaluate_replay(
     report = execute_replays(
         [job], experiment_store=experiment_store,
         workers=workers, backend=backend, specs={spec.name: spec},
+        kernel=kernel,
     )
     metrics = experiment_store.get_sim_metrics(
         store_mod.sim_metrics_key(spec, system, seed)
@@ -1429,6 +1461,7 @@ def run_sweep(
     backend: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     checkpoint_every: int | None = None,
+    kernel: str = "auto",
 ) -> SweepResult:
     """Run a full workload x filter x seed sweep through the store.
 
@@ -1451,7 +1484,18 @@ def run_sweep(
     in-flight simulation into the store every N accesses, so a killed
     paper-scale sweep restarted with the same flags resumes from its
     latest checkpoint and still lands byte-identical results.
+
+    ``kernel`` (replay mode only) picks the replay kernel — ``"auto"``
+    vectorises supported families when NumPy is importable; results are
+    byte-identical either way.  Streamed and buffered sweeps drive live
+    filters and accept only the default.
     """
+    if kernel != "auto" and not replay:
+        raise ConfigurationError(
+            "kernel selection applies to replay sweeps only: streamed "
+            "and buffered sweeps drive live filters through the "
+            "python path"
+        )
     if stream and replay:
         raise ConfigurationError(
             "choose stream=True or replay=True, not both: streaming "
@@ -1490,6 +1534,7 @@ def run_sweep(
             experiment_store=experiment_store, workers=workers,
             backend=backend, specs=specs,
             checkpoint_every=checkpoint_every,
+            kernel=kernel,
         )
     elif stream:
         stream_jobs = [

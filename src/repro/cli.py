@@ -28,6 +28,7 @@ import sys
 
 from repro.analysis import experiments, figures, report, runner, tables
 from repro.coherence.config import SCALED_SYSTEM
+from repro.core.stats import REPLAY_KERNELS
 from repro.traces.workloads import PRESETS, WORKLOADS
 from repro.utils.text import format_percent, render_table
 
@@ -244,6 +245,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         spec, system, tuple(filters), args.seed,
         workers=args.workers, backend=args.backend,
         experiment_store=experiments.get_store(),
+        kernel=args.kernel,
     )
     headers = ["filter", "coverage"]
     rows = [[name, format_percent(outcome.coverage(name))] for name in filters]
@@ -313,6 +315,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.kernel != "auto" and not args.replay:
+        print(
+            "error: --kernel requires --replay (streamed and buffered "
+            "sweeps drive live filters through the python path)",
+            file=sys.stderr,
+        )
+        return 2
     workloads = args.workloads if args.workloads else list(WORKLOADS)
     filters = args.filters if args.filters else list(runner.DEFAULT_SWEEP_FILTERS)
     # Validate every name up front: a typo'd filter must not surface only
@@ -338,6 +347,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backend=args.backend,
         chunk_size=args.chunk_size,
         checkpoint_every=args.checkpoint_every,
+        kernel=args.kernel,
     )
     headers = ["workload"] + [f"{f} (cov)" for f in filters]
     rows = []
@@ -603,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=runner.EXECUTOR_BACKENDS,
                           help="executor backend for replay fan-out "
                           "(default: process)")
+    t_replay.add_argument("--kernel", default="auto",
+                          choices=REPLAY_KERNELS,
+                          help="replay kernel: auto vectorises supported "
+                          "filter families with NumPy when available; "
+                          "results are byte-identical across kernels")
     t_replay.set_defaults(func=_cmd_trace_replay)
 
     t_info = trace_sub.add_parser(
@@ -664,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "to the store every N accesses; a killed sweep "
                          "rerun with the same flags resumes from its "
                          "latest checkpoint (requires --stream/--replay)")
+    p_sweep.add_argument("--kernel", default="auto",
+                         choices=REPLAY_KERNELS,
+                         help="replay kernel for --replay sweeps: auto "
+                         "vectorises supported filter families with NumPy "
+                         "when available; results are byte-identical "
+                         "across kernels")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_checkpoint = sub.add_parser(

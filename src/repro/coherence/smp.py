@@ -48,6 +48,7 @@ from __future__ import annotations
 import base64
 import itertools
 import zlib
+from array import array
 from collections.abc import Iterable, Iterator
 from typing import Protocol
 
@@ -193,6 +194,25 @@ class TraceSink:
                 self._next_index[node_id] += 1
                 buffer.clear()
         return list(self._next_index)
+
+    @staticmethod
+    def decode_segment(raw: bytes) -> array:
+        """Inverse of the bytes handed to ``write_segment``.
+
+        Turns one segment of raw native-order packed-event bytes back
+        into the ``array('q')`` the event streams produced.  Storage
+        codecs (compression, cross-endian normalisation) live in
+        :mod:`repro.analysis.store`; this helper is the raw-byte layer
+        only, for consumers holding uncompressed segment bytes.
+        """
+        if len(raw) % TraceSink._ITEMSIZE:
+            raise TraceError(
+                f"segment byte length {len(raw)} is not a multiple of "
+                f"the {TraceSink._ITEMSIZE}-byte packed event size"
+            )
+        events = array("q")
+        events.frombytes(raw)
+        return events
 
     def snapshot(self) -> dict:
         """Serialisable sink state: buffered tails plus segment watermarks.

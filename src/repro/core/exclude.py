@@ -56,18 +56,20 @@ class ExcludeJetty(SnoopFilter):
     def probe(self, block: int) -> bool:
         """Hot-path override: counting and lookup in one frame.
 
-        The tag scan runs through the C-level ``in`` operator; the
-        Python-level way loop only executes on a hit (to refresh LRU).
+        The tag scan runs through the C-level ``list.index``; a miss
+        surfaces as ``ValueError``, so hits (the only path that needs
+        the way number) resolve tag presence and position in one scan.
         """
         counts = self.counts
         counts.probes += 1
         index = block & self._index_mask
-        set_tags = self._tags[index]
-        if block in set_tags:
-            self._lru[index].touch(set_tags.index(block))
-            counts.filtered += 1
-            return False
-        return True
+        try:
+            way = self._tags[index].index(block)
+        except ValueError:
+            return True
+        self._lru[index].touch(way)
+        counts.filtered += 1
+        return False
 
     def _on_snoop_outcome(self, block: int, present: bool) -> None:
         """Allocate an entry when the snoop missed the whole block."""
@@ -75,15 +77,14 @@ class ExcludeJetty(SnoopFilter):
             return
         index = block & self._index_mask
         set_tags = self._tags[index]
-        lru = self._lru[index]
-        # Refresh an existing entry rather than duplicating it.
-        if block in set_tags:
-            lru.touch(set_tags.index(block))
-            return
-        way = self._find_victim(index)
-        set_tags[way] = block
-        lru.touch(way)
-        self.counts.entry_writes += 1
+        try:
+            # Refresh an existing entry rather than duplicating it.
+            way = set_tags.index(block)
+        except ValueError:
+            way = self._find_victim(index)
+            set_tags[way] = block
+            self.counts.entry_writes += 1
+        self._lru[index].touch(way)
 
     def _find_victim(self, index: int) -> int:
         """Prefer an invalid way; otherwise evict the LRU entry."""
@@ -96,9 +97,11 @@ class ExcludeJetty(SnoopFilter):
     def _on_block_allocated(self, block: int) -> None:
         """Safety-critical: drop any entry claiming ``block`` is absent."""
         set_tags = self._tags[block & self._index_mask]
-        if block in set_tags:
+        try:
             set_tags[set_tags.index(block)] = None
-            self.counts.entry_writes += 1
+        except ValueError:
+            return
+        self.counts.entry_writes += 1
 
     # ------------------------------------------------------------------
 

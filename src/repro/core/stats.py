@@ -80,7 +80,15 @@ from array import array
 from dataclasses import dataclass
 
 from repro.core.base import FilterEventCounts, SnoopFilter
-from repro.errors import FilterSafetyError
+from repro.errors import ConfigurationError, FilterSafetyError
+
+#: Kernel selectors accepted by :class:`StreamingFilterBank`:
+#: ``"python"`` — the per-event :class:`EventReplayer` loop everywhere;
+#: ``"numpy"`` — vectorised kernels for every supported filter family,
+#: failing loudly when NumPy is unavailable;
+#: ``"auto"`` — vectorised where supported *and* NumPy imports, the
+#: per-event loop otherwise.
+REPLAY_KERNELS = ("python", "numpy", "auto")
 
 #: Event kind tags (bits 0-1 of a packed event).
 SNOOP = 0
@@ -244,6 +252,78 @@ def merge_evaluations(evaluations: list[FilterEvaluation]) -> FilterEvaluation:
     return merged
 
 
+class PackedSegment:
+    """One batch of packed events, decoded once and shared by many banks.
+
+    Replaying a trace through F filter banks means F passes over every
+    segment; each pass wants the events in a different shape — the
+    per-event Python loop iterates boxed ints, the vectorised kernels
+    want a NumPy ``int64`` view plus family-specific derived arrays.
+    Wrapping the segment once lets every consumer build its shape once
+    and share it: :meth:`boxed` caches the boxed-int list, :meth:`array`
+    the zero-copy NumPy view, and :meth:`shared` memoises arbitrary
+    derived values (kind masks, per-span item lists) under caller keys.
+
+    The wrapper is pure presentation — it never mutates the events — so
+    feeding a ``PackedSegment`` is byte-equivalent to feeding the raw
+    iterable it wraps.
+    """
+
+    __slots__ = ("events", "_boxed", "_array", "_cache")
+
+    def __init__(self, events) -> None:
+        #: The packed events as fed (``array('q')``, list, or sequence).
+        self.events = events
+        self._boxed = None
+        self._array = None
+        self._cache: dict = {}
+
+    def boxed(self) -> list:
+        """The events as a list of ints (each boxed exactly once)."""
+        if self._boxed is None:
+            events = self.events
+            self._boxed = events if type(events) is list else list(events)
+        return self._boxed
+
+    def python_events(self):
+        """The cheapest iterable for a per-event Python replay loop.
+
+        Returns the boxed list when one was already materialised (the
+        multi-bank replay case) and the raw sequence otherwise, matching
+        the box-once-iff-shared policy of :func:`replay_trace`.
+        """
+        return self._boxed if self._boxed is not None else self.events
+
+    def array(self):
+        """The events as a NumPy ``int64`` array (zero-copy when packed).
+
+        Raises :class:`ConfigurationError` when NumPy is unavailable —
+        callers gate on :func:`repro.core.vector_replay.numpy_available`.
+        """
+        if self._array is None:
+            try:
+                import numpy
+            except ImportError as exc:  # pragma: no cover - numpy-less env
+                raise ConfigurationError(
+                    "NumPy is required for vectorised replay but is not "
+                    "installed; use the python replay kernel"
+                ) from exc
+            events = self.events
+            if isinstance(events, array) and events.itemsize == 8:
+                self._array = numpy.frombuffer(memoryview(events), numpy.int64)
+            else:
+                self._array = numpy.asarray(events, dtype=numpy.int64)
+        return self._array
+
+    def shared(self, key, build):
+        """Memoise ``build()`` under ``key`` for every bank on this segment."""
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = self._cache[key] = build()
+            return value
+
+
 def _bound_hook(snoop_filter: SnoopFilter, public: str, hook: str):
     """The cheapest correct bound callable for one filter event hook.
 
@@ -299,50 +379,58 @@ class EventReplayer:
 
         # Coverage counters accumulate in locals and flush once per batch
         # (and at each MARKER) — plain int adds instead of three dataclass
-        # attribute read-modify-writes per snoop.
+        # attribute read-modify-writes per snoop.  The flush sits in a
+        # ``finally`` so a mid-batch raise (a safety violation, a filter
+        # hook error) still lands every event consumed up to the raise in
+        # ``self.stats`` — post-mortem state must reflect what was fed.
         snoops = would_hit = would_miss = filtered = allocs = evicts = 0
-        for event in events:
-            kind = event & 0b11
-            if kind == 0:  # SNOOP — by far the common case
-                block = event >> 4
-                snoops += 1
-                if event & 0b0100:  # V: the tag probe would hit
-                    would_hit += 1
-                else:
-                    would_miss += 1
-                if probe(block):
-                    if outcome is not None:
-                        outcome(block, (event & 0b1000) != 0)
-                elif event & 0b1000:  # P: block tag allocated -> unsafe
-                    raise FilterSafetyError(
-                        f"{snoop_filter.name} filtered a snoop for block "
-                        f"{block:#x} on node {self.node_id}, but the block "
-                        "is cached — JETTY safety guarantee violated"
-                    )
-                else:
-                    filtered += 1
-            elif kind == ALLOC:
-                allocs += 1
-                if on_alloc is not None:
-                    on_alloc(event >> 4)
-            elif kind == EVICT:
-                evicts += 1
-                if on_evict is not None:
-                    on_evict(event >> 4)
-            else:  # MARKER: warm-up ends, statistics restart, state persists.
-                snoops = would_hit = would_miss = filtered = 0
-                allocs = evicts = 0
-                self.stats = CoverageStats()
-                self.allocs = self.evicts = 0
-                snoop_filter.reset_counts()
+        try:
+            for event in events:
+                kind = event & 0b11
+                if kind == 0:  # SNOOP — by far the common case
+                    block = event >> 4
+                    snoops += 1
+                    if event & 0b0100:  # V: the tag probe would hit
+                        would_hit += 1
+                    else:
+                        would_miss += 1
+                    if probe(block):
+                        if outcome is not None:
+                            outcome(block, (event & 0b1000) != 0)
+                    elif event & 0b1000:  # P: block tag allocated -> unsafe
+                        raise FilterSafetyError(
+                            f"{snoop_filter.name} filtered a snoop for block "
+                            f"{block:#x} on node {self.node_id}, but the block "
+                            "is cached — JETTY safety guarantee violated"
+                        )
+                    else:
+                        filtered += 1
+                elif kind == ALLOC:
+                    allocs += 1
+                    if on_alloc is not None:
+                        on_alloc(event >> 4)
+                elif kind == EVICT:
+                    evicts += 1
+                    if on_evict is not None:
+                        on_evict(event >> 4)
+                else:  # MARKER: warm-up ends, statistics restart, state persists.
+                    snoops = would_hit = would_miss = filtered = 0
+                    allocs = evicts = 0
+                    self.stats = CoverageStats()
+                    self.allocs = self.evicts = 0
+                    snoop_filter.reset_counts()
+        finally:
+            stats = self.stats
+            stats.snoops += snoops
+            stats.snoop_would_hit += would_hit
+            stats.snoop_would_miss += would_miss
+            stats.filtered += filtered
+            self.allocs += allocs
+            self.evicts += evicts
 
-        stats = self.stats
-        stats.snoops += snoops
-        stats.snoop_would_hit += would_hit
-        stats.snoop_would_miss += would_miss
-        stats.filtered += filtered
-        self.allocs += allocs
-        self.evicts += evicts
+    def feed_segment(self, segment: PackedSegment) -> None:
+        """Consume a shared decoded segment (see :class:`PackedSegment`)."""
+        self.feed(segment.python_events())
 
     def finish(self) -> FilterEvaluation:
         """Package the accumulated statistics of everything fed so far."""
@@ -389,13 +477,49 @@ class StreamingFilterBank:
     in node order.  Several banks — one per filter configuration — can be
     attached to the same simulation, which is how N filters are evaluated
     in a single pass with O(chunk) memory.
+
+    ``kernel`` selects the per-node replay engine (:data:`REPLAY_KERNELS`):
+    ``"python"`` builds the per-event :class:`EventReplayer` loop for
+    every node; ``"numpy"`` and ``"auto"`` ask
+    :func:`repro.core.vector_replay.replayer_for` for a vectorised
+    replayer per filter, falling back to the per-event loop for filter
+    families the vector kernels do not cover.  ``"numpy"`` raises when
+    NumPy is missing, ``"auto"`` silently degrades.  Whatever the
+    kernel, evaluations are byte-identical; only checkpointing
+    (:meth:`snapshot`/:meth:`restore`) requires ``"python"``.
     """
 
-    def __init__(self, filters: list[SnoopFilter]) -> None:
-        self.replayers = [
-            EventReplayer(snoop_filter, node_id)
-            for node_id, snoop_filter in enumerate(filters)
-        ]
+    def __init__(self, filters: list[SnoopFilter], kernel: str = "python") -> None:
+        if kernel not in REPLAY_KERNELS:
+            raise ConfigurationError(
+                f"unknown replay kernel {kernel!r}; choose from "
+                f"{', '.join(REPLAY_KERNELS)}"
+            )
+        self.kernel = kernel
+        self.replayers: list = []
+        if kernel == "python":
+            replayer_for = None
+        else:
+            from repro.core import vector_replay
+
+            if not vector_replay.numpy_available():
+                if kernel == "numpy":
+                    raise ConfigurationError(
+                        "the numpy replay kernel requires NumPy, which is "
+                        "not installed; use the python kernel"
+                    )
+                replayer_for = None  # auto: degrade to the per-event loop
+            else:
+                replayer_for = vector_replay.replayer_for
+        for node_id, snoop_filter in enumerate(filters):
+            replayer = (
+                replayer_for(snoop_filter, node_id)
+                if replayer_for is not None
+                else None
+            )
+            if replayer is None:
+                replayer = EventReplayer(snoop_filter, node_id)
+            self.replayers.append(replayer)
 
     def consume(self, shard: list[NodeEventStream]) -> None:
         """Feed one chunk's per-node event shards to the node replayers."""
@@ -414,9 +538,14 @@ class StreamingFilterBank:
         Per-node replayers are independent, so a recorded trace may be
         replayed node-major (all of node 0, then node 1, ...) and still
         finish with exactly the state a live shard-interleaved run
-        produces.
+        produces.  ``events`` may be a raw packed iterable or a shared
+        :class:`PackedSegment`.
         """
-        self.replayers[node_id].feed(events)
+        replayer = self.replayers[node_id]
+        if type(events) is PackedSegment:
+            replayer.feed_segment(events)
+        else:
+            replayer.feed(events)
 
     def finish(self) -> FilterEvaluation:
         """The system-wide merged evaluation (as the paper reports)."""
@@ -466,6 +595,10 @@ class TraceReader:
             for index in range(count):
                 yield node_id, self.fetch(node_id, index)
 
+    def packed(self, node_id: int, index: int) -> PackedSegment:
+        """Fetch one segment wrapped for sharing across replay kernels."""
+        return PackedSegment(self.fetch(node_id, index))
+
 
 def replay_trace(reader: TraceReader, banks) -> None:
     """Feed every segment of a recorded trace to the given filter banks.
@@ -478,16 +611,22 @@ def replay_trace(reader: TraceReader, banks) -> None:
     byte-identical to live-streamed ones by the determinism contract.
     """
     banks = list(banks)
-    many = len(banks) > 1
     for node_id, events in reader:
-        if many:
-            # Box each packed event once for all banks: iterating an
-            # array('q') allocates a fresh int per element per pass,
-            # while a list pass just borrows references.  A few percent
-            # on multi-bank replays, at O(segment) extra memory.
-            events = list(events)
+        segment = PackedSegment(events)
+        # Box each packed event once when two or more banks will walk
+        # the segment with the per-event Python loop: iterating an
+        # array('q') allocates a fresh int per element per pass, while
+        # a list pass just borrows references.  Vectorised replayers
+        # read the NumPy view instead and never need the boxed list.
+        python_banks = sum(
+            1
+            for bank in banks
+            if isinstance(bank.replayers[node_id], EventReplayer)
+        )
+        if python_banks > 1:
+            segment.boxed()
         for bank in banks:
-            bank.feed_node(node_id, events)
+            bank.feed_node(node_id, segment)
 
 
 def replay_events(

@@ -1,0 +1,874 @@
+"""Vectorised NumPy replay kernels for the JETTY filter families.
+
+The per-event loop in :class:`repro.core.stats.EventReplayer` pays the
+full interpreter dispatch price — decode, probe call, hook call — for
+every packed event.  On snoop-dense traces (em3d-class) that loop is the
+replay bottleneck.  The replayers here consume a whole packed segment as
+a NumPy ``int64`` array instead and evaluate it with shift/mask/argsort/
+cumsum/bincount arithmetic, dropping into a tight Python loop only where
+order-dependent LRU state genuinely requires one.
+
+**Exactness contract.**  A vector replayer is *not* an approximation:
+for every supported filter family it reproduces the oracle
+(:class:`EventReplayer` driving the real filter object) bit for bit —
+the same :class:`~repro.core.stats.FilterEvaluation` payload, the same
+exception type, message, and flushed statistics on a safety violation or
+IJ counter underflow.  The oracle-parity suite
+(``tests/test_vector_replay.py``) pins this against every golden store.
+
+Per family:
+
+* **IJ** — fully vectorised.  A lane's counter value *before* each event
+  is a grouped running sum over events hitting the same counter index:
+  stable-argsort the per-event indexes (cast to ``uint16`` — severalfold
+  faster than sorting ``int64`` keys), cumsum the +1/-1
+  allocate/evict deltas in sorted order, and subtract each group's
+  starting prefix.  Presence (``counter > 0``) at every snoop, pbit
+  transitions, and underflow positions all read off that array.
+* **EJ / VEJ** — the per-set LRU stacks are inherently sequential, but
+  the *observable* state of a set is only the recency-ordered list of
+  valid entries (way indexes are never reported and replay never
+  snapshots), so each set collapses to a bounded MRU-first list and the
+  loop runs over pre-extracted (block, code) Python lists with no
+  per-event decode or method dispatch.  Consecutive same-set, same-block
+  P0 snoops are provably pure repeat-hits (the first leaves the entry at
+  MRU; the second just counts ``filtered``), so they are removed from
+  the loop vectorially and counted in bulk.
+* **HJ** — the IJ component is vectorised as above; its pass verdict per
+  snoop feeds the exclude-component loop, which also handles HJ's
+  filtered accounting.  Both ``HJ(IJ, EJ)`` and ``HJ(IJ, VEJ)`` are
+  supported.
+
+Everything else (hashed-include, null filters, oversized geometries,
+subclasses) falls back to the per-event loop — selection happens in
+:func:`replayer_for`, which returns ``None`` for unsupported filters.
+
+NumPy is an optional dependency: when it is missing,
+:func:`numpy_available` is ``False`` and every caller degrades to the
+Python kernel.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import FilterEventCounts, SnoopFilter
+from repro.core.exclude import ExcludeJetty
+from repro.core.hybrid import HybridJetty
+from repro.core.include import IncludeJetty
+from repro.core.stats import (
+    CoverageStats,
+    FilterEvaluation,
+    MARKER,
+    PackedSegment,
+)
+from repro.core.vector_exclude import VectorExcludeJetty
+from repro.errors import CoherenceError, ConfigurationError, FilterSafetyError
+
+try:  # pragma: no cover - exercised via the numpy-free CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Set counts / counter-index spaces above this fall back to the Python
+#: kernel: the grouped-sort machinery keys on ``uint16`` set indexes
+#: (sorting 16-bit keys is severalfold faster than 64-bit ones).
+_MAX_INDEX_SPACE = 1 << 16
+
+
+def numpy_available() -> bool:
+    """True when the vector kernels can run at all."""
+    return _np is not None
+
+
+def replayer_for(snoop_filter: SnoopFilter, node_id: int):
+    """A vector replayer for ``snoop_filter``, or ``None`` to fall back.
+
+    Selection is deliberately exact-type-based: a *subclass* of a
+    supported family may override behaviour the kernels hard-code, and
+    silently vectorising it would break the byte-parity contract.
+    """
+    if _np is None:
+        return None
+    kind = type(snoop_filter)
+    if kind is ExcludeJetty:
+        if snoop_filter.sets <= _MAX_INDEX_SPACE:
+            return _ExcludeReplayer(snoop_filter, node_id)
+    elif kind is VectorExcludeJetty:
+        if snoop_filter.sets <= _MAX_INDEX_SPACE:
+            return _VectorExcludeReplayer(snoop_filter, node_id)
+    elif kind is IncludeJetty:
+        if snoop_filter.entry_bits <= 16:
+            return _IncludeReplayer(snoop_filter, node_id)
+    elif kind is HybridJetty:
+        include, exclude = snoop_filter.include, snoop_filter.exclude
+        if (
+            type(include) is IncludeJetty
+            and include.entry_bits <= 16
+            and type(exclude) in (ExcludeJetty, VectorExcludeJetty)
+            and exclude.sets <= _MAX_INDEX_SPACE
+        ):
+            return _HybridReplayer(snoop_filter, node_id)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Shared per-span precomputation, memoised on the segment so that every
+# bank replaying the same segment pays for each derived array once.
+# ----------------------------------------------------------------------
+
+
+def _span_stats(segment: PackedSegment, lo: int, hi: int) -> dict:
+    """Kind masks, flag masks, blocks, and tallies for one span."""
+
+    def build() -> dict:
+        e = segment.array()[lo:hi]
+        kind = e & 3
+        snoop_m = kind == 0
+        alloc_m = kind == 1
+        evict_m = kind == 2
+        pbit = (e & 8) != 0
+        wh_m = snoop_m & ((e & 4) != 0)
+        n_allocs = int(alloc_m.sum())
+        n_evicts = int(evict_m.sum())
+        return {
+            "blocks": e >> 4,
+            "snoop_m": snoop_m,
+            "alloc_m": alloc_m,
+            "evict_m": evict_m,
+            "pbit": pbit,
+            "wh_m": wh_m,
+            # +1 per ALLOC, -1 per EVICT, 0 per SNOOP: the per-counter
+            # running sums below are cumsums of this in sorted order.
+            # int32 throughout the lane math — counters are bounded by
+            # the cached-block population and spans by the segment size,
+            # and the narrower lanes are measurably faster.
+            "delta": alloc_m.astype(_np.int32) - evict_m,
+            "n_snoops": (hi - lo) - n_allocs - n_evicts,
+            "n_would_hit": int(wh_m.sum()),
+            "n_allocs": n_allocs,
+            "n_evicts": n_evicts,
+        }
+
+    return segment.shared(("span", lo, hi), build)
+
+
+def _span_items(segment: PackedSegment, lo: int, hi: int) -> dict:
+    """The exclude-loop items of a span: SNOOPs and ALLOCs, in order.
+
+    ``code`` classifies each item: 0 = P0 snoop, 1 = P1 snoop (the
+    safety-reference case), 2 = alloc.  EVICTs are never items — no
+    exclude-style filter has an eviction hook.
+    """
+
+    def build() -> dict:
+        s = _span_stats(segment, lo, hi)
+        e = segment.array()[lo:hi]
+        pos = _np.flatnonzero(s["snoop_m"] | s["alloc_m"])
+        code = (((e & 3) << 1) | ((e >> 3) & 1))[pos]
+        return {"pos": pos, "b": s["blocks"][pos], "code": code}
+
+    return segment.shared(("items", lo, hi), build)
+
+
+def _span_pairs(
+    segment: PackedSegment, lo: int, hi: int, pre_shift: int, set_mask: int
+):
+    """Adjacent same-set item pairs that are P0 snoops of one block.
+
+    Returns ``(prev_items, cur_items)`` — parallel arrays of item
+    indexes where ``cur`` directly follows ``prev`` in its set's item
+    sequence, both are P0 snoops, and both name the same block.  For a
+    plain EJ every such ``cur`` is a pure repeat-hit; composed kernels
+    add their own conditions on ``prev``.
+
+    Grouping a span by set is one stable ``uint16`` argsort: items of a
+    set then sit consecutively in original order, so same-set adjacency
+    is adjacency in the sorted permutation.
+    """
+
+    def build():
+        items = _span_items(segment, lo, hi)
+        b, code = items["b"], items["code"]
+        idx = ((b >> pre_shift) & set_mask).astype(_np.uint16)
+        order = _np.argsort(idx, kind="stable")
+        idx_s = idx[order]
+        b_s = b[order]
+        code_s = code[order]
+        pair = (
+            (idx_s[1:] == idx_s[:-1])
+            & (b_s[1:] == b_s[:-1])
+            & (code_s[1:] == 0)
+            & (code_s[:-1] == 0)
+        )
+        return order[:-1][pair], order[1:][pair]
+
+    return segment.shared(("pairs", lo, hi, pre_shift, set_mask), build)
+
+
+def _lane_profile(
+    segment: PackedSegment, lo: int, hi: int, shift: int, entry_bits: int
+):
+    """State-independent running-sum profile of one IJ lane over a span.
+
+    Returns ``(idx, order, idx_s, rel_s)`` where ``idx`` is each event's
+    counter index, ``order``/``idx_s`` the stable sort by index, and
+    ``rel_s[i]`` the net +1/-1 delta of *earlier same-index events in
+    this span* — so a lane's counter value before sorted event ``i`` is
+    ``counters[idx_s[i]] + rel_s[i]`` whatever the carried-in counters
+    are.  Keyed only on geometry, the profile is shared between an IJ
+    bank and any HJ bank wrapping the same IJ configuration.
+    """
+
+    def build():
+        s = _span_stats(segment, lo, hi)
+        m = (1 << entry_bits) - 1
+        idx = ((s["blocks"] >> shift) & m).astype(_np.uint16)
+        order = _np.argsort(idx, kind="stable")
+        idx_s = idx[order]
+        d_s = s["delta"][order]
+        cs = _np.cumsum(d_s)
+        excl = cs - d_s  # prefix sum excluding the event itself
+        n = idx_s.size
+        first = _np.empty(n, dtype=bool)
+        first[0] = True
+        _np.not_equal(idx_s[1:], idx_s[:-1], out=first[1:])
+        fpos = _np.flatnonzero(first)
+        reps = _np.diff(_np.append(fpos, n))
+        rel_s = excl - _np.repeat(excl[fpos], reps)
+        return idx, order, idx_s, rel_s
+
+    return segment.shared(("lane", lo, hi, shift, entry_bits), build)
+
+
+class _IncludeLanes:
+    """The vectorised counter machinery of one :class:`IncludeJetty`.
+
+    Owns the persistent per-lane counter arrays (the only IJ state) and
+    evaluates whole spans: per-event pre-values, the ANDed presence
+    verdict at snoops, pbit-transition counts, underflow detection, and
+    the end-of-span counter commit.
+
+    The whole span evaluation is memoised on the segment under a key
+    that names the lane geometry *and* the event history folded into
+    the counters so far — two banks whose IJs share a configuration
+    (an ``IJ-AxBxC`` bank and an ``HJ(IJ-AxBxC, ...)`` bank replaying
+    the same trace) necessarily carry identical counter state at every
+    span boundary, so the second bank reuses the first's evaluation
+    wholesale instead of re-sorting every lane.
+    """
+
+    __slots__ = ("include", "_counters", "_events", "_allocs", "_evicts")
+
+    def __init__(self, include: IncludeJetty) -> None:
+        self.include = include
+        size = 1 << include.entry_bits
+        self._counters = [
+            _np.zeros(size, dtype=_np.int32) for _ in include._shifts
+        ]
+        # Committed-history fingerprint, part of the sharing key: equal
+        # geometry + equal history => equal counter state.
+        self._events = 0
+        self._allocs = 0
+        self._evicts = 0
+
+    def span(self, segment: PackedSegment, lo: int, hi: int) -> dict:
+        """Evaluate one span; returns the shared evaluation record.
+
+        ``all_pass[i]`` — every lane counter nonzero before event ``i``
+        (meaningful at snoop positions); ``under_k`` — span position of
+        the first underflowing EVICT, or -1; ``pbw`` — presence-bit
+        transitions over the whole span; ``deltas`` — per-lane counter
+        deltas for :meth:`commit`.  ``all_pass`` values after an
+        underflow position are garbage; callers never read past it.
+        """
+        include = self.include
+        key = (
+            "ijspan", lo, hi,
+            include.entry_bits, include.n_arrays, include.skip,
+            self._events, self._allocs, self._evicts,
+        )
+
+        def build() -> dict:
+            s = _span_stats(segment, lo, hi)
+            alloc_m, evict_m = s["alloc_m"], s["evict_m"]
+            size = self._counters[0].size
+            all_pass = None
+            pres = []
+            idxs = []
+            for counters, shift in zip(self._counters, include._shifts):
+                idx, order, idx_s, rel_s = _lane_profile(
+                    segment, lo, hi, shift, include.entry_bits
+                )
+                pre_s = counters[idx_s] + rel_s
+                pre = _np.empty_like(pre_s)
+                pre[order] = pre_s
+                ok = pre > 0
+                all_pass = ok if all_pass is None else all_pass & ok
+                pres.append(pre)
+                idxs.append(idx)
+            under_k = -1
+            if s["n_evicts"]:
+                under = None
+                for pre in pres:
+                    zero = evict_m & (pre == 0)
+                    under = zero if under is None else under | zero
+                where = _np.flatnonzero(under)
+                if where.size:
+                    under_k = int(where[0])
+            pbw = 0
+            for pre in pres:
+                pbw += int((alloc_m & (pre == 0)).sum())
+                pbw += int((evict_m & (pre == 1)).sum())
+            deltas = [
+                (
+                    _np.bincount(idx[alloc_m], minlength=size)
+                    - _np.bincount(idx[evict_m], minlength=size)
+                ).astype(_np.int32)
+                for idx in idxs
+            ]
+            return {
+                "all_pass": all_pass,
+                "under_k": under_k,
+                "pbw": pbw,
+                "deltas": deltas,
+            }
+
+        return segment.shared(key, build)
+
+    def underflow_error(self, block: int) -> CoherenceError:
+        return CoherenceError(
+            f"IJ counter underflow for block {block:#x} in "
+            f"{self.include.name}: eviction without a matching allocation"
+        )
+
+    def commit(self, s: dict, span: dict) -> None:
+        """Fold the span's allocate/evict deltas into the lane counters."""
+        for counters, delta in zip(self._counters, span["deltas"]):
+            counters += delta
+        self._events += (
+            s["n_snoops"] + s["n_allocs"] + s["n_evicts"]
+        )
+        self._allocs += s["n_allocs"]
+        self._evicts += s["n_evicts"]
+
+
+# ----------------------------------------------------------------------
+# Replayers
+# ----------------------------------------------------------------------
+
+
+class VectorReplayer:
+    """Base vector replayer: marker splitting, flushing, error parity.
+
+    Mirrors the :class:`~repro.core.stats.EventReplayer` surface
+    (``feed`` / ``feed_segment`` / ``finish``) so
+    :class:`~repro.core.stats.StreamingFilterBank` can hold either
+    interchangeably.  The wrapped filter object is *never driven* — the
+    replayer keeps private state and synthesises the
+    :class:`FilterEventCounts` itself, so the filter's own ``counts``
+    stay zero.  Checkpointing is unsupported (checkpointed paths use the
+    Python kernel), and :meth:`snapshot`/:meth:`restore` say so loudly.
+    """
+
+    def __init__(self, snoop_filter: SnoopFilter, node_id: int) -> None:
+        self.snoop_filter = snoop_filter
+        self.node_id = node_id
+        self.stats = CoverageStats()
+        self.allocs = 0
+        self.evicts = 0
+        self.counts = FilterEventCounts()
+
+    def feed(self, events) -> None:
+        """Consume one batch of packed events (any iterable shape)."""
+        if type(events) is not PackedSegment:
+            events = PackedSegment(events)
+        self.feed_segment(events)
+
+    def feed_segment(self, segment: PackedSegment) -> None:
+        """Consume a shared decoded segment, splitting at MARKERs.
+
+        Between markers a span is a pure SNOOP/ALLOC/EVICT run — the
+        shape the span kernels assume.  A MARKER resets statistics and
+        synthesised counts exactly as the oracle's warm-up reset does;
+        filter state carries across.
+        """
+        arr = segment.array()
+        n = arr.size
+        if n == 0:
+            return
+        markers = segment.shared(
+            "markers", lambda: _np.flatnonzero((arr & 3) == MARKER)
+        )
+        lo = 0
+        for marker in markers.tolist():
+            if marker > lo:
+                self._span(segment, lo, marker)
+            self.stats = CoverageStats()
+            self.allocs = self.evicts = 0
+            self.counts = FilterEventCounts()
+            lo = marker + 1
+        if n > lo:
+            self._span(segment, lo, n)
+
+    def finish(self) -> FilterEvaluation:
+        """Package the accumulated statistics of everything fed so far."""
+        return FilterEvaluation(
+            filter_name=self.snoop_filter.name,
+            coverage=self.stats,
+            events=self.counts,
+            storage_bits=self.snoop_filter.storage_bits(),
+            allocs=self.allocs,
+            evicts=self.evicts,
+        )
+
+    def snapshot(self) -> dict:
+        raise ConfigurationError(
+            "the numpy replay kernel does not support checkpointing; "
+            "use the python kernel"
+        )
+
+    def restore(self, state) -> None:
+        raise ConfigurationError(
+            "the numpy replay kernel does not support checkpointing; "
+            "use the python kernel"
+        )
+
+    # -- shared accounting helpers -------------------------------------
+
+    def _flush_span(self, s: dict, filtered: int) -> None:
+        stats = self.stats
+        stats.snoops += s["n_snoops"]
+        stats.snoop_would_hit += s["n_would_hit"]
+        stats.snoop_would_miss += s["n_snoops"] - s["n_would_hit"]
+        stats.filtered += filtered
+        self.allocs += s["n_allocs"]
+        self.evicts += s["n_evicts"]
+
+    def _flush_prefix(self, s: dict, k: int, filtered: int) -> None:
+        """Flush coverage for span events ``[0, k]`` before raising.
+
+        Matches the oracle's ``finally`` flush: the erroring event's own
+        kind tally (the snoop of a safety violation, the evict of an
+        underflow) is already counted when the raise happens, while
+        ``filtered`` covers only snoops strictly before it.
+        """
+        stats = self.stats
+        snoops = int(s["snoop_m"][: k + 1].sum())
+        would_hit = int(s["wh_m"][: k + 1].sum())
+        stats.snoops += snoops
+        stats.snoop_would_hit += would_hit
+        stats.snoop_would_miss += snoops - would_hit
+        stats.filtered += filtered
+        self.allocs += int(s["alloc_m"][: k + 1].sum())
+        self.evicts += int(s["evict_m"][: k + 1].sum())
+
+    def _safety_error(self, block: int) -> FilterSafetyError:
+        return FilterSafetyError(
+            f"{self.snoop_filter.name} filtered a snoop for block "
+            f"{block:#x} on node {self.node_id}, but the block "
+            "is cached — JETTY safety guarantee violated"
+        )
+
+    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
+        raise NotImplementedError
+
+
+class _IncludeReplayer(VectorReplayer):
+    """Fully vectorised IJ replay — no per-event Python loop at all."""
+
+    def __init__(self, snoop_filter: IncludeJetty, node_id: int) -> None:
+        super().__init__(snoop_filter, node_id)
+        self._lanes = _IncludeLanes(snoop_filter)
+
+    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
+        s = _span_stats(segment, lo, hi)
+        lanes = self._lanes
+        sp = lanes.span(segment, lo, hi)
+        filtered_m = s["snoop_m"] & ~sp["all_pass"]
+        viol_k = -1
+        viol = _np.flatnonzero(filtered_m & s["pbit"])
+        if viol.size:
+            viol_k = int(viol[0])
+        under_k = sp["under_k"]
+        # First error wins; pre-values (and thus both detections) are
+        # exact up to the earlier of the two positions.
+        if viol_k >= 0 and (under_k < 0 or viol_k < under_k):
+            self._flush_prefix(s, viol_k, int(filtered_m[:viol_k].sum()))
+            raise self._safety_error(int(s["blocks"][viol_k]))
+        if under_k >= 0:
+            self._flush_prefix(s, under_k, int(filtered_m[:under_k].sum()))
+            raise lanes.underflow_error(int(s["blocks"][under_k]))
+        filtered = int(filtered_m.sum())
+        self._flush_span(s, filtered)
+        counts = self.counts
+        counts.probes += s["n_snoops"]
+        counts.filtered += filtered
+        counts.cnt_updates += self.snoop_filter.n_arrays * (
+            s["n_allocs"] + s["n_evicts"]
+        )
+        counts.pbit_writes += sp["pbw"]
+        lanes.commit(s, sp)
+
+
+class _ExcludeLoopReplayer(VectorReplayer):
+    """Shared scaffolding for the kernels built around an exclude loop.
+
+    Subclasses provide ``_dedup_pre_shift``/``_dedup_mask`` (the set
+    grouping of the repeat-hit dedup) and ``_run_loop`` (the family
+    loop), and get item extraction, dedup bookkeeping, violation
+    position recovery, and prefix flushing here.
+
+    The loop reports a safety violation by returning the violating
+    block (or ``None``): violations happen only in the rare P1 branch,
+    so the loop counts P1 items as it goes instead of tracking every
+    item's index, and the violating item's span position is recovered
+    afterwards from the precomputed P1 position list.
+    """
+
+    _dedup_pre_shift = 0
+    _dedup_mask = 0
+
+    def _dedup_items(self, segment, lo, hi, ij_ok_items=None):
+        """Items with pure repeat-hits removed, plus dup positions.
+
+        ``ij_ok_items`` (HJ only) further requires the *previous*
+        same-set item to have passed the IJ — the condition under which
+        the previous snoop is guaranteed to leave the block's entry at
+        MRU whatever the exclude state was.
+        """
+        items = _span_items(segment, lo, hi)
+        prev_it, cur_it = _span_pairs(
+            segment, lo, hi, self._dedup_pre_shift, self._dedup_mask
+        )
+        if ij_ok_items is not None and prev_it.size:
+            cur_it = cur_it[ij_ok_items[prev_it]]
+        if cur_it.size:
+            keep = _np.ones(items["b"].size, dtype=bool)
+            keep[cur_it] = False
+            b = items["b"][keep]
+            code = items["code"][keep]
+            pos = items["pos"][keep]
+            dup_pos = items["pos"][cur_it]
+            dup_pos.sort()
+        else:
+            b, code, pos = items["b"], items["code"], items["pos"]
+            dup_pos = None
+        return b, code, pos, dup_pos
+
+    def _violation_pos(self, code, pos, p1_seen: int) -> int:
+        """Span position of the ``p1_seen``-th P1 item (1-based)."""
+        return int(pos[code == 1][p1_seen - 1])
+
+    def _dups_before(self, dup_pos, k: int) -> int:
+        if dup_pos is None:
+            return 0
+        return int(_np.searchsorted(dup_pos, k))
+
+
+class _ExcludeReplayer(_ExcludeLoopReplayer):
+    """EJ replay: per-set bounded MRU stacks over pre-extracted items.
+
+    A stack holds the set's valid blocks in recency order; that is the
+    whole observable state — way placement only matters to snapshots,
+    which replay never takes.  Insertion on a full set pops the list
+    tail (the LRU entry), allocation removes the block wherever it sits
+    (the concrete array keeps the way's recency slot, but a slot only
+    becomes observable once re-filled, at MRU).
+    """
+
+    def __init__(self, snoop_filter: ExcludeJetty, node_id: int) -> None:
+        super().__init__(snoop_filter, node_id)
+        self._dedup_mask = snoop_filter._index_mask
+        self._stacks: list[list[int]] = [[] for _ in range(snoop_filter.sets)]
+
+    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
+        s = _span_stats(segment, lo, hi)
+        b_arr, code, pos, dup_pos = self._dedup_items(segment, lo, hi)
+        stacks = self._stacks
+        smask = self._dedup_mask
+        ways = self.snoop_filter.ways
+        entry_writes = filtered = p1_seen = 0
+        viol_b = None
+        for b, c in zip(b_arr.tolist(), code.tolist()):
+            if c == 0:  # P0 snoop
+                stack = stacks[b & smask]
+                if b in stack:
+                    if stack[0] != b:
+                        stack.remove(b)
+                        stack.insert(0, b)
+                    filtered += 1
+                else:
+                    if len(stack) == ways:
+                        stack.pop()
+                    stack.insert(0, b)
+                    entry_writes += 1
+            elif c == 2:  # alloc: invalidate any entry claiming absence
+                stack = stacks[b & smask]
+                if b in stack:
+                    stack.remove(b)
+                    entry_writes += 1
+            else:  # P1 snoop: a hit would filter a cached block
+                p1_seen += 1
+                if b in stacks[b & smask]:
+                    viol_b = b
+                    break
+        if viol_b is not None:
+            k = self._violation_pos(code, pos, p1_seen)
+            self._flush_prefix(s, k, filtered + self._dups_before(dup_pos, k))
+            raise self._safety_error(viol_b)
+        if dup_pos is not None:
+            filtered += dup_pos.size
+        self._flush_span(s, filtered)
+        counts = self.counts
+        counts.probes += s["n_snoops"]
+        counts.filtered += filtered
+        counts.entry_writes += entry_writes
+
+
+class _VectorExcludeReplayer(_ExcludeLoopReplayer):
+    """VEJ replay: one insertion-ordered dict per set, MRU last.
+
+    Same abstract-stack argument as the EJ, at chunk granularity — but a
+    Python dict preserves insertion order, so one ``chunk -> vector``
+    dict per set encodes recency *and* the presence vectors: the LRU
+    chunk is the first key, a touch is pop-and-reinsert, and a value
+    update in place (the alloc path) keeps the entry's recency slot just
+    like the concrete array keeps an invalidated way's LRU slot.
+    """
+
+    def __init__(
+        self, snoop_filter: VectorExcludeJetty, node_id: int
+    ) -> None:
+        super().__init__(snoop_filter, node_id)
+        self._dedup_pre_shift = snoop_filter._vec_shift
+        self._dedup_mask = snoop_filter._index_mask
+        self._vectors: list[dict[int, int]] = [
+            {} for _ in range(snoop_filter.sets)
+        ]
+
+    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
+        s = _span_stats(segment, lo, hi)
+        b_arr, code, pos, dup_pos = self._dedup_items(segment, lo, hi)
+        snoop_filter = self.snoop_filter
+        vectors = self._vectors
+        vshift = snoop_filter._vec_shift
+        vmask = snoop_filter._vec_mask
+        smask = self._dedup_mask
+        ways = snoop_filter.ways
+        entry_writes = filtered = p1_seen = 0
+        viol_b = None
+        for b, c in zip(b_arr.tolist(), code.tolist()):
+            chunk = b >> vshift
+            vecs = vectors[chunk & smask]
+            if c == 0:  # P0 snoop
+                vector = vecs.pop(chunk, None)
+                if vector is None:  # chunk miss: allocate a fresh entry
+                    if len(vecs) == ways:
+                        del vecs[next(iter(vecs))]
+                    vecs[chunk] = 1 << (b & vmask)
+                    entry_writes += 1
+                else:  # chunk hit: the probe touches LRU either way
+                    bit = 1 << (b & vmask)
+                    if vector & bit:
+                        vecs[chunk] = vector
+                        filtered += 1
+                    else:
+                        vecs[chunk] = vector | bit
+                        entry_writes += 1
+            elif c == 2:  # alloc: clear the PV bit (safety-critical)
+                vector = vecs.get(chunk)
+                if vector is not None:
+                    vector &= ~(1 << (b & vmask))
+                    if vector == 0:
+                        del vecs[chunk]
+                    else:
+                        vecs[chunk] = vector
+                    entry_writes += 1
+            else:  # P1 snoop
+                p1_seen += 1
+                vector = vecs.pop(chunk, None)
+                if vector is not None:
+                    vecs[chunk] = vector
+                    if vector & (1 << (b & vmask)):
+                        viol_b = b
+                        break
+        if viol_b is not None:
+            k = self._violation_pos(code, pos, p1_seen)
+            self._flush_prefix(s, k, filtered + self._dups_before(dup_pos, k))
+            raise self._safety_error(viol_b)
+        if dup_pos is not None:
+            filtered += dup_pos.size
+        self._flush_span(s, filtered)
+        counts = self.counts
+        counts.probes += s["n_snoops"]
+        counts.filtered += filtered
+        counts.entry_writes += entry_writes
+
+
+class _HybridReplayer(_ExcludeLoopReplayer):
+    """HJ replay: vectorised IJ lanes feeding the exclude loop.
+
+    The IJ verdict for every snoop comes out of the lane machinery as a
+    boolean array; the exclude loop then owns all order-dependent state
+    *and* the hybrid's filtered accounting (a snoop is filtered unless
+    both components pass).  ``filtered``/``probes`` count the hybrid,
+    ``entry_writes`` the exclude component, ``cnt_updates``/
+    ``pbit_writes`` the include component — exactly the composition of
+    :meth:`repro.core.hybrid.HybridJetty.energy_counts`.
+
+    An IJ underflow truncates the loop at the underflow position so the
+    oracle's first-error-wins ordering holds: a safety violation earlier
+    in the span raises first, one later never gets the chance.
+    """
+
+    def __init__(self, snoop_filter: HybridJetty, node_id: int) -> None:
+        super().__init__(snoop_filter, node_id)
+        exclude = snoop_filter.exclude
+        self._lanes = _IncludeLanes(snoop_filter.include)
+        self._vej = type(exclude) is VectorExcludeJetty
+        if self._vej:
+            self._dedup_pre_shift = exclude._vec_shift
+            self._vectors: list[dict[int, int]] = [
+                {} for _ in range(exclude.sets)
+            ]
+        else:
+            self._stacks: list[list[int]] = [
+                [] for _ in range(exclude.sets)
+            ]
+        self._dedup_mask = exclude._index_mask
+
+    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
+        s = _span_stats(segment, lo, hi)
+        lanes = self._lanes
+        sp = lanes.span(segment, lo, hi)
+        all_pass = sp["all_pass"]
+        under_k = sp["under_k"]
+        items = _span_items(segment, lo, hi)
+        ij_ok_items = all_pass[items["pos"]]
+        b_arr, code, pos, dup_pos = self._dedup_items(
+            segment, lo, hi, ij_ok_items=ij_ok_items
+        )
+        ij_ok = all_pass[pos]
+        if under_k >= 0:
+            # Only items before the underflow run through the loop.
+            stop = int(_np.searchsorted(pos, under_k))
+        else:
+            stop = b_arr.size
+        if self._vej:
+            viol_b, entry_writes, filtered, p1_seen = self._loop_vej(
+                b_arr[:stop].tolist(),
+                code[:stop].tolist(),
+                ij_ok[:stop].tolist(),
+            )
+        else:
+            viol_b, entry_writes, filtered, p1_seen = self._loop_ej(
+                b_arr[:stop].tolist(),
+                code[:stop].tolist(),
+                ij_ok[:stop].tolist(),
+            )
+        if viol_b is not None:
+            k = self._violation_pos(code, pos, p1_seen)
+            self._flush_prefix(s, k, filtered + self._dups_before(dup_pos, k))
+            raise self._safety_error(viol_b)
+        if under_k >= 0:
+            filtered += self._dups_before(dup_pos, under_k)
+            self._flush_prefix(s, under_k, filtered)
+            raise lanes.underflow_error(int(s["blocks"][under_k]))
+        if dup_pos is not None:
+            filtered += dup_pos.size
+        self._flush_span(s, filtered)
+        counts = self.counts
+        counts.probes += s["n_snoops"]
+        counts.filtered += filtered
+        counts.entry_writes += entry_writes
+        counts.cnt_updates += lanes.include.n_arrays * (
+            s["n_allocs"] + s["n_evicts"]
+        )
+        counts.pbit_writes += sp["pbw"]
+        lanes.commit(s, sp)
+
+    def _loop_ej(self, blist, clist, oklist):
+        stacks = self._stacks
+        smask = self._dedup_mask
+        ways = self.snoop_filter.exclude.ways
+        entry_writes = filtered = p1_seen = 0
+        viol_b = None
+        for b, c, ok in zip(blist, clist, oklist):
+            if c == 0:  # P0 snoop
+                stack = stacks[b & smask]
+                if b in stack:  # EJ hit filters the hybrid, IJ moot
+                    if stack[0] != b:
+                        stack.remove(b)
+                        stack.insert(0, b)
+                    filtered += 1
+                elif ok:  # both passed: the outcome allocates an entry
+                    if len(stack) == ways:
+                        stack.pop()
+                    stack.insert(0, b)
+                    entry_writes += 1
+                else:  # IJ filtered; EJ learns nothing
+                    filtered += 1
+            elif c == 2:  # alloc
+                stack = stacks[b & smask]
+                if b in stack:
+                    stack.remove(b)
+                    entry_writes += 1
+            else:  # P1 snoop: filtering from either side is a violation
+                p1_seen += 1
+                if b in stacks[b & smask] or not ok:
+                    viol_b = b
+                    break
+        return viol_b, entry_writes, filtered, p1_seen
+
+    def _loop_vej(self, blist, clist, oklist):
+        exclude = self.snoop_filter.exclude
+        vectors = self._vectors
+        vshift = exclude._vec_shift
+        vmask = exclude._vec_mask
+        smask = self._dedup_mask
+        ways = exclude.ways
+        entry_writes = filtered = p1_seen = 0
+        viol_b = None
+        for b, c, ok in zip(blist, clist, oklist):
+            chunk = b >> vshift
+            vecs = vectors[chunk & smask]
+            if c == 0:  # P0 snoop
+                vector = vecs.pop(chunk, None)
+                if vector is not None:  # chunk hit: the probe touches
+                    bit = 1 << (b & vmask)
+                    if vector & bit:
+                        vecs[chunk] = vector
+                        filtered += 1
+                    elif ok:
+                        vecs[chunk] = vector | bit
+                        entry_writes += 1
+                    else:  # IJ filtered; the touch still happened
+                        vecs[chunk] = vector
+                        filtered += 1
+                elif ok:
+                    if len(vecs) == ways:
+                        del vecs[next(iter(vecs))]
+                    vecs[chunk] = 1 << (b & vmask)
+                    entry_writes += 1
+                else:
+                    filtered += 1
+            elif c == 2:  # alloc
+                vector = vecs.get(chunk)
+                if vector is not None:
+                    vector &= ~(1 << (b & vmask))
+                    if vector == 0:
+                        del vecs[chunk]
+                    else:
+                        vecs[chunk] = vector
+                    entry_writes += 1
+            else:  # P1 snoop
+                p1_seen += 1
+                vector = vecs.pop(chunk, None)
+                if vector is not None:
+                    vecs[chunk] = vector
+                    if vector & (1 << (b & vmask)):
+                        viol_b = b
+                        break
+                if not ok:
+                    viol_b = b
+                    break
+        return viol_b, entry_writes, filtered, p1_seen

@@ -1,0 +1,64 @@
+"""Regression tests for the benchmark replay-floor headline.
+
+``--assert-replay-floor`` once compared the floor against ``None``
+because the headline read a key the replay entries did not emit — the
+assertion silently passed on every run.  The contract is now two-sided:
+every replay entry carries a uniform ``accesses_per_sec`` key, and the
+headline raises loudly when one does not.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parent.parent
+_BASELINE = _REPO / "BENCH_throughput.json"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_throughput", _REPO / "benchmarks" / "bench_throughput.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return _load_bench()
+
+
+class TestReplayHeadline:
+    def test_minimum_across_workloads(self, bench):
+        results = {
+            "replay": {
+                "lu": {"accesses_per_sec": 900},
+                "em3d": {"accesses_per_sec": 400},
+                "radix": {"accesses_per_sec": 700},
+            }
+        }
+        assert bench._replay_headline(results) == 400
+
+    def test_no_replay_section_is_none(self, bench):
+        assert bench._replay_headline({}) is None
+        assert bench._replay_headline({"replay": {}}) is None
+
+    def test_missing_rate_key_raises(self, bench):
+        """A renamed/omitted key must fail the run, not the comparison."""
+        results = {"replay": {"em3d": {"replay_accesses_per_sec": 400}}}
+        with pytest.raises(KeyError, match="accesses_per_sec"):
+            bench._replay_headline(results)
+
+    def test_committed_baseline_has_uniform_keys(self, bench):
+        """The checked-in baseline must satisfy the headline contract."""
+        if not _BASELINE.exists():
+            pytest.skip("no committed benchmark baseline")
+        results = json.loads(_BASELINE.read_text())["results"]
+        if not results.get("replay"):
+            pytest.skip("baseline has no replay section")
+        for name, entry in results["replay"].items():
+            assert "accesses_per_sec" in entry, name
+        assert bench._replay_headline(results) > 0

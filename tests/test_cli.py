@@ -80,6 +80,7 @@ class TestCommands:
         assert main(["size", "1.0", "test-tiny"]) == 1
 
     def test_trace_save_command(self, tmp_path, capsys):
+        pytest.importorskip("numpy", reason=".npz archiving needs NumPy")
         path = str(tmp_path / "t.npz")
         assert main(["trace", "save", "test-tiny", path,
                      "--accesses", "200"]) == 0

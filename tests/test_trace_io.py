@@ -1,7 +1,8 @@
 """Unit tests for trace archiving (.npz round trips)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", reason="trace archiving uses .npz files")
 
 from repro.errors import TraceError
 from repro.traces.io import FORMAT_VERSION, load_trace, save_trace, trace_length

@@ -1,0 +1,419 @@
+"""Oracle-parity suite for the vectorised NumPy replay kernels.
+
+The vector kernels (:mod:`repro.core.vector_replay`) are exact
+re-implementations, not approximations: for every supported filter
+family they must reproduce the per-event Python oracle
+(:class:`~repro.core.stats.EventReplayer`) **byte for byte** — the same
+encoded :class:`~repro.core.stats.FilterEvaluation` payload for any
+batch size, the same exception type/message/flushed statistics on a
+safety violation or IJ underflow, and MARKER warm-up resets anywhere in
+a batch.  Unsupported families must *fall back* to the oracle rather
+than silently vectorise.
+
+Everything here also runs (reduced) on a NumPy-free interpreter: the
+fallback-selection and python-kernel cases need no NumPy at all, which
+is the CI job proving the optional dependency really is optional.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis import store as store_mod
+from repro.analysis.store import ExperimentStore
+from repro.coherence.config import SCALED_SYSTEM
+from repro.core import vector_replay
+from repro.core.config import build_filter
+from repro.core.exclude import ExcludeJetty
+from repro.core.stats import (
+    ALLOC,
+    EVICT,
+    EventReplayer,
+    MARKER,
+    PackedSegment,
+    REPLAY_KERNELS,
+    SNOOP,
+    StreamingFilterBank,
+    pack_event,
+)
+from repro.errors import (
+    CoherenceError,
+    ConfigurationError,
+    FilterSafetyError,
+)
+from repro.traces.workloads import WORKLOADS, PaperReference, WorkloadSpec
+
+requires_numpy = pytest.mark.skipif(
+    not vector_replay.numpy_available(),
+    reason="the vector kernels need NumPy",
+)
+
+#: One member of each supported family, both hybrid flavours included.
+PARITY_FILTERS = (
+    "EJ-16x2",
+    "VEJ-16x2-4",
+    "IJ-8x4x7",
+    "HJ(IJ-8x4x7, EJ-16x2)",
+    "HJ(IJ-8x4x7, VEJ-16x2-4)",
+)
+
+#: Feeding batch sizes: tiny (every span crosses many batches), prime
+#: (boundaries never align with anything), and one full trace segment.
+CHUNK_SIZES = (512, 1_777, 1 << 18)
+
+_PAPER = PaperReference(1.0, 1.0, 0.9, 0.5, 1.0, (1.0, 0.0, 0.0, 0.0), 1.0, 0.5)
+
+#: The golden miniatures (mirrors ``test_golden_metrics``): the two ends
+#: of the snoop-locality spectrum, with warm-up MARKERs mid-stream.
+GOLDEN_WORKLOADS = (
+    WorkloadSpec(
+        name="vector-golden-mix",
+        abbrev="vm",
+        description="parity miniature: private sets with pairwise hand-off",
+        paper=_PAPER,
+        n_accesses=4_000,
+        warmup_accesses=1_000,
+        repeat_frac=0.2,
+        recipe=(
+            ("private", dict(weight=0.7, ws_bytes=96 * 1024, alpha=1.5)),
+            ("producer_consumer", dict(weight=0.3, n_pairs=2,
+                                       buffer_bytes=4096)),
+        ),
+    ),
+    WorkloadSpec(
+        name="vector-golden-stream",
+        abbrev="vs",
+        description="parity miniature: streaming sweeps with migration",
+        paper=_PAPER,
+        n_accesses=4_000,
+        warmup_accesses=1_000,
+        repeat_frac=0.1,
+        recipe=(
+            ("streaming", dict(weight=0.6, partition_bytes=64 * 1024,
+                               remote_frac=0.1)),
+            ("migratory", dict(weight=0.3, n_objects=24)),
+            ("shared_readonly", dict(weight=0.1, region_bytes=8 * 1024)),
+        ),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def golden_streams():
+    """``workload -> per-node event streams`` for the golden miniatures."""
+    for spec in GOLDEN_WORKLOADS:
+        WORKLOADS[spec.name] = spec
+    try:
+        yield {
+            spec.name: runner.compute_sim(
+                spec, SCALED_SYSTEM, 1
+            ).event_streams
+            for spec in GOLDEN_WORKLOADS
+        }
+    finally:
+        for spec in GOLDEN_WORKLOADS:
+            del WORKLOADS[spec.name]
+
+
+def _replay_bytes(filter_name, streams, kernel, chunk):
+    """Encoded evaluation of one filter over per-node streams, batched."""
+    bank = StreamingFilterBank(
+        runner._build_filters(filter_name, SCALED_SYSTEM), kernel=kernel
+    )
+    for node_id, stream in enumerate(streams):
+        events = stream.events
+        for lo in range(0, len(events), chunk):
+            bank.feed_node(node_id, events[lo:lo + chunk])
+    return store_mod.encode_eval(bank.finish())
+
+
+def _single_filter(name: str):
+    return build_filter(
+        name,
+        counter_bits=SCALED_SYSTEM.ij_counter_bits,
+        addr_bits=SCALED_SYSTEM.block_address_bits,
+    )
+
+
+def _snoop(block, would_hit=False, present=False):
+    return pack_event(SNOOP, block, (2 if present else 0) | (1 if would_hit else 0))
+
+
+# ----------------------------------------------------------------------
+# Byte-identity against the oracle
+# ----------------------------------------------------------------------
+
+@requires_numpy
+class TestOracleParity:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("filter_name", PARITY_FILTERS)
+    def test_golden_byte_identity(self, golden_streams, filter_name, chunk):
+        """Every family, every golden, every batch size: identical bytes."""
+        for workload, streams in golden_streams.items():
+            oracle = _replay_bytes(filter_name, streams, "python", chunk)
+            vector = _replay_bytes(filter_name, streams, "numpy", chunk)
+            assert vector == oracle, (workload, filter_name, chunk)
+
+    @pytest.mark.parametrize("filter_name", PARITY_FILTERS)
+    def test_batch_boundaries_never_matter(self, golden_streams, filter_name):
+        """The numpy kernel is batch-size invariant, like the oracle."""
+        streams = next(iter(golden_streams.values()))
+        payloads = {
+            _replay_bytes(filter_name, streams, "numpy", chunk)
+            for chunk in CHUNK_SIZES
+        }
+        assert len(payloads) == 1
+
+    @pytest.mark.parametrize("filter_name", PARITY_FILTERS)
+    def test_marker_mid_segment(self, filter_name):
+        """A warm-up MARKER inside one batch resets stats, keeps state."""
+        block = 0x40
+        events = [
+            _snoop(block),          # miss -> EJ-side entry allocated
+            _snoop(block),          # hit -> filtered (EJ families)
+            pack_event(ALLOC, 0x81),
+            pack_event(MARKER, 0),
+            _snoop(block),          # state persisted across the marker
+            pack_event(EVICT, 0x81),
+            _snoop(block + 16),
+        ]
+        oracle = EventReplayer(_single_filter(filter_name), 0)
+        oracle.feed(events)
+        vector = vector_replay.replayer_for(_single_filter(filter_name), 0)
+        assert vector is not None
+        vector.feed(events)
+        assert store_mod.encode_eval(vector.finish()) == (
+            store_mod.encode_eval(oracle.finish())
+        )
+        # Post-marker tallies only.
+        assert vector.stats.snoops == 2
+        assert vector.allocs == 0 and vector.evicts == 1
+
+
+# ----------------------------------------------------------------------
+# Error parity: same exception, same message, same flushed statistics
+# ----------------------------------------------------------------------
+
+@requires_numpy
+class TestErrorParity:
+    def _both(self, filter_name, events):
+        """Feed both kernels; return (oracle, vector, exceptions)."""
+        oracle = EventReplayer(_single_filter(filter_name), 3)
+        vector = vector_replay.replayer_for(_single_filter(filter_name), 3)
+        assert vector is not None
+        excs = []
+        for replayer in (oracle, vector):
+            with pytest.raises((FilterSafetyError, CoherenceError)) as info:
+                replayer.feed(list(events))
+            excs.append(info.value)
+        return oracle, vector, excs
+
+    @pytest.mark.parametrize(
+        "filter_name",
+        ("EJ-16x2", "VEJ-16x2-4", "HJ(IJ-8x4x7, EJ-16x2)",
+         "HJ(IJ-8x4x7, VEJ-16x2-4)"),
+    )
+    def test_safety_violation_parity(self, filter_name):
+        """Filtering a snoop for a cached block raises identically."""
+        block = 0x40
+        events = [
+            _snoop(block),                 # allocates the exclude entry
+            _snoop(0x200),                 # unrelated traffic before the raise
+            _snoop(block),                 # repeat hit: filtered
+            _snoop(block, present=True),   # cached block would be filtered
+            _snoop(0x300),                 # must never be consumed
+        ]
+        oracle, vector, (e1, e2) = self._both(filter_name, events)
+        assert type(e1) is FilterSafetyError and type(e2) is FilterSafetyError
+        assert str(e1) == str(e2)
+        assert f"block {block:#x} on node 3" in str(e2)
+        assert vars(vector.stats) == vars(oracle.stats)
+        assert vector.stats.snoops == 4  # the violating snoop is tallied
+        assert (vector.allocs, vector.evicts) == (oracle.allocs, oracle.evicts)
+
+    @pytest.mark.parametrize(
+        "filter_name", ("IJ-8x4x7", "HJ(IJ-8x4x7, EJ-16x2)")
+    )
+    def test_ij_underflow_parity(self, filter_name):
+        """An EVICT with no matching ALLOC raises identically."""
+        events = [
+            pack_event(ALLOC, 0x90),
+            _snoop(0x90, present=True),    # IJ passes: the block is present
+            pack_event(EVICT, 0x90),
+            pack_event(EVICT, 0x90),       # second evict underflows
+            _snoop(0x123),                 # must never be consumed
+        ]
+        oracle, vector, (e1, e2) = self._both(filter_name, events)
+        assert type(e1) is CoherenceError and type(e2) is CoherenceError
+        assert "IJ counter underflow" in str(e2)
+        assert str(e1) == str(e2)
+        assert vars(vector.stats) == vars(oracle.stats)
+        assert (vector.allocs, vector.evicts) == (1, 2)
+        assert (oracle.allocs, oracle.evicts) == (1, 2)
+
+
+# ----------------------------------------------------------------------
+# Regression: the oracle itself must flush locals when it raises
+# ----------------------------------------------------------------------
+
+class TestOracleFlushOnRaise:
+    def test_stats_survive_a_mid_batch_safety_violation(self):
+        """``EventReplayer.feed`` once dropped every locally-accumulated
+        counter when a safety violation raised mid-batch; post-mortem
+        state must reflect all events consumed up to (and including) the
+        violating snoop."""
+        replayer = EventReplayer(_single_filter("EJ-16x2"), 0)
+        block = 0x40
+        with pytest.raises(FilterSafetyError):
+            replayer.feed([
+                _snoop(block),                # allocates the entry
+                _snoop(block),                # filtered
+                pack_event(ALLOC, 0x999),
+                _snoop(block),                # entry untouched: filtered again
+                _snoop(block, present=True),  # violation
+            ])
+        assert replayer.stats.snoops == 4
+        assert replayer.stats.snoop_would_miss == 4
+        assert replayer.stats.filtered == 2
+        assert replayer.allocs == 1
+
+    def test_stats_survive_a_hook_error(self):
+        """Any mid-batch raise flushes — not just safety violations."""
+        class Exploding(ExcludeJetty):
+            def _on_block_allocated(self, blk):
+                raise RuntimeError("boom")
+
+        replayer = EventReplayer(Exploding(16, 2), 0)
+        with pytest.raises(RuntimeError):
+            replayer.feed([_snoop(0x40), _snoop(0x50), pack_event(ALLOC, 0x40)])
+        assert replayer.stats.snoops == 2
+        assert replayer.allocs == 1
+
+
+# ----------------------------------------------------------------------
+# Kernel / fallback selection
+# ----------------------------------------------------------------------
+
+class TestKernelSelection:
+    def test_python_kernel_never_vectorises(self):
+        bank = StreamingFilterBank(
+            runner._build_filters("EJ-16x2", SCALED_SYSTEM), kernel="python"
+        )
+        assert all(type(r) is EventReplayer for r in bank.replayers)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown replay kernel"):
+            StreamingFilterBank([], kernel="fortran")
+        assert set(REPLAY_KERNELS) == {"python", "numpy", "auto"}
+
+    def test_numpy_kernel_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(vector_replay, "_np", None)
+        with pytest.raises(ConfigurationError, match="requires NumPy"):
+            StreamingFilterBank(
+                runner._build_filters("EJ-16x2", SCALED_SYSTEM),
+                kernel="numpy",
+            )
+
+    def test_auto_degrades_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(vector_replay, "_np", None)
+        assert not vector_replay.numpy_available()
+        bank = StreamingFilterBank(
+            runner._build_filters("EJ-16x2", SCALED_SYSTEM), kernel="auto"
+        )
+        assert all(type(r) is EventReplayer for r in bank.replayers)
+
+    @requires_numpy
+    def test_auto_vectorises_supported_families(self):
+        for name in PARITY_FILTERS:
+            bank = StreamingFilterBank(
+                runner._build_filters(name, SCALED_SYSTEM), kernel="auto"
+            )
+            assert all(
+                not isinstance(r, EventReplayer) for r in bank.replayers
+            ), name
+
+    @requires_numpy
+    def test_order_sensitive_families_fall_back(self):
+        """Families the kernels do not cover use the per-event oracle."""
+        for name in ("null", "oracle", "HIJ-10x2"):
+            bank = StreamingFilterBank(
+                runner._build_filters(name, SCALED_SYSTEM), kernel="auto"
+            )
+            assert all(type(r) is EventReplayer for r in bank.replayers), name
+
+    @requires_numpy
+    def test_subclasses_fall_back(self):
+        """Exact-type dispatch: a subclass may override anything the
+        kernels hard-code, so it must not be silently vectorised."""
+        class Tweaked(ExcludeJetty):
+            pass
+
+        assert vector_replay.replayer_for(Tweaked(16, 2), 0) is None
+
+    @requires_numpy
+    def test_oversized_geometries_fall_back(self):
+        big = ExcludeJetty(1 << 17, 1)  # sets beyond the uint16 sort keys
+        assert vector_replay.replayer_for(big, 0) is None
+        assert vector_replay.replayer_for(ExcludeJetty(1 << 16, 1), 0) is not None
+
+    @requires_numpy
+    def test_vector_replayers_refuse_checkpointing(self):
+        replayer = vector_replay.replayer_for(_single_filter("EJ-16x2"), 0)
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            replayer.snapshot()
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            replayer.restore({})
+
+    @requires_numpy
+    def test_packed_segment_shares_the_decoded_array(self):
+        segment = PackedSegment([_snoop(0x40), pack_event(ALLOC, 0x50)])
+        first = segment.array()
+        assert segment.array() is first
+        built = []
+        assert segment.shared("k", lambda: built.append(1) or "value") == "value"
+        assert segment.shared("k", lambda: built.append(2) or "other") == "value"
+        assert built == [1]
+
+
+# ----------------------------------------------------------------------
+# Runner wiring: kernel choice end to end, byte-identical store rows
+# ----------------------------------------------------------------------
+
+class TestRunnerKernelWiring:
+    WORKLOAD = "vector-golden-mix"
+
+    @pytest.fixture(autouse=True)
+    def _workloads(self, golden_streams):
+        """Reuse the module-scoped golden registration."""
+
+    def test_execute_replays_rejects_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="unknown replay kernel"):
+            runner.execute_replays(
+                [], experiment_store=ExperimentStore(), kernel="bogus"
+            )
+
+    def test_sweep_kernel_requires_replay_mode(self):
+        with pytest.raises(ConfigurationError, match="replay sweeps only"):
+            runner.run_sweep(
+                (self.WORKLOAD,), ("EJ-16x2",),
+                experiment_store=ExperimentStore(),
+                stream=True, kernel="numpy",
+            )
+
+    @requires_numpy
+    def test_replay_sweep_rows_are_kernel_invariant(self, tmp_path):
+        rows = {}
+        for kernel in ("python", "numpy"):
+            store = ExperimentStore(tmp_path / f"{kernel}.sqlite")
+            runner.run_sweep(
+                (self.WORKLOAD,), PARITY_FILTERS,
+                experiment_store=store, replay=True, kernel=kernel,
+            )
+            rows[kernel] = {
+                e.key: store.get_blob(e.key)
+                for e in store.entries() if e.kind == "eval"
+            }
+            store.close()
+        assert rows["python"] == rows["numpy"]
+        assert len(rows["python"]) == len(PARITY_FILTERS)
