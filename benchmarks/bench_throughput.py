@@ -240,9 +240,77 @@ def measure_checkpointed(name: str, n_accesses: int, warmup: int,
     }
 
 
-def run_benchmark(quick: bool, checkpoint_every: int | None = None) -> dict:
+def measure_phase_overhead(name: str, n_accesses: int, warmup: int,
+                           n_phases: int = 4, repeats: int = 3) -> dict:
+    """Per-phase accounting price on the streamed path.
+
+    Two streamed runs over byte-identical access streams (same spec,
+    same seed, rebuilt fresh per run): one plain, one with
+    ``n_phases`` synthetic phase boundaries emitted mid-run and
+    per-phase splits accounted in every filter bank.  The loop is
+    otherwise instruction-identical, so the ratio is the price of
+    phase accounting alone.  Each variant takes the best of
+    ``repeats`` runs to damp scheduler noise — the budget (3%) is
+    smaller than cross-run noise on a busy machine.
+    """
+    from repro.coherence.smp import simulate_streaming
+    from repro.traces.workloads import simulate_workload_accesses
+
+    spec = _sized(name, n_accesses, warmup)
+
+    def one_run(marks, names) -> float:
+        stream, warm = simulate_workload_accesses(
+            spec, n_cpus=SCALED_SYSTEM.n_cpus, seed=1
+        )
+        banks = [
+            runner._build_bank(f, SCALED_SYSTEM, phase_names=names)
+            for f in FILTERS
+        ]
+        started = time.perf_counter()
+        simulate_streaming(
+            SCALED_SYSTEM, stream, spec.name, warmup=warm,
+            sinks=banks, phase_marks=marks,
+        )
+        for bank in banks:
+            bank.finish()
+        return time.perf_counter() - started
+
+    marks = tuple(
+        warmup + (i * n_accesses) // n_phases for i in range(n_phases)
+    )
+    names = tuple(f"q{i}" for i in range(n_phases))
+    plain = min(one_run((), ()) for _ in range(repeats))
+    phased = min(one_run(marks, names) for _ in range(repeats))
+    overhead = max(0.0, phased / plain - 1.0)
+    return {
+        "workload": name,
+        "accesses": n_accesses,
+        "warmup": warmup,
+        "filters": len(FILTERS),
+        "phases": n_phases,
+        "repeats": repeats,
+        "plain_seconds": round(plain, 3),
+        "phased_seconds": round(phased, 3),
+        "overhead_frac": round(overhead, 4),
+    }
+
+
+def run_benchmark(quick: bool, checkpoint_every: int | None = None,
+                  phase_overhead: bool = False,
+                  phase_only: bool = False) -> dict:
     s_acc, s_warm, b_acc, b_warm = QUICK_SIZES if quick else FULL_SIZES
     results: dict = {"streamed": {}, "buffered": {}, "replay": {}}
+    if phase_overhead:
+        results["phase"] = {}
+        print(f"phase-accounting lu: {s_acc:,} accesses, plain vs "
+              "4 phase boundaries ...", flush=True)
+        entry = measure_phase_overhead("lu", s_acc, s_warm)
+        results["phase"]["lu"] = entry
+        print(f"  plain {entry['plain_seconds']}s, phased "
+              f"{entry['phased_seconds']}s = "
+              f"{entry['overhead_frac']:+.1%} overhead")
+    if phase_only:
+        return results
     for name in BENCH_WORKLOADS:
         print(f"streamed {name}: {s_acc:,} accesses, "
               f"{len(FILTERS)} filter banks ...", flush=True)
@@ -286,8 +354,10 @@ def run_benchmark(quick: bool, checkpoint_every: int | None = None) -> dict:
     return results
 
 
-def _headline(results: dict) -> int:
+def _headline(results: dict) -> int | None:
     """Slowest streamed workload: the honest end-to-end number."""
+    if not results.get("streamed"):
+        return None  # --phase-overhead-only runs skip the streamed modes
     return min(e["accesses_per_sec"] for e in results["streamed"].values())
 
 
@@ -362,7 +432,20 @@ def main(argv: list[str] | None = None) -> int:
                         default=None, metavar="FRAC",
                         help="fail when any workload's checkpoint overhead "
                         "exceeds FRAC (e.g. 0.05 for the 5%% budget)")
+    parser.add_argument("--assert-phase-overhead", type=float, default=None,
+                        metavar="FRAC",
+                        help="also measure per-phase accounting on the lu "
+                        "streamed path (plain vs phase-marked, identical "
+                        "streams) and fail when the overhead exceeds FRAC "
+                        "(e.g. 0.03 for the 3%% budget)")
+    parser.add_argument("--phase-overhead-only", action="store_true",
+                        help="measure only the phase-accounting overhead, "
+                        "skipping the streamed/buffered/replay modes "
+                        "(requires --assert-phase-overhead)")
     args = parser.parse_args(argv)
+    if args.phase_overhead_only and args.assert_phase_overhead is None:
+        parser.error("--phase-overhead-only requires --assert-phase-overhead "
+                     "(nothing would be measured otherwise)")
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         parser.error("--checkpoint-every must be >= 1")
     if args.assert_checkpoint_overhead is not None and (
@@ -372,7 +455,11 @@ def main(argv: list[str] | None = None) -> int:
                      "--checkpoint-every (nothing is measured otherwise)")
 
     mode = "quick" if args.quick else "full"
-    results = run_benchmark(args.quick, args.checkpoint_every)
+    results = run_benchmark(
+        args.quick, args.checkpoint_every,
+        phase_overhead=args.assert_phase_overhead is not None,
+        phase_only=args.phase_overhead_only,
+    )
     document = {
         "schema": 1,
         "mode": mode,
@@ -392,6 +479,11 @@ def main(argv: list[str] | None = None) -> int:
         document["checkpoint_overhead_frac"] = {
             name: entry["overhead_vs_streamed"]
             for name, entry in results["checkpoint"].items()
+        }
+    if "phase" in results:
+        document["phase_overhead_frac"] = {
+            name: entry["overhead_frac"]
+            for name, entry in results["phase"].items()
         }
 
     previous = {}
@@ -416,7 +508,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     headline = document["headline_streamed_accesses_per_sec"]
-    print(f"\nheadline (slowest streamed workload): {headline:,} accesses/s")
+    if headline is not None:
+        print(f"\nheadline (slowest streamed workload): {headline:,} accesses/s")
     replay_headline = document["headline_replay_accesses_per_sec"]
     if replay_headline is not None:
         ratios = document["replay_speedup_vs_streamed"]
@@ -431,7 +524,16 @@ def main(argv: list[str] | None = None) -> int:
                   + ", ".join(f"{n} x{v}" for n, v in sorted(ratios.items())))
     print(f"wrote {args.output}")
 
-    if args.assert_floor is not None and headline < args.assert_floor:
+    if args.assert_phase_overhead is not None:
+        worst = max(document.get("phase_overhead_frac", {"none": 0.0}).values())
+        if worst > args.assert_phase_overhead:
+            print(f"FAIL: per-phase accounting overhead {worst:.1%} exceeds "
+                  f"the {args.assert_phase_overhead:.1%} budget",
+                  file=sys.stderr)
+            return 1
+    if args.assert_floor is not None and headline is not None and (
+        headline < args.assert_floor
+    ):
         print(f"FAIL: headline {headline:,} accesses/s is below the floor "
               f"of {args.assert_floor:,}", file=sys.stderr)
         return 1

@@ -100,12 +100,13 @@ from repro.core.stats import (
     replay_trace,
 )
 from repro.errors import ConfigurationError
-from repro.traces.synth import MixStream
 from repro.traces.workloads import (
     WorkloadSpec,
     apply_preset,
     get_workload,
+    resume_stream,
     simulate_workload_accesses,
+    stream_fingerprint,
 )
 
 #: A representative sweep when the CLI is given no ``--filters``: the best
@@ -185,16 +186,34 @@ class StreamJob:
 # Pure compute kernels (shared by the serial path and pool workers)
 # ----------------------------------------------------------------------
 
+def _phase_plan(spec: WorkloadSpec) -> tuple[tuple[int, ...], tuple[str, ...]]:
+    """``(phase_marks, phase_names)`` of a spec; ``((), ())`` when plain.
+
+    The one place the runner derives phase structure: marks are absolute
+    stream positions (warm-up included) fed to the simulation layer,
+    names label the per-phase splits in every evaluation.  Plain
+    workloads yield empty tuples, so every phase-less code path —
+    including its stored payload bytes — is exactly what it always was.
+    """
+    if not getattr(spec, "phases", ()):
+        return (), ()
+    return spec.phase_marks(), spec.phase_names()
+
+
 def compute_sim(spec: WorkloadSpec, system: SystemConfig, seed: int) -> SimResult:
     """Simulate one workload from scratch — deterministic in its inputs."""
     stream, warmup = simulate_workload_accesses(
         spec, n_cpus=system.n_cpus, seed=seed
     )
-    return simulate(system, stream, spec.name, warmup=warmup)
+    marks, _names = _phase_plan(spec)
+    return simulate(system, stream, spec.name, warmup=warmup, phase_marks=marks)
 
 
 def compute_eval(
-    sim: SimResult, filter_name: str, system: SystemConfig
+    sim: SimResult,
+    filter_name: str,
+    system: SystemConfig,
+    phase_names: tuple[str, ...] = (),
 ) -> FilterEvaluation:
     """Replay one filter config over every node's stream and merge.
 
@@ -203,7 +222,7 @@ def compute_eval(
     uses — a single construction site keeps the two modes' byte-identity
     contract safe by design.
     """
-    bank = _build_bank(filter_name, system)
+    bank = _build_bank(filter_name, system, phase_names=phase_names)
     bank.consume(sim.event_streams)
     return bank.finish()
 
@@ -221,7 +240,10 @@ def _build_filters(filter_name: str, system: SystemConfig) -> list:
 
 
 def _build_bank(
-    filter_name: str, system: SystemConfig, kernel: str = "python"
+    filter_name: str,
+    system: SystemConfig,
+    kernel: str = "python",
+    phase_names: tuple[str, ...] = (),
 ) -> StreamingFilterBank:
     """One live filter bank: a freshly built filter per node.
 
@@ -229,9 +251,14 @@ def _build_bank(
     :data:`repro.core.stats.REPLAY_KERNELS`).  Live-streaming and
     checkpointed call sites keep the default ``"python"`` — the vector
     kernels neither drive live filters nor snapshot; replay call sites
-    pass the caller's choice (``"auto"`` by default).
+    pass the caller's choice (``"auto"`` by default).  ``phase_names``
+    labels PHASE-marker splits in the finished evaluations.
     """
-    return StreamingFilterBank(_build_filters(filter_name, system), kernel=kernel)
+    return StreamingFilterBank(
+        _build_filters(filter_name, system),
+        kernel=kernel,
+        phase_names=phase_names,
+    )
 
 
 def compute_stream(
@@ -274,13 +301,17 @@ def compute_stream(
     stream, warmup = simulate_workload_accesses(
         spec, n_cpus=system.n_cpus, seed=seed
     )
+    marks, names = _phase_plan(spec)
     # One StreamingFilterBank per configuration.  (A fused all-filters
     # bank that decodes each shard once was prototyped and measured
     # *slower*: replay cost is dominated by the per-filter probe/update
     # callbacks, and the fused dispatch costs more than the three saved
     # decode passes.  The tight per-bank loop with hoisted bound methods
     # is the fastest pure-Python shape found.)
-    banks = {name: _build_bank(name, system) for name in filter_names}
+    banks = {
+        name: _build_bank(name, system, phase_names=names)
+        for name in filter_names
+    }
     metrics = simulate_streaming(
         system,
         stream,
@@ -288,6 +319,7 @@ def compute_stream(
         warmup=warmup,
         chunk_size=chunk_size,
         sinks=banks.values(),
+        phase_marks=marks,
     )
     return metrics, {name: bank.finish() for name, bank in banks.items()}
 
@@ -306,7 +338,7 @@ def _save_checkpoint(
     system: SMPSystem,
     banks: dict[str, StreamingFilterBank],
     sink: TraceSink | None,
-    stream: MixStream,
+    stream,
     position: int,
     measured: bool,
     mkey: str,
@@ -464,11 +496,16 @@ def _run_checkpointed(
     )
     mkey = store_mod.sim_metrics_key(spec, system_cfg, seed)
     warmup = spec.warmup_accesses
+    marks, phase_names = _phase_plan(spec)
+    expected_fingerprint = stream_fingerprint(
+        spec, n_cpus=system_cfg.n_cpus, seed=seed, include_warmup=True
+    )
 
     def build_fresh():
         fresh_system = SMPSystem(system_cfg)
         fresh_banks = {
-            name: _build_bank(name, system_cfg) for name in filter_names
+            name: _build_bank(name, system_cfg, phase_names=phase_names)
+            for name in filter_names
         }
         fresh_sink = (
             TraceSink(system_cfg.n_cpus, write_segment, segment_events)
@@ -499,7 +536,14 @@ def _run_checkpointed(
                 bank.restore(state["banks"][name])
             if sink is not None:
                 sink.restore(state["sink"])
-            stream = MixStream.resume(base64.b64decode(state["stream"]))
+            # Fingerprint-validated: a checkpoint whose stream was
+            # generated under a different spec/profile/seed/topology is
+            # rejected here (ConfigurationError) and, like any other bad
+            # snapshot, deleted — the ladder falls back rather than
+            # silently continuing a diverged stream.
+            stream = resume_stream(
+                base64.b64decode(state["stream"]), expected_fingerprint
+            )
             position = int(state["position"])
             measured = bool(state["measured"])
         except Exception:
@@ -524,15 +568,26 @@ def _run_checkpointed(
     consumers = list(banks.values())
     if sink is not None:
         consumers.append(sink)
+    # Phase marks strictly below the start position were emitted (and
+    # consumed into the snapshotted replayer state) before the resumed
+    # checkpoint was saved; a mark *at* the position was not — saves
+    # happen at the loop bottom, marker emission at the next loop top —
+    # so it must be emitted now.
+    next_phase = sum(1 for mark in marks if mark < position)
     saved_positions: list[int] = []
     while stream.remaining > 0:
         if not measured and position >= warmup:
             system.begin_measurement()
             measured = True
+        while next_phase < len(marks) and marks[next_phase] <= position:
+            system.mark_phase(next_phase)
+            next_phase += 1
         next_checkpoint = (
             position - position % checkpoint_every + checkpoint_every
         )
         stop = next_checkpoint if measured else min(next_checkpoint, warmup)
+        if next_phase < len(marks):
+            stop = min(stop, marks[next_phase])
         for shard in system.run_chunked(
             stream, chunk_size, limit=stop - position
         ):
@@ -602,18 +657,24 @@ def _stream_task(task) -> tuple[str, bytes, list[tuple[str, bytes]]]:
 
 
 def _eval_group_task(
-    task: tuple[bytes, SystemConfig, list[tuple[str, str]]]
+    task: tuple[bytes, SystemConfig, list[tuple[str, str]], tuple[str, ...]]
 ) -> list[tuple[str, bytes]]:
     """Worker entry: decode one shipped simulation, replay several filters.
 
     Grouping all of a simulation's filter replays into one task means the
     compressed payload crosses the process boundary (and is decoded)
-    exactly once per simulation, not once per filter.
+    exactly once per simulation, not once per filter.  ``phase_names``
+    labels the recorded PHASE markers (empty for plain workloads).
     """
-    sim_blob, system, pairs = task
+    sim_blob, system, pairs, phase_names = task
     sim = store_mod.decode_sim(sim_blob)
     return [
-        (key, store_mod.encode_eval(compute_eval(sim, filter_name, system)))
+        (
+            key,
+            store_mod.encode_eval(
+                compute_eval(sim, filter_name, system, phase_names)
+            ),
+        )
         for key, filter_name in pairs
     ]
 
@@ -785,8 +846,10 @@ def execute(
         sim_blob = experiment_store.get_blob(skey)
         if sim_blob is None:  # pragma: no cover - phase 1 guarantees it
             raise RuntimeError(f"simulation missing for eval keys {pairs}")
-        system = needed_evals[pairs[0][0]].system
-        eval_tasks.append((sim_blob, system, pairs))
+        job = needed_evals[pairs[0][0]]
+        eval_tasks.append(
+            (sim_blob, job.system, pairs, _phase_plan(specs[job.workload])[1])
+        )
     for results in _map_tasks(_eval_group_task, eval_tasks, workers, backend):
         for key, blob in results:
             job = needed_evals[key]
@@ -878,7 +941,9 @@ def execute_streams(
                 )
             report.sims_cached += 1
             if pairs:
-                replay_tasks.append((sim_blob, job.system, pairs))
+                replay_tasks.append(
+                    (sim_blob, job.system, pairs, _phase_plan(spec)[1])
+                )
             continue
         tasks.append((mkey, spec, job.system, job.seed, job.chunk_size, pairs))
 
@@ -1020,6 +1085,7 @@ def record_trace(
         metrics = simulate_streaming(
             system, stream, spec.name,
             warmup=warmup, chunk_size=chunk_size, sinks=[sink],
+            phase_marks=_phase_plan(spec)[0],
         )
     segments_per_node = sink.finish()
     manifest = {
@@ -1105,7 +1171,7 @@ def _replay_task(task) -> list[tuple[str, bytes]]:
     blobs (in-memory stores).  Each segment is decoded once and fed to
     every requested bank via the shared :func:`replay_trace` kernel.
     """
-    path, segments, system, pairs, kernel = task
+    path, segments, system, pairs, kernel, phase_names = task
     connection = None
     if path is not None:
         # Percent-encode the filesystem path: a raw '?', '#', or '%' in
@@ -1134,7 +1200,8 @@ def _replay_task(task) -> list[tuple[str, bytes]]:
 
     try:
         banks = [
-            (ekey, _build_bank(name, system, kernel)) for ekey, name in pairs
+            (ekey, _build_bank(name, system, kernel, phase_names))
+            for ekey, name in pairs
         ]
         reader = TraceReader([len(keys) for keys in segments], fetch)
         replay_trace(reader, [bank for _ekey, bank in banks])
@@ -1264,13 +1331,16 @@ def execute_replays(
     tasks = []
     for tkey, segment_keys, pairs, job in units:
         path, segments = _segment_payload(experiment_store, segment_keys)
+        phase_names = _phase_plan(specs[job.workload])[1]
         if parallel and len(pairs) > 1:
             tasks.extend(
-                (path, segments, job.system, [pair], kernel)
+                (path, segments, job.system, [pair], kernel, phase_names)
                 for pair in pairs
             )
         else:
-            tasks.append((path, segments, job.system, pairs, kernel))
+            tasks.append(
+                (path, segments, job.system, pairs, kernel, phase_names)
+            )
     for results in _map_tasks(_replay_task, tasks, workers, backend):
         for ekey, blob in results:
             job, filters = owners[ekey]
@@ -1311,7 +1381,8 @@ def replay_filter_from_store(
     path, segments = _segment_payload(experiment_store, segment_keys)
     ekey = store_mod.eval_key(spec, filter_name, system, seed)
     [(_key, blob)] = _replay_task(
-        (path, segments, system, [(ekey, filter_name)], kernel)
+        (path, segments, system, [(ekey, filter_name)], kernel,
+         _phase_plan(spec)[1])
     )
     experiment_store.put_eval_blob(
         ekey, blob, workload=spec.name, filter_name=filter_name,

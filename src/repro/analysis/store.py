@@ -65,7 +65,12 @@ from repro.coherence.config import SystemConfig
 from repro.errors import ConfigurationError
 from repro.coherence.metrics import BusStats, NodeStats, SimResult
 from repro.core.base import FilterEventCounts
-from repro.core.stats import CoverageStats, FilterEvaluation, NodeEventStream
+from repro.core.stats import (
+    CoverageStats,
+    FilterEvaluation,
+    NodeEventStream,
+    PhaseStats,
+)
 from repro.traces.workloads import WorkloadSpec
 
 #: Bump whenever simulator semantics, the event encoding, or the payload
@@ -89,6 +94,13 @@ TRACE_KIND = "sim-events"
 #: treat the chain as one atomic unit.
 CHECKPOINT_KIND = "checkpoint"
 
+#: Result kind of evaluation-matrix payloads: the per-phase
+#: profile x filter table ``repro matrix`` renders, stored
+#: content-addressed so a warm store answers "which filter wins per
+#: workload class" from one key lookup.  Added without a schema bump —
+#: the kind only creates rows under fresh keys.
+MATRIX_KIND = "matrix"
+
 
 # ----------------------------------------------------------------------
 # Fingerprints
@@ -106,14 +118,28 @@ def system_fingerprint(system: SystemConfig) -> dict:
 
 
 def spec_fingerprint(spec: WorkloadSpec) -> dict:
-    """Everything about a workload spec that influences its access stream."""
-    return {
+    """Everything about a workload spec that influences its access stream.
+
+    Phase-structured suites contribute a ``phases`` entry (each phase's
+    name, nominal length, and resolved recipe).  The key is added *only*
+    when the spec has phases, so every plain workload's fingerprint —
+    and with it every existing store key — is unchanged.
+    """
+    fingerprint = {
         "name": spec.name,
         "n_accesses": spec.n_accesses,
         "warmup_accesses": spec.warmup_accesses,
         "repeat_frac": spec.repeat_frac,
         "recipe": [[kind, params] for kind, params in spec.recipe],
     }
+    phases = getattr(spec, "phases", ())
+    if phases:
+        fingerprint["phases"] = [
+            [p.name, p.accesses, p.repeat_frac,
+             [[kind, params] for kind, params in p.recipe]]
+            for p in phases
+        ]
+    return fingerprint
 
 
 def _canonical(obj) -> bytes:
@@ -218,6 +244,26 @@ def checkpoint_key(chain: str, accesses: int) -> str:
     })
 
 
+def matrix_key(
+    specs, filter_names, system: SystemConfig, seed: int
+) -> str:
+    """Store key of one rendered evaluation matrix.
+
+    The fingerprint is the full cross product's identity: every suite
+    spec (phases included, via :func:`spec_fingerprint`), the filter
+    list in presentation order, the system geometry, and the seed.  Any
+    change to any profile, phase split, or filter produces a fresh key.
+    """
+    return _digest({
+        "kind": MATRIX_KIND,
+        "schema": SCHEMA_VERSION,
+        "specs": [spec_fingerprint(spec) for spec in specs],
+        "filters": list(filter_names),
+        "system": system_fingerprint(system),
+        "seed": seed,
+    })
+
+
 def eval_key(
     spec: WorkloadSpec, filter_name: str, system: SystemConfig, seed: int
 ) -> str:
@@ -303,7 +349,7 @@ def sim_metrics_from_dict(data: dict) -> SimResult:
 
 
 def evaluation_to_dict(evaluation: FilterEvaluation) -> dict:
-    return {
+    data = {
         "filter_name": evaluation.filter_name,
         "storage_bits": evaluation.storage_bits,
         "allocs": evaluation.allocs,
@@ -311,6 +357,19 @@ def evaluation_to_dict(evaluation: FilterEvaluation) -> dict:
         "coverage": vars(evaluation.coverage).copy(),
         "events": vars(evaluation.events).copy(),
     }
+    # The key appears only for phase-structured runs: a phase-less
+    # evaluation's payload bytes are identical to what every earlier
+    # schema-1 store wrote, so stored evals stay warm.
+    if evaluation.phases:
+        data["phases"] = {
+            name: {
+                "coverage": vars(phase.coverage).copy(),
+                "allocs": phase.allocs,
+                "evicts": phase.evicts,
+            }
+            for name, phase in evaluation.phases.items()
+        }
+    return data
 
 
 def evaluation_from_dict(data: dict) -> FilterEvaluation:
@@ -321,6 +380,14 @@ def evaluation_from_dict(data: dict) -> FilterEvaluation:
         evicts=data["evicts"],
         coverage=CoverageStats(**data["coverage"]),
         events=FilterEventCounts(**data["events"]),
+        phases={
+            name: PhaseStats(
+                coverage=CoverageStats(**entry["coverage"]),
+                allocs=entry["allocs"],
+                evicts=entry["evicts"],
+            )
+            for name, entry in data.get("phases", {}).items()
+        },
     )
 
 
@@ -371,6 +438,15 @@ def encode_trace_manifest(manifest: dict) -> bytes:
 
 
 def decode_trace_manifest(blob: bytes) -> dict:
+    return json.loads(zlib.decompress(blob))
+
+
+def encode_matrix(payload: dict) -> bytes:
+    """Canonical compressed bytes of an evaluation-matrix payload."""
+    return zlib.compress(_canonical(payload), 6)
+
+
+def decode_matrix(blob: bytes) -> dict:
     return json.loads(zlib.decompress(blob))
 
 

@@ -439,6 +439,18 @@ class SMPSystem:
             self._run_batch(batch)
             yield self.take_shard()
 
+    def mark_phase(self, index: int) -> None:
+        """Append a PHASE marker to every node's event stream.
+
+        Like the warm-up MARKER, the marker is emitted *between* chunks
+        and therefore rides at the front of the next shard (or the
+        residue), landing at the same position in the event sequence
+        whatever the chunk size.  Replay statistics split at it; cache
+        and filter state persist untouched.
+        """
+        for node in self.nodes:
+            node.events.phase(index)
+
     def begin_measurement(self) -> None:
         """End the cache warm-up phase: zero statistics, keep all state.
 
@@ -486,25 +498,57 @@ class SMPSystem:
         )
 
 
+def _boundary_schedule(
+    warmup: int, phase_marks
+) -> list[tuple[int, int]]:
+    """The ordered stop positions of a run: warm-up end plus phase marks.
+
+    Each entry is ``(absolute_position, action)`` where action ``-1``
+    means ``begin_measurement`` and any other value is the phase index
+    to mark.  Sorting by ``(position, action)`` puts the warm-up MARKER
+    before a PHASE marker landing at the same access — phase 0 of a
+    suite starts exactly where measurement does.
+    """
+    schedule: list[tuple[int, int]] = []
+    if warmup > 0:
+        schedule.append((warmup, -1))
+    for index, position in enumerate(phase_marks):
+        schedule.append((int(position), index))
+    schedule.sort()
+    return schedule
+
+
 def simulate(
     config: SystemConfig,
     accesses: Iterable[tuple[int, int, bool]],
     workload: str = "",
     warmup: int = 0,
+    phase_marks=(),
 ) -> SimResult:
     """Build a system, run ``accesses``, drain, and return the result.
 
     The first ``warmup`` accesses warm the caches; statistics (node, bus,
-    and filter-replay coverage) cover only the remainder.
+    and filter-replay coverage) cover only the remainder.  Each entry of
+    ``phase_marks`` is an absolute access position (warm-up included) at
+    which a PHASE marker is emitted into every node's event stream —
+    phase index = entry index — so phase-structured suites record their
+    boundaries into the same streams buffered replay consumes.
     """
     system = SMPSystem(config)
-    if warmup > 0:
-        iterator = iter(accesses)
-        system.run(iterator, limit=warmup)
-        system.begin_measurement()
-        system.run(iterator)
-    else:
+    if warmup <= 0 and not phase_marks:
         system.run(accesses)
+    else:
+        iterator = iter(accesses)
+        position = 0
+        for stop, action in _boundary_schedule(warmup, phase_marks):
+            if stop > position:
+                system.run(iterator, limit=stop - position)
+                position = stop
+            if action < 0:
+                system.begin_measurement()
+            else:
+                system.mark_phase(action)
+        system.run(iterator)
     system.finish()
     return system.result(workload)
 
@@ -516,15 +560,16 @@ def simulate_streaming(
     warmup: int = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     sinks: Iterable[ShardConsumer] = (),
+    phase_marks=(),
 ) -> SimResult:
     """Single-pass, bounded-memory sibling of :func:`simulate`.
 
     The run is identical access for access — same warm-up handling, same
-    statistics — but instead of accumulating every node's event stream,
-    events are cut into shards of at most ``chunk_size`` accesses and
-    pushed to ``sinks`` (typically one
-    :class:`~repro.core.stats.StreamingFilterBank` per filter
-    configuration) as the simulation advances.  Peak memory is
+    statistics, same ``phase_marks`` semantics — but instead of
+    accumulating every node's event stream, events are cut into shards
+    of at most ``chunk_size`` accesses and pushed to ``sinks``
+    (typically one :class:`~repro.core.stats.StreamingFilterBank` per
+    filter configuration) as the simulation advances.  Peak memory is
     O(chunk_size), independent of trace length; the returned result is
     metrics-only (``event_streams == []``) with node, bus, and access
     counters equal to what :func:`simulate` would report.
@@ -532,16 +577,25 @@ def simulate_streaming(
     system = SMPSystem(config)
     sinks = list(sinks)
     iterator = iter(accesses)
-    if warmup > 0:
-        for shard in system.run_chunked(iterator, chunk_size, limit=warmup):
-            for sink in sinks:
-                sink.consume(shard)
-        system.begin_measurement()
+    position = 0
+    for stop, action in _boundary_schedule(warmup, phase_marks):
+        if stop > position:
+            for shard in system.run_chunked(
+                iterator, chunk_size, limit=stop - position
+            ):
+                for sink in sinks:
+                    sink.consume(shard)
+            position = stop
+        if action < 0:
+            system.begin_measurement()
+        else:
+            system.mark_phase(action)
     for shard in system.run_chunked(iterator, chunk_size):
         for sink in sinks:
             sink.consume(shard)
-    # The warm-up MARKER (and nothing else) can remain pending when the
-    # measured region is empty or the stream ended exactly at a boundary.
+    # A warm-up or PHASE marker (and nothing else) can remain pending
+    # when the region after it is empty or the stream ended exactly at a
+    # boundary.
     residue = system.take_shard()
     if any(stream.events for stream in residue):
         for sink in sinks:

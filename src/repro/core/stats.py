@@ -47,6 +47,15 @@ The MARKER pseudo-event separates the cache warm-up prefix from the
 measured region: filter *state* accumulates through it, statistics
 restart at it.
 
+A MARKER whose flag bits are non-zero is a *PHASE* marker: flag
+:data:`PHASE_FLAG`, phase index in the block bits.  It closes the
+running phase's statistics slice — filter state and the cumulative
+coverage counters persist untouched — so suites of phase-structured
+workloads get per-phase splits (``FilterEvaluation.phases``) for free
+in both replay kernels.  Bare MARKERs (flag 0) keep their historical
+warm-up meaning, which is why recordings made before phases existed
+replay byte-identically.
+
 The replay cross-checks the JETTY safety guarantee on every filtered
 snoop and raises :class:`~repro.errors.FilterSafetyError` on a
 violation.
@@ -77,7 +86,7 @@ Replay comes in three shapes sharing one kernel (:class:`EventReplayer`):
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.base import FilterEventCounts, SnoopFilter
 from repro.errors import ConfigurationError, FilterSafetyError
@@ -101,6 +110,12 @@ KIND_MASK = 0b11
 FLAG_SHIFT = 2
 FLAG_MASK = 0b11
 BLOCK_SHIFT = 4
+
+#: MARKER flag distinguishing a PHASE boundary (phase index in the
+#: block bits) from the bare warm-up MARKER (flag 0).  Flag-encoded so
+#: the 64-bit layout, existing trace bytes, and the store schema are
+#: all untouched.
+PHASE_FLAG = 1
 
 #: A packed event.  (Historically a ``(kind, block, flag)`` tuple; the
 #: store codec still speaks triples on disk.)
@@ -155,6 +170,12 @@ class NodeEventStream:
     def marker(self) -> None:
         """Mark the end of warm-up; replay statistics restart here."""
         self.events.append(MARKER)
+
+    def phase(self, index: int) -> None:
+        """Mark a phase boundary: statistics split here, state persists."""
+        self.events.append(
+            MARKER | (PHASE_FLAG << FLAG_SHIFT) | (index << BLOCK_SHIFT)
+        )
 
     def triples(self) -> list[tuple[int, int, int]]:
         """The stream decoded to ``(kind, block, flag)`` triples."""
@@ -216,6 +237,28 @@ class CoverageStats:
 
 
 @dataclass
+class PhaseStats:
+    """One phase's slice of an evaluation (coverage plus L2 churn).
+
+    Filter *energy* counts are deliberately absent: filter state (and
+    therefore its probe/insert activity) spans phase boundaries, so only
+    the additive statistics — coverage counters, allocations, evictions
+    — split meaningfully per phase.
+    """
+
+    coverage: CoverageStats
+    allocs: int = 0
+    evicts: int = 0
+
+    def merged_with(self, other: "PhaseStats") -> "PhaseStats":
+        return PhaseStats(
+            coverage=self.coverage.merged_with(other.coverage),
+            allocs=self.allocs + other.allocs,
+            evicts=self.evicts + other.evicts,
+        )
+
+
+@dataclass
 class FilterEvaluation:
     """The full result of replaying one event stream through one filter."""
 
@@ -225,6 +268,9 @@ class FilterEvaluation:
     storage_bits: int
     allocs: int = 0
     evicts: int = 0
+    #: Per-phase slices, in phase order, for phase-structured suites;
+    #: empty for plain workloads (and absent from their payload bytes).
+    phases: dict = field(default_factory=dict)
 
 
 def merge_evaluations(evaluations: list[FilterEvaluation]) -> FilterEvaluation:
@@ -249,6 +295,11 @@ def merge_evaluations(evaluations: list[FilterEvaluation]) -> FilterEvaluation:
         merged.events = merged.events.merged_with(evaluation.events)
         merged.allocs += evaluation.allocs
         merged.evicts += evaluation.evicts
+        for name, phase in evaluation.phases.items():
+            present = merged.phases.get(name)
+            merged.phases[name] = (
+                phase if present is None else present.merged_with(phase)
+            )
     return merged
 
 
@@ -324,6 +375,46 @@ class PackedSegment:
             return value
 
 
+def phases_from_marks(marks, totals, phase_names) -> dict:
+    """Build the per-phase split from boundary snapshots plus final totals.
+
+    ``marks`` is the ordered list of ``(phase_index, totals_at_boundary)``
+    snapshots a replayer took at each PHASE marker, where a totals tuple
+    is ``(snoops, would_hit, would_miss, filtered, allocs, evicts)``
+    *cumulative since the warm-up MARKER*; ``totals`` is the same tuple
+    at end of stream, closing the last phase.  Each phase's slice is the
+    delta between consecutive snapshots — the property that makes the
+    split identical whichever kernel (or shard/segment boundaries)
+    produced the snapshots.  Both replay kernels share this one builder
+    so their ``phases`` dicts are structurally identical.
+    """
+    if not marks:
+        return {}
+    phases: dict = {}
+    bounds = list(marks) + [(None, totals)]
+    for (index, start), (_next, end) in zip(bounds, bounds[1:]):
+        name = (
+            phase_names[index]
+            if 0 <= index < len(phase_names)
+            else f"phase-{index}"
+        )
+        delta = [after - before for before, after in zip(start, end)]
+        phases[name] = PhaseStats(
+            # Keyword construction: the totals tuple is documented
+            # (snoops, would_hit, would_miss, filtered), which is NOT
+            # CoverageStats's positional field order.
+            coverage=CoverageStats(
+                snoops=delta[0],
+                snoop_would_hit=delta[1],
+                snoop_would_miss=delta[2],
+                filtered=delta[3],
+            ),
+            allocs=delta[4],
+            evicts=delta[5],
+        )
+    return phases
+
+
 def _bound_hook(snoop_filter: SnoopFilter, public: str, hook: str):
     """The cheapest correct bound callable for one filter event hook.
 
@@ -353,12 +444,18 @@ class EventReplayer:
     fed events, never on where the shard boundaries fell.
     """
 
-    def __init__(self, snoop_filter: SnoopFilter, node_id: int) -> None:
+    def __init__(
+        self, snoop_filter: SnoopFilter, node_id: int, phase_names=()
+    ) -> None:
         self.snoop_filter = snoop_filter
         self.node_id = node_id
         self.stats = CoverageStats()
         self.allocs = 0
         self.evicts = 0
+        #: Phase index -> display name (``phase-<i>`` when unnamed).
+        self.phase_names = tuple(phase_names)
+        #: ``(phase_index, cumulative totals)`` at each PHASE marker.
+        self._phase_marks: list = []
 
     def feed(self, events) -> None:
         """Consume one batch of packed events (a whole stream or shard).
@@ -413,11 +510,28 @@ class EventReplayer:
                     evicts += 1
                     if on_evict is not None:
                         on_evict(event >> 4)
+                elif event & 0b1100:  # PHASE: close the running slice.
+                    stats = self.stats
+                    stats.snoops += snoops
+                    stats.snoop_would_hit += would_hit
+                    stats.snoop_would_miss += would_miss
+                    stats.filtered += filtered
+                    self.allocs += allocs
+                    self.evicts += evicts
+                    snoops = would_hit = would_miss = filtered = 0
+                    allocs = evicts = 0
+                    self._phase_marks.append((
+                        event >> 4,
+                        (stats.snoops, stats.snoop_would_hit,
+                         stats.snoop_would_miss, stats.filtered,
+                         self.allocs, self.evicts),
+                    ))
                 else:  # MARKER: warm-up ends, statistics restart, state persists.
                     snoops = would_hit = would_miss = filtered = 0
                     allocs = evicts = 0
                     self.stats = CoverageStats()
                     self.allocs = self.evicts = 0
+                    self._phase_marks.clear()
                     snoop_filter.reset_counts()
         finally:
             stats = self.stats
@@ -434,13 +548,21 @@ class EventReplayer:
 
     def finish(self) -> FilterEvaluation:
         """Package the accumulated statistics of everything fed so far."""
+        stats = self.stats
         return FilterEvaluation(
             filter_name=self.snoop_filter.name,
-            coverage=self.stats,
+            coverage=stats,
             events=self.snoop_filter.energy_counts(),
             storage_bits=self.snoop_filter.storage_bits(),
             allocs=self.allocs,
             evicts=self.evicts,
+            phases=phases_from_marks(
+                self._phase_marks,
+                (stats.snoops, stats.snoop_would_hit,
+                 stats.snoop_would_miss, stats.filtered,
+                 self.allocs, self.evicts),
+                self.phase_names,
+            ),
         )
 
     def snapshot(self) -> dict:
@@ -452,18 +574,29 @@ class EventReplayer:
         finishes with exactly the evaluation an uninterrupted replay
         produces.
         """
-        return {
+        state = {
             "stats": vars(self.stats).copy(),
             "allocs": self.allocs,
             "evicts": self.evicts,
             "filter": self.snoop_filter.snapshot(),
         }
+        # Key present only when marks exist: pre-phase checkpoint payloads
+        # keep their exact shape, and plain-workload snapshots stay small.
+        if self._phase_marks:
+            state["phases"] = [
+                [index, list(totals)] for index, totals in self._phase_marks
+            ]
+        return state
 
     def restore(self, state: dict) -> None:
         """Adopt a snapshot taken from an identically configured replayer."""
         self.stats = CoverageStats(**state["stats"])
         self.allocs = state["allocs"]
         self.evicts = state["evicts"]
+        self._phase_marks = [
+            (index, tuple(totals))
+            for index, totals in state.get("phases", ())
+        ]
         self.snoop_filter.restore(state["filter"])
 
 
@@ -489,13 +622,19 @@ class StreamingFilterBank:
     (:meth:`snapshot`/:meth:`restore`) requires ``"python"``.
     """
 
-    def __init__(self, filters: list[SnoopFilter], kernel: str = "python") -> None:
+    def __init__(
+        self,
+        filters: list[SnoopFilter],
+        kernel: str = "python",
+        phase_names=(),
+    ) -> None:
         if kernel not in REPLAY_KERNELS:
             raise ConfigurationError(
                 f"unknown replay kernel {kernel!r}; choose from "
                 f"{', '.join(REPLAY_KERNELS)}"
             )
         self.kernel = kernel
+        phase_names = tuple(phase_names)
         self.replayers: list = []
         if kernel == "python":
             replayer_for = None
@@ -513,12 +652,12 @@ class StreamingFilterBank:
                 replayer_for = vector_replay.replayer_for
         for node_id, snoop_filter in enumerate(filters):
             replayer = (
-                replayer_for(snoop_filter, node_id)
+                replayer_for(snoop_filter, node_id, phase_names)
                 if replayer_for is not None
                 else None
             )
             if replayer is None:
-                replayer = EventReplayer(snoop_filter, node_id)
+                replayer = EventReplayer(snoop_filter, node_id, phase_names)
             self.replayers.append(replayer)
 
     def consume(self, shard: list[NodeEventStream]) -> None:

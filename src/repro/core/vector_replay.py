@@ -59,6 +59,7 @@ from repro.core.stats import (
     FilterEvaluation,
     MARKER,
     PackedSegment,
+    phases_from_marks,
 )
 from repro.core.vector_exclude import VectorExcludeJetty
 from repro.errors import CoherenceError, ConfigurationError, FilterSafetyError
@@ -79,7 +80,7 @@ def numpy_available() -> bool:
     return _np is not None
 
 
-def replayer_for(snoop_filter: SnoopFilter, node_id: int):
+def replayer_for(snoop_filter: SnoopFilter, node_id: int, phase_names=()):
     """A vector replayer for ``snoop_filter``, or ``None`` to fall back.
 
     Selection is deliberately exact-type-based: a *subclass* of a
@@ -91,13 +92,13 @@ def replayer_for(snoop_filter: SnoopFilter, node_id: int):
     kind = type(snoop_filter)
     if kind is ExcludeJetty:
         if snoop_filter.sets <= _MAX_INDEX_SPACE:
-            return _ExcludeReplayer(snoop_filter, node_id)
+            return _ExcludeReplayer(snoop_filter, node_id, phase_names)
     elif kind is VectorExcludeJetty:
         if snoop_filter.sets <= _MAX_INDEX_SPACE:
-            return _VectorExcludeReplayer(snoop_filter, node_id)
+            return _VectorExcludeReplayer(snoop_filter, node_id, phase_names)
     elif kind is IncludeJetty:
         if snoop_filter.entry_bits <= 16:
-            return _IncludeReplayer(snoop_filter, node_id)
+            return _IncludeReplayer(snoop_filter, node_id, phase_names)
     elif kind is HybridJetty:
         include, exclude = snoop_filter.include, snoop_filter.exclude
         if (
@@ -106,7 +107,7 @@ def replayer_for(snoop_filter: SnoopFilter, node_id: int):
             and type(exclude) in (ExcludeJetty, VectorExcludeJetty)
             and exclude.sets <= _MAX_INDEX_SPACE
         ):
-            return _HybridReplayer(snoop_filter, node_id)
+            return _HybridReplayer(snoop_filter, node_id, phase_names)
     return None
 
 
@@ -369,13 +370,20 @@ class VectorReplayer:
     Python kernel), and :meth:`snapshot`/:meth:`restore` say so loudly.
     """
 
-    def __init__(self, snoop_filter: SnoopFilter, node_id: int) -> None:
+    def __init__(
+        self, snoop_filter: SnoopFilter, node_id: int, phase_names=()
+    ) -> None:
         self.snoop_filter = snoop_filter
         self.node_id = node_id
         self.stats = CoverageStats()
         self.allocs = 0
         self.evicts = 0
         self.counts = FilterEventCounts()
+        self.phase_names = tuple(phase_names)
+        #: ``(phase_index, cumulative totals)`` at each PHASE marker —
+        #: the same snapshot shape the oracle keeps, so both kernels
+        #: derive their per-phase splits through one builder.
+        self._phase_marks: list = []
 
     def feed(self, events) -> None:
         """Consume one batch of packed events (any iterable shape)."""
@@ -387,9 +395,11 @@ class VectorReplayer:
         """Consume a shared decoded segment, splitting at MARKERs.
 
         Between markers a span is a pure SNOOP/ALLOC/EVICT run — the
-        shape the span kernels assume.  A MARKER resets statistics and
-        synthesised counts exactly as the oracle's warm-up reset does;
-        filter state carries across.
+        shape the span kernels assume.  A bare MARKER resets statistics
+        and synthesised counts exactly as the oracle's warm-up reset
+        does; a PHASE marker (non-zero flag) only snapshots the running
+        totals, closing the phase's slice.  Filter state carries across
+        both.
         """
         arr = segment.array()
         n = arr.size
@@ -402,22 +412,41 @@ class VectorReplayer:
         for marker in markers.tolist():
             if marker > lo:
                 self._span(segment, lo, marker)
-            self.stats = CoverageStats()
-            self.allocs = self.evicts = 0
-            self.counts = FilterEventCounts()
+            event = int(arr[marker])
+            if event & 0b1100:  # PHASE: close the running slice.
+                stats = self.stats
+                self._phase_marks.append((
+                    event >> 4,
+                    (stats.snoops, stats.snoop_would_hit,
+                     stats.snoop_would_miss, stats.filtered,
+                     self.allocs, self.evicts),
+                ))
+            else:  # warm-up MARKER: statistics restart, state persists.
+                self.stats = CoverageStats()
+                self.allocs = self.evicts = 0
+                self.counts = FilterEventCounts()
+                self._phase_marks.clear()
             lo = marker + 1
         if n > lo:
             self._span(segment, lo, n)
 
     def finish(self) -> FilterEvaluation:
         """Package the accumulated statistics of everything fed so far."""
+        stats = self.stats
         return FilterEvaluation(
             filter_name=self.snoop_filter.name,
-            coverage=self.stats,
+            coverage=stats,
             events=self.counts,
             storage_bits=self.snoop_filter.storage_bits(),
             allocs=self.allocs,
             evicts=self.evicts,
+            phases=phases_from_marks(
+                self._phase_marks,
+                (stats.snoops, stats.snoop_would_hit,
+                 stats.snoop_would_miss, stats.filtered,
+                 self.allocs, self.evicts),
+                self.phase_names,
+            ),
         )
 
     def snapshot(self) -> dict:
@@ -475,8 +504,10 @@ class VectorReplayer:
 class _IncludeReplayer(VectorReplayer):
     """Fully vectorised IJ replay — no per-event Python loop at all."""
 
-    def __init__(self, snoop_filter: IncludeJetty, node_id: int) -> None:
-        super().__init__(snoop_filter, node_id)
+    def __init__(
+        self, snoop_filter: IncludeJetty, node_id: int, phase_names=()
+    ) -> None:
+        super().__init__(snoop_filter, node_id, phase_names)
         self._lanes = _IncludeLanes(snoop_filter)
 
     def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
@@ -575,8 +606,10 @@ class _ExcludeReplayer(_ExcludeLoopReplayer):
     becomes observable once re-filled, at MRU).
     """
 
-    def __init__(self, snoop_filter: ExcludeJetty, node_id: int) -> None:
-        super().__init__(snoop_filter, node_id)
+    def __init__(
+        self, snoop_filter: ExcludeJetty, node_id: int, phase_names=()
+    ) -> None:
+        super().__init__(snoop_filter, node_id, phase_names)
         self._dedup_mask = snoop_filter._index_mask
         self._stacks: list[list[int]] = [[] for _ in range(snoop_filter.sets)]
 
@@ -636,9 +669,9 @@ class _VectorExcludeReplayer(_ExcludeLoopReplayer):
     """
 
     def __init__(
-        self, snoop_filter: VectorExcludeJetty, node_id: int
+        self, snoop_filter: VectorExcludeJetty, node_id: int, phase_names=()
     ) -> None:
-        super().__init__(snoop_filter, node_id)
+        super().__init__(snoop_filter, node_id, phase_names)
         self._dedup_pre_shift = snoop_filter._vec_shift
         self._dedup_mask = snoop_filter._index_mask
         self._vectors: list[dict[int, int]] = [
@@ -720,8 +753,10 @@ class _HybridReplayer(_ExcludeLoopReplayer):
     in the span raises first, one later never gets the chance.
     """
 
-    def __init__(self, snoop_filter: HybridJetty, node_id: int) -> None:
-        super().__init__(snoop_filter, node_id)
+    def __init__(
+        self, snoop_filter: HybridJetty, node_id: int, phase_names=()
+    ) -> None:
+        super().__init__(snoop_filter, node_id, phase_names)
         exclude = snoop_filter.exclude
         self._lanes = _IncludeLanes(snoop_filter.include)
         self._vej = type(exclude) is VectorExcludeJetty

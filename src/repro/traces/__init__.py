@@ -39,6 +39,24 @@ from repro.traces.workloads import (
     apply_preset,
     build_workload_stream,
     get_workload,
+    resume_stream,
+    stream_fingerprint,
+)
+from repro.traces.profiles import (  # noqa: E402 — needs workloads loaded
+    PROFILE_ORDER,
+    PROFILES,
+    SharingProfile,
+    get_profile,
+)
+from repro.traces.suite import (  # noqa: E402 — needs profiles loaded
+    SUITE_ORDER,
+    SUITES,
+    Phase,
+    PhaseSpec,
+    Suite,
+    SuiteSpec,
+    SuiteStream,
+    canonical_suite,
 )
 
 __all__ = [
@@ -46,18 +64,32 @@ __all__ = [
     "MigratoryPattern",
     "MixStream",
     "PRESETS",
+    "PROFILES",
+    "PROFILE_ORDER",
     "Pattern",
     "PaperReference",
+    "Phase",
+    "PhaseSpec",
     "PrivateWorkingSet",
     "ProducerConsumer",
+    "SUITES",
+    "SUITE_ORDER",
     "SharedReadOnly",
+    "SharingProfile",
     "StreamingSweep",
+    "Suite",
+    "SuiteSpec",
+    "SuiteStream",
     "WORKLOADS",
     "WorkloadMix",
     "WorkloadSpec",
     "apply_preset",
     "build_workload_stream",
+    "canonical_suite",
+    "get_profile",
     "get_workload",
     "random_interleave",
+    "resume_stream",
     "round_robin",
+    "stream_fingerprint",
 ]

@@ -1,0 +1,375 @@
+"""Production sharing-profile library: named, parameterised mix factories.
+
+Where :mod:`repro.traces.workloads` models the paper's ten applications,
+this module catalogues the underlying *sharing behaviours* themselves as
+reusable profiles — the workload classes a datacenter capacity model
+would speak of (a read-mostly web tier, a scan-heavy analytics tier, a
+lock-migratory transactional tier) rather than individual benchmarks.
+
+Each profile is a parameterised factory: the module-level functions
+(:func:`zipf_hot`, :func:`producer_consumer_burst`, ...) take tuning
+knobs and return a frozen :class:`SharingProfile` whose
+:meth:`~SharingProfile.fingerprint` is a stable content hash of the
+fully resolved recipe.  The :data:`PROFILES` registry holds the default
+parameterisation of each factory; phase-structured suites
+(:mod:`repro.traces.suite`) compose profiles into multi-phase workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.traces.synth import WorkloadMix
+from repro.traces.workloads import KB, WorkloadSpec, build_recipe_mix
+
+#: Zeroed placeholder for specs that model a workload class rather than
+#: one of the paper's measured applications (no Table 2/3 row to cite).
+_NO_PAPER_FIELDS = dict(
+    accesses_millions=0.0,
+    memory_mbytes=0.0,
+    l1_hit_rate=0.0,
+    l2_hit_rate=0.0,
+    snoop_accesses_millions=0.0,
+    remote_hits=(0.0, 0.0, 0.0, 0.0),
+    snoop_miss_of_snoops=0.0,
+    snoop_miss_of_all=0.0,
+)
+
+
+@dataclass(frozen=True)
+class SharingProfile:
+    """One named sharing behaviour: a recipe plus its content identity.
+
+    ``recipe`` uses the same ``(kind, params)`` grammar as
+    :class:`~repro.traces.workloads.WorkloadSpec` and is built by the
+    same :func:`~repro.traces.workloads.build_recipe_mix` factory, so a
+    profile *is* a WorkloadMix factory — :meth:`build_mix` instantiates
+    it fresh (own region allocator, own pattern state) per call.
+    """
+
+    name: str
+    description: str
+    recipe: tuple[tuple[str, dict], ...]
+    #: Short-range reuse probability (see :class:`WorkloadMix`).
+    repeat_frac: float = 0.0
+
+    def build_mix(self, n_cpus: int = 4) -> WorkloadMix:
+        """Instantiate the profile's pattern mix for ``n_cpus`` CPUs."""
+        return build_recipe_mix(self.recipe, self.repeat_frac, n_cpus)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the fully resolved profile.
+
+        Hashes the resolved recipe (every parameter, not the factory
+        name), so two parameterisations of the same factory get distinct
+        fingerprints and a re-tuned profile never masquerades as its old
+        self in stored results or stream checkpoints.
+        """
+        payload = {
+            "name": self.name,
+            "repeat_frac": self.repeat_frac,
+            "recipe": [[kind, params] for kind, params in self.recipe],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def to_spec(
+        self,
+        n_accesses: int = 160_000,
+        warmup_accesses: int | None = None,
+    ) -> WorkloadSpec:
+        """Wrap the profile as a single-phase workload spec.
+
+        Gives a bare profile a seat in every spec-driven code path
+        (``run_sweep``, the experiment store, golden tests) without a
+        suite around it.
+        """
+        from repro.traces.workloads import PaperReference
+
+        if warmup_accesses is None:
+            warmup_accesses = int(40_000 / max(0.05, 1.0 - self.repeat_frac))
+        return WorkloadSpec(
+            name=f"profile:{self.name}",
+            abbrev=self.name[:2],
+            description=self.description,
+            paper=PaperReference(**_NO_PAPER_FIELDS),
+            n_accesses=n_accesses,
+            warmup_accesses=warmup_accesses,
+            repeat_frac=self.repeat_frac,
+            recipe=self.recipe,
+        )
+
+
+# ----------------------------------------------------------------------
+# Profile factories (parameterised; defaults feed the PROFILES registry)
+# ----------------------------------------------------------------------
+
+
+def zipf_hot(
+    hot_kb: int = 12,
+    alpha: float = 3.0,
+    write_frac: float = 0.05,
+    private_kb: int = 40,
+    hot_weight: float = 0.55,
+    repeat_frac: float = 0.55,
+) -> SharingProfile:
+    """Zipfian-skewed hot blocks: a tiny shared set absorbs most snoops.
+
+    The classic cache-friendly skew (popular keys, hot locks): a small
+    widely read region under a steep Zipf(``alpha``) with occasional
+    invalidating writes, over a base of private state.  Snoops mostly
+    *hit* remotely — the JETTY-family worst case, since exclude filters
+    learn nothing from blocks that are genuinely present everywhere.
+    """
+    return SharingProfile(
+        name="zipf-hot",
+        description="Zipf-skewed hot shared blocks over private state; "
+        "snoops concentrate on a tiny, widely cached set.",
+        recipe=(
+            ("shared_readonly", dict(weight=hot_weight, region_bytes=hot_kb * KB,
+                                     write_frac=write_frac, alpha=alpha)),
+            ("private", dict(weight=1.0 - hot_weight, ws_bytes=private_kb * KB,
+                             alpha=1.2)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+def producer_consumer_burst(
+    n_pairs: int = 4,
+    buffer_kb: int = 6,
+    consumer_reads: int = 2,
+    pc_weight: float = 0.5,
+    private_kb: int = 36,
+    repeat_frac: float = 0.5,
+) -> SharingProfile:
+    """Bursty producer–consumer: hand-off buffers ping-pong between pairs.
+
+    Neighbour CPU pairs exchange small buffers (producer writes a burst,
+    consumer reads it back ``consumer_reads`` times), so snoops find the
+    line in exactly one remote cache and ownership keeps flipping —
+    the pattern that stresses a filter's update latency.
+    """
+    return SharingProfile(
+        name="producer-consumer-burst",
+        description="Bursty pairwise hand-off buffers over private "
+        "compute; single-remote-hit snoops with flipping ownership.",
+        recipe=(
+            ("producer_consumer", dict(weight=pc_weight, n_pairs=n_pairs,
+                                       buffer_bytes=buffer_kb * KB,
+                                       consumer_reads=consumer_reads)),
+            ("private", dict(weight=1.0 - pc_weight, ws_bytes=private_kb * KB,
+                             alpha=1.2)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+def migratory_heavy(
+    n_objects: int = 48,
+    holder_accesses: int = 6,
+    mig_weight: float = 0.30,
+    private_kb: int = 40,
+    repeat_frac: float = 0.55,
+) -> SharingProfile:
+    """Migratory-heavy: critical-section objects hop from CPU to CPU.
+
+    Lock-protected records (``n_objects`` of them) are read-modified by
+    one holder at a time for ``holder_accesses`` accesses, then migrate.
+    Every migration is a remote dirty hit followed by an invalidation —
+    transactional-tier behaviour.
+    """
+    return SharingProfile(
+        name="migratory-heavy",
+        description="Critical-section objects migrating between holders "
+        "over private state; remote dirty hits dominate snoops.",
+        recipe=(
+            ("migratory", dict(weight=mig_weight, n_objects=n_objects,
+                               holder_accesses=holder_accesses)),
+            ("private", dict(weight=1.0 - mig_weight, ws_bytes=private_kb * KB,
+                             alpha=1.2)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+def read_mostly_web(
+    shared_kb: int = 96,
+    write_frac: float = 0.004,
+    alpha: float = 1.4,
+    shared_weight: float = 0.6,
+    session_kb: int = 28,
+    repeat_frac: float = 0.7,
+) -> SharingProfile:
+    """Read-mostly web tier: a large, almost-never-written shared corpus.
+
+    Templates, config, and cached content shared by every CPU with a
+    mild popularity skew and rare invalidating updates, plus small
+    per-CPU session state.  After warm-up nearly every snoop would hit
+    remotely; the interesting question is how much a filter still saves
+    on the private-session misses.
+    """
+    return SharingProfile(
+        name="read-mostly-web",
+        description="Large read-mostly shared corpus with rare updates "
+        "plus small per-CPU session state (web-serving tier).",
+        recipe=(
+            ("shared_readonly", dict(weight=shared_weight,
+                                     region_bytes=shared_kb * KB,
+                                     write_frac=write_frac, alpha=alpha)),
+            ("private", dict(weight=1.0 - shared_weight,
+                             ws_bytes=session_kb * KB, alpha=1.6)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+def scan_stream(
+    partition_kb: int = 640,
+    write_frac: float = 0.2,
+    remote_frac: float = 0.05,
+    stream_weight: float = 0.7,
+    private_kb: int = 32,
+    repeat_frac: float = 0.3,
+) -> SharingProfile:
+    """Scan/stream tier: sequential sweeps over partitions far beyond L2.
+
+    Analytics-style table scans: each CPU sweeps its own large partition
+    (with a small ``remote_frac`` of cross-partition reads at the
+    boundaries), so misses are compulsory/capacity and snoops almost
+    always miss everywhere — the exclude-filter best case.
+    """
+    return SharingProfile(
+        name="scan-stream",
+        description="Sequential scans over per-CPU partitions larger "
+        "than cache; snoops nearly always miss remotely (analytics tier).",
+        recipe=(
+            ("streaming", dict(weight=stream_weight,
+                               partition_bytes=partition_kb * KB,
+                               write_frac=write_frac,
+                               remote_frac=remote_frac,
+                               boundary_bytes=8 * KB)),
+            ("private", dict(weight=1.0 - stream_weight,
+                             ws_bytes=private_kb * KB, alpha=1.2)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+def private_compute(
+    ws_kb: int = 44,
+    spill_kb: int = 384,
+    spill_weight: float = 0.12,
+    repeat_frac: float = 0.75,
+) -> SharingProfile:
+    """Private compute: per-CPU working sets, effectively no sharing.
+
+    Batch/HPC kernels on partitioned data: a hot per-CPU set plus a
+    colder spill region.  All snoop traffic comes from conflict misses,
+    and every snoop misses in every remote cache — the upper bound on
+    what any snoop filter can save.
+    """
+    return SharingProfile(
+        name="private-compute",
+        description="Per-CPU private working sets with a cold spill "
+        "region; essentially every snoop misses remotely.",
+        recipe=(
+            ("private", dict(weight=1.0 - spill_weight, ws_bytes=ws_kb * KB,
+                             alpha=1.2)),
+            ("private", dict(weight=spill_weight, ws_bytes=spill_kb * KB,
+                             alpha=1.2, run_mean=16)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+def shared_hot_write(
+    hot_kb: int = 8,
+    write_frac: float = 0.18,
+    alpha: float = 2.2,
+    hot_weight: float = 0.35,
+    n_objects: int = 24,
+    private_kb: int = 36,
+    repeat_frac: float = 0.5,
+) -> SharingProfile:
+    """Write-shared hot set: contended counters and frequently-taken locks.
+
+    A small shared region written nearly a fifth of the time (statistics
+    counters, sequence locks) combined with migratory lock records —
+    heavy invalidation traffic that churns remote directories and filter
+    state alike.
+    """
+    return SharingProfile(
+        name="shared-hot-write",
+        description="Small write-contended shared set plus migratory "
+        "locks; invalidation churn stresses filter state.",
+        recipe=(
+            ("shared_readonly", dict(weight=hot_weight, region_bytes=hot_kb * KB,
+                                     write_frac=write_frac, alpha=alpha)),
+            ("migratory", dict(weight=0.12, n_objects=n_objects,
+                               holder_accesses=4)),
+            ("private", dict(weight=1.0 - hot_weight - 0.12,
+                             ws_bytes=private_kb * KB, alpha=1.2)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+def mixed_tier(
+    repeat_frac: float = 0.6,
+) -> SharingProfile:
+    """Balanced mix: every sharing behaviour at moderate weight.
+
+    The "no dominant pattern" control: private compute, a streaming
+    component, pairwise hand-off, migratory locks, and a read-mostly
+    shared region all present at once.  Filters that win here win on
+    breadth, not on exploiting one pathology.
+    """
+    return SharingProfile(
+        name="mixed-tier",
+        description="All five sharing behaviours at moderate weight; "
+        "the no-dominant-pattern control workload.",
+        recipe=(
+            ("private", dict(weight=0.45, ws_bytes=40 * KB, alpha=1.2)),
+            ("streaming", dict(weight=0.18, partition_bytes=256 * KB,
+                               write_frac=0.25)),
+            ("producer_consumer", dict(weight=0.15, n_pairs=3,
+                                       buffer_bytes=8 * KB)),
+            ("migratory", dict(weight=0.07, n_objects=32)),
+            ("shared_readonly", dict(weight=0.15, region_bytes=20 * KB,
+                                     write_frac=0.03, alpha=1.5)),
+        ),
+        repeat_frac=repeat_frac,
+    )
+
+
+#: Default parameterisation of every profile factory, in catalogue order.
+PROFILES: dict[str, SharingProfile] = {
+    profile.name: profile
+    for profile in (
+        zipf_hot(),
+        producer_consumer_burst(),
+        migratory_heavy(),
+        read_mostly_web(),
+        scan_stream(),
+        private_compute(),
+        shared_hot_write(),
+        mixed_tier(),
+    )
+}
+
+#: Catalogue presentation order.
+PROFILE_ORDER = tuple(PROFILES)
+
+
+def get_profile(name: str) -> SharingProfile:
+    """Look up a profile by name in the default registry."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown sharing profile {name!r}; choose from {sorted(PROFILES)}"
+        ) from None

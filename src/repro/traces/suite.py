@@ -1,0 +1,357 @@
+"""Phase-structured workload suites: compose sharing profiles over time.
+
+Real services are not stationary: a web tier warms its cache, then an
+analytics scan sweeps through, then steady state resumes.  A *suite*
+expresses exactly that —
+
+    Suite([
+        Phase("warm", "read-mostly-web", 80_000),
+        Phase("scan", "scan-stream", 60_000),
+        Phase("settle", "read-mostly-web", 80_000),
+    ], name="flip-web-scan")
+
+— and produces a :class:`SuiteSpec`, a drop-in
+:class:`~repro.traces.workloads.WorkloadSpec` whose phase boundaries
+are emitted as PHASE marker events through the packed event stream
+(flag-encoded alongside the warm-up MARKER; see
+:mod:`repro.core.stats`).  Both replay kernels split statistics at the
+markers, so every :class:`~repro.core.stats.FilterEvaluation` for a
+suite carries byte-identical per-phase metrics in ``phases`` across
+live-streamed, recorded-replay, and checkpoint-resumed runs.
+
+Phase lengths scale proportionally when ``n_accesses`` is overridden
+(``--accesses``, presets): boundaries are fixed fractions of the run,
+not absolute counts.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.traces.profiles import PROFILES, SharingProfile, get_profile
+from repro.traces.synth.mix import check_stream_fingerprint
+from repro.traces.workloads import (
+    PaperReference,
+    WorkloadSpec,
+    build_recipe_mix,
+)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One resolved phase: a named slice of the run under one profile.
+
+    Self-contained: the profile's recipe is copied in at construction,
+    so a suite's identity (and its stream fingerprint) captures the
+    profile *as parameterised then*, not whatever the registry holds
+    later.
+    """
+
+    name: str
+    #: Name of the profile this phase was built from (informational).
+    profile: str
+    #: Nominal accesses at the suite's nominal length; actual phase
+    #: lengths are scaled proportionally to the effective ``n_accesses``.
+    accesses: int
+    repeat_frac: float
+    recipe: tuple[tuple[str, dict], ...]
+
+
+def Phase(
+    name: str,
+    profile: SharingProfile | str,
+    accesses: int,
+) -> PhaseSpec:
+    """Declare one suite phase: ``accesses`` accesses under ``profile``.
+
+    ``profile`` is a :class:`SharingProfile` or a registry name
+    (:data:`~repro.traces.profiles.PROFILES`).  The profile is resolved
+    *now* — the returned :class:`PhaseSpec` owns a copy of its recipe.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    if accesses < 1:
+        raise ConfigurationError(
+            f"phase {name!r} needs a positive access count, got {accesses}"
+        )
+    return PhaseSpec(
+        name=name,
+        profile=profile.name,
+        accesses=accesses,
+        repeat_frac=profile.repeat_frac,
+        recipe=profile.recipe,
+    )
+
+
+@dataclass(frozen=True)
+class SuiteSpec(WorkloadSpec):
+    """A workload spec whose run is partitioned into profile phases.
+
+    Everything spec-shaped downstream (``run_sweep``, the experiment
+    store, ``replace(spec, n_accesses=...)`` overrides) works unchanged;
+    the phase structure only surfaces where it must — stream building
+    (:func:`build_suite_stream`), PHASE-mark scheduling
+    (:meth:`phase_marks`), and the store's spec fingerprint.
+    """
+
+    phases: tuple[PhaseSpec, ...] = ()
+
+    def phase_names(self) -> tuple[str, ...]:
+        """Phase names in run order (index ``i`` names PHASE ``i``)."""
+        return tuple(p.name for p in self.phases)
+
+    def phase_starts(self, n_accesses: int | None = None) -> tuple[int, ...]:
+        """Measured-region offsets where each phase begins.
+
+        Nominal phase lengths are scaled to the effective ``n_accesses``
+        by monotone cumulative scaling (``start = cum * n // total``), so
+        boundaries stay ordered, phase 0 starts at 0, and lengths sum
+        exactly to ``n`` for any override.
+        """
+        n = self.n_accesses if n_accesses is None else n_accesses
+        total = sum(p.accesses for p in self.phases)
+        starts = []
+        cum = 0
+        for p in self.phases:
+            starts.append(cum * n // total)
+            cum += p.accesses
+        return tuple(starts)
+
+    def phase_marks(
+        self,
+        n_accesses: int | None = None,
+        warmup_accesses: int | None = None,
+    ) -> tuple[int, ...]:
+        """Absolute stream positions (warm-up included) of PHASE marks.
+
+        Mark ``i`` is the position where phase ``i`` *starts*; mark 0
+        lands exactly on the warm-up boundary, so the PHASE(0) marker is
+        emitted just after the warm-up MARKER and the whole measured
+        region is covered by phases.
+        """
+        warmup = (
+            self.warmup_accesses if warmup_accesses is None else warmup_accesses
+        )
+        return tuple(warmup + s for s in self.phase_starts(n_accesses))
+
+
+def Suite(
+    phases: Sequence[PhaseSpec],
+    name: str | None = None,
+    description: str = "",
+    warmup_accesses: int = 40_000,
+) -> SuiteSpec:
+    """Compose phases into a :class:`SuiteSpec` (the suite DSL entry).
+
+    ``n_accesses`` is the sum of the nominal phase lengths; phase names
+    must be unique (they key the per-phase metric splits).
+    """
+    phases = tuple(phases)
+    if not phases:
+        raise ConfigurationError("a suite needs at least one phase")
+    names = [p.name for p in phases]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"duplicate phase names in suite: {names} — per-phase metrics "
+            "are keyed by name"
+        )
+    if name is None:
+        name = "suite(" + ",".join(names) + ")"
+    if not description:
+        description = "Phase-structured suite: " + " -> ".join(
+            f"{p.name}[{p.profile}]" for p in phases
+        )
+    return SuiteSpec(
+        name=name,
+        abbrev=name[:2],
+        description=description,
+        paper=PaperReference(
+            0.0, 0.0, 0.0, 0.0, 0.0, (0.0, 0.0, 0.0, 0.0), 0.0, 0.0
+        ),
+        n_accesses=sum(p.accesses for p in phases),
+        warmup_accesses=warmup_accesses,
+        repeat_frac=0.0,
+        recipe=(),
+        phases=phases,
+    )
+
+
+class SuiteStream(Iterator[tuple[int, int, bool]]):
+    """Concatenated per-phase streams behind the MixStream cursor protocol.
+
+    Each phase gets its own freshly built mix and
+    :class:`~repro.traces.synth.MixStream` (independent pattern state
+    and RNG, deterministically seeded per phase); this cursor walks them
+    in order.  ``take``/``chunks``/iteration/``checkpoint``/``resume``
+    behave exactly like a single MixStream, so the simulation engine and
+    checkpoint ladder are phase-agnostic.
+    """
+
+    def __init__(self, streams, fingerprint: str | None = None) -> None:
+        if not streams:
+            raise ConfigurationError("a suite stream needs at least one phase")
+        self._streams = list(streams)
+        self._cursor = 0
+        #: Suite-level identity (see workloads.stream_fingerprint);
+        #: rides inside every checkpoint, validated on resume.
+        self.fingerprint = fingerprint
+
+    @property
+    def remaining(self) -> int:
+        return sum(s.remaining for s in self._streams[self._cursor:])
+
+    @property
+    def position(self) -> int:
+        return sum(s.position for s in self._streams[: self._cursor + 1])
+
+    def __next__(self) -> tuple[int, int, bool]:
+        while self._cursor < len(self._streams):
+            stream = self._streams[self._cursor]
+            if stream.remaining > 0:
+                return next(stream)
+            self._cursor += 1
+        raise StopIteration
+
+    def take(self, count: int) -> list[tuple[int, int, bool]]:
+        """Pop up to ``count`` accesses, crossing phase boundaries."""
+        first = self._streams[self._cursor].take(count)
+        if self._streams[self._cursor].remaining > 0 or self._cursor + 1 >= len(
+            self._streams
+        ):
+            return first
+        # Phase exhausted mid-batch: stitch from the following phases.
+        out = first
+        while len(out) < count and self._cursor + 1 < len(self._streams):
+            self._cursor += 1
+            out.extend(self._streams[self._cursor].take(count - len(out)))
+        return out
+
+    def chunks(self, chunk_size: int):
+        """Yield the remaining accesses as bounded, in-order chunks."""
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        while True:
+            chunk = self.take(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+
+    def checkpoint(self) -> bytes:
+        """Serialise all phase cursors (consumed phases included)."""
+        return pickle.dumps(self)
+
+    @staticmethod
+    def resume(blob: bytes, fingerprint: str | None = None) -> "SuiteStream":
+        """Rebuild from :meth:`checkpoint`, validating suite identity.
+
+        Same contract (and the same pickle trust caveat) as
+        :meth:`repro.traces.synth.MixStream.resume`.
+        """
+        stream = pickle.loads(blob)
+        if not isinstance(stream, SuiteStream):
+            raise ConfigurationError(
+                f"not a SuiteStream checkpoint: {type(stream).__name__}"
+            )
+        check_stream_fingerprint(stream, fingerprint)
+        return stream
+
+
+def build_suite_stream(
+    spec: SuiteSpec,
+    n_cpus: int = 4,
+    n_accesses: int | None = None,
+    seed: int = 0,
+    include_warmup: bool = False,
+    fingerprint: str | None = None,
+) -> SuiteStream:
+    """Build the concatenated access stream for a suite.
+
+    Phase ``i`` draws from its own mix seeded by the suite seed mixed
+    with the phase's index and name — reordering, renaming, or resizing
+    any phase changes exactly the streams it should.  Warm-up accesses
+    (when included) extend phase 0's stream, matching
+    :meth:`SuiteSpec.phase_marks` placing mark 0 at the warm-up
+    boundary.
+    """
+    n = spec.n_accesses if n_accesses is None else n_accesses
+    starts = spec.phase_starts(n)
+    ends = starts[1:] + (n,)
+    lengths = [end - start for start, end in zip(starts, ends)]
+    if include_warmup:
+        lengths[0] += spec.warmup_accesses
+    base = seed * 1_000_003 + zlib.crc32(spec.name.encode())
+    streams = []
+    for index, (phase, length) in enumerate(zip(spec.phases, lengths)):
+        mix = build_recipe_mix(phase.recipe, phase.repeat_frac, n_cpus)
+        phase_seed = base + zlib.crc32(f"{index}:{phase.name}".encode())
+        streams.append(mix.generate(length, seed=phase_seed))
+    return SuiteStream(streams, fingerprint=fingerprint)
+
+
+# ----------------------------------------------------------------------
+# Canonical suites
+# ----------------------------------------------------------------------
+
+
+def canonical_suite(profile: SharingProfile | str) -> SuiteSpec:
+    """The profile's standard two-phase suite: ``ramp`` then ``steady``.
+
+    Both phases run the same profile; the split separates the filter's
+    learning transient (ramp: the measured region right after warm-up)
+    from its converged behaviour (steady).  This is the per-profile row
+    generator for the evaluation matrix.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    return Suite(
+        [
+            Phase("ramp", profile, 40_000),
+            Phase("steady", profile, 120_000),
+        ],
+        name=profile.name,
+        description=f"Canonical ramp/steady suite for {profile.name}: "
+        + profile.description,
+    )
+
+
+def _flip_suites() -> list[SuiteSpec]:
+    """Named phase-flipping mixes: profiles alternating mid-run."""
+    return [
+        Suite(
+            [
+                Phase("web", "read-mostly-web", 70_000),
+                Phase("scan", "scan-stream", 50_000),
+                Phase("settle", "read-mostly-web", 70_000),
+            ],
+            name="flip-web-scan",
+            description="Read-mostly web tier interrupted by an "
+            "analytics scan, then settling back.",
+        ),
+        Suite(
+            [
+                Phase("hot", "zipf-hot", 60_000),
+                Phase("txn", "migratory-heavy", 60_000),
+                Phase("burst", "producer-consumer-burst", 60_000),
+            ],
+            name="flip-hot-txn-burst",
+            description="Zipf-hot reads flipping to migratory "
+            "transactions, then a producer-consumer burst.",
+        ),
+    ]
+
+
+#: Named suite registry: one canonical ramp/steady suite per profile
+#: (keyed by the profile name) plus the phase-flipping mixes.  Resolved
+#: by :func:`repro.traces.workloads.get_workload` after the application
+#: workloads, so every suite name works anywhere a workload name does.
+SUITES: dict[str, SuiteSpec] = {
+    **{name: canonical_suite(name) for name in PROFILES},
+    **{suite.name: suite for suite in _flip_suites()},
+}
+
+#: Presentation order: profiles first (catalogue order), then flips.
+SUITE_ORDER = tuple(SUITES)

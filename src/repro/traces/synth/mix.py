@@ -62,7 +62,9 @@ class WorkloadMix:
                 return pattern
         return self.patterns[-1]
 
-    def generate(self, n_accesses: int, seed: int = 0) -> "MixStream":
+    def generate(
+        self, n_accesses: int, seed: int = 0, fingerprint: str | None = None
+    ) -> "MixStream":
         """Return a resumable stream of ``n_accesses`` accesses.
 
         The stream is an iterator (drop-in for the old generator) drawing
@@ -70,8 +72,10 @@ class WorkloadMix:
         reproduce equal streams.  Note that the mix's patterns are
         stateful and shared: interleaving two streams over the *same*
         mix instance correlates them — build a fresh mix per stream.
+        ``fingerprint`` stamps the stream with the identity of the spec
+        that built it, validated on :meth:`MixStream.resume`.
         """
-        return MixStream(self, n_accesses, seed)
+        return MixStream(self, n_accesses, seed, fingerprint=fingerprint)
 
 
 class MixStream(Iterator[tuple[int, int, bool]]):
@@ -87,10 +91,21 @@ class MixStream(Iterator[tuple[int, int, bool]]):
       this one stopped, without regenerating the prefix.
     """
 
-    def __init__(self, mix: WorkloadMix, n_accesses: int, seed: int = 0) -> None:
+    def __init__(
+        self,
+        mix: WorkloadMix,
+        n_accesses: int,
+        seed: int = 0,
+        fingerprint: str | None = None,
+    ) -> None:
         self.mix = mix
         self.remaining = n_accesses
         self.position = 0
+        #: Identity of the spec/profile that built this stream (a stable
+        #: content hash).  Rides inside every checkpoint so resume can
+        #: refuse a checkpoint generated under a different configuration
+        #: instead of silently continuing a diverged stream.
+        self.fingerprint = fingerprint
         self._rng = random.Random(seed)
         self._last: tuple[int, int, bool] | None = None
 
@@ -156,18 +171,44 @@ class MixStream(Iterator[tuple[int, int, bool]]):
         return pickle.dumps(self)
 
     @staticmethod
-    def resume(blob: bytes) -> "MixStream":
+    def resume(blob: bytes, fingerprint: str | None = None) -> "MixStream":
         """Rebuild a stream from :meth:`checkpoint`; continues exactly.
+
+        With ``fingerprint``, the checkpointed stream's own fingerprint
+        must match or :class:`ConfigurationError` is raised — resuming a
+        checkpoint that was generated under a different profile or spec
+        would silently produce a diverged access stream, the one failure
+        the byte-identical determinism contract cannot detect downstream.
 
         .. warning:: ``blob`` is a pickle and is executed on load —
            resume only checkpoints you wrote yourself, from storage you
            trust, exactly like any other pickle-based checkpoint file.
-           The type check below catches mix-ups (wrong file fed back),
-           not tampering.
+           The checks below catch mix-ups (wrong file fed back, stale
+           chain under a changed spec), not tampering.
         """
         stream = pickle.loads(blob)
         if not isinstance(stream, MixStream):
             raise ConfigurationError(
                 f"not a MixStream checkpoint: {type(stream).__name__}"
             )
+        check_stream_fingerprint(stream, fingerprint)
         return stream
+
+
+def check_stream_fingerprint(stream, fingerprint: str | None) -> None:
+    """Refuse a resumed stream whose spec fingerprint does not match.
+
+    ``None`` skips the check (legacy call sites that carry no identity);
+    a checkpoint written before fingerprints existed reads as ``None``
+    and never matches a requested fingerprint — stale chains fail loudly
+    rather than generating a diverged stream.
+    """
+    if fingerprint is None:
+        return
+    found = getattr(stream, "fingerprint", None)
+    if found != fingerprint:
+        raise ConfigurationError(
+            "stream checkpoint fingerprint mismatch: checkpoint carries "
+            f"{found!r}, resume expects {fingerprint!r} — refusing to "
+            "continue a stream generated under a different configuration"
+        )

@@ -17,11 +17,13 @@ discriminating power.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import zlib
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
-from repro.errors import WorkloadError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.traces.synth import (
     MigratoryPattern,
     MixStream,
@@ -31,6 +33,7 @@ from repro.traces.synth import (
     StreamingSweep,
     WorkloadMix,
 )
+from repro.traces.synth.mix import check_stream_fingerprint
 
 #: Spacing between pattern regions (4 MB) — far enough apart that region
 #: identity is visible in block-address bits 16 and up.
@@ -118,12 +121,7 @@ class WorkloadSpec:
 
     def build_mix(self, n_cpus: int = 4) -> WorkloadMix:
         """Instantiate the pattern mix for an ``n_cpus``-way system."""
-        allocator = _RegionAllocator()
-        components = []
-        for kind, params in self.recipe:
-            pattern, weight = _build_pattern(kind, params, n_cpus, allocator)
-            components.append((pattern, weight))
-        return WorkloadMix(components, repeat_frac=self.repeat_frac)
+        return build_recipe_mix(self.recipe, self.repeat_frac, n_cpus)
 
     def memory_bytes(self, n_cpus: int = 4) -> int:
         """Total data footprint of the recipe (Table 2's "MA" column)."""
@@ -141,6 +139,26 @@ class WorkloadSpec:
             elif kind == "shared_readonly":
                 total += params["region_bytes"]
         return total
+
+
+def build_recipe_mix(
+    recipe: Sequence[tuple[str, dict]],
+    repeat_frac: float = 0.0,
+    n_cpus: int = 4,
+) -> WorkloadMix:
+    """Instantiate a pattern-mix recipe with a fresh region allocator.
+
+    The shared factory behind :meth:`WorkloadSpec.build_mix`, the
+    sharing-profile library (:mod:`repro.traces.profiles`), and each
+    phase of a suite (:mod:`repro.traces.suite`): every caller gets its
+    own deterministic region layout starting from region 0.
+    """
+    allocator = _RegionAllocator()
+    components = []
+    for kind, params in recipe:
+        pattern, weight = _build_pattern(kind, params, n_cpus, allocator)
+        components.append((pattern, weight))
+    return WorkloadMix(components, repeat_frac=repeat_frac)
 
 
 def _pairs_for(n_cpus: int) -> list[tuple[int, int]]:
@@ -425,15 +443,59 @@ WORKLOAD_ORDER = tuple(WORKLOADS)
 
 
 def get_workload(name: str) -> WorkloadSpec:
-    """Look up a workload by full name or two-letter abbreviation."""
+    """Look up a workload, suite, or two-letter abbreviation by name."""
     if name in WORKLOADS:
         return WORKLOADS[name]
     for spec in WORKLOADS.values():
         if spec.abbrev == name:
             return spec
+    # Phase-structured suites live in their own registry; the import is
+    # lazy because repro.traces.suite builds on this module.
+    from repro.traces.suite import SUITES
+
+    if name in SUITES:
+        return SUITES[name]
     raise WorkloadError(
-        f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        f"unknown workload {name!r}; choose from "
+        f"{sorted(WORKLOADS) + sorted(SUITES)}"
     )
+
+
+def stream_fingerprint(
+    spec: WorkloadSpec,
+    n_cpus: int = 4,
+    seed: int = 0,
+    n_accesses: int | None = None,
+    include_warmup: bool = False,
+) -> str:
+    """Stable content hash of everything that shapes an access stream.
+
+    Stamped onto every stream built by :func:`build_workload_stream` and
+    carried inside stream checkpoints, so a resume under a different
+    spec, phase structure, seed, or CPU count is refused instead of
+    silently generating a diverged stream.  Intentionally independent of
+    the experiment store's spec fingerprint: this one hashes the stream
+    *inputs* (including seed and topology), not the cache identity.
+    """
+    payload = {
+        "name": spec.name,
+        "n_accesses": spec.n_accesses if n_accesses is None else n_accesses,
+        "warmup_accesses": spec.warmup_accesses,
+        "include_warmup": bool(include_warmup),
+        "repeat_frac": spec.repeat_frac,
+        "recipe": [[kind, params] for kind, params in spec.recipe],
+        "n_cpus": n_cpus,
+        "seed": seed,
+    }
+    phases = getattr(spec, "phases", ())
+    if phases:
+        payload["phases"] = [
+            [p.name, p.accesses, p.repeat_frac,
+             [[kind, params] for kind, params in p.recipe]]
+            for p in phases
+        ]
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def build_workload_stream(
@@ -442,7 +504,7 @@ def build_workload_stream(
     n_accesses: int | None = None,
     seed: int = 0,
     include_warmup: bool = False,
-) -> MixStream:
+):
     """Generate the interleaved access stream for one workload.
 
     The returned :class:`~repro.traces.synth.MixStream` is a lazy,
@@ -453,9 +515,32 @@ def build_workload_stream(
     With ``include_warmup`` the stream is prefixed by the spec's warm-up
     accesses (pass ``warmup=spec.warmup_accesses`` to
     :func:`repro.coherence.smp.simulate` to exclude them from statistics).
+
+    Phase-structured suites (:class:`repro.traces.suite.SuiteSpec`)
+    return a :class:`repro.traces.suite.SuiteStream` — same cursor
+    protocol, one per-phase sub-stream concatenated per the suite's
+    scaled phase schedule.
     """
     if isinstance(spec, str):
         spec = get_workload(spec)
+    fingerprint = stream_fingerprint(
+        spec,
+        n_cpus=n_cpus,
+        seed=seed,
+        n_accesses=n_accesses,
+        include_warmup=include_warmup,
+    )
+    if getattr(spec, "phases", ()):
+        from repro.traces.suite import build_suite_stream
+
+        return build_suite_stream(
+            spec,
+            n_cpus=n_cpus,
+            n_accesses=n_accesses,
+            seed=seed,
+            include_warmup=include_warmup,
+            fingerprint=fingerprint,
+        )
     mix = spec.build_mix(n_cpus)
     count = spec.n_accesses if n_accesses is None else n_accesses
     if include_warmup:
@@ -463,7 +548,30 @@ def build_workload_stream(
     # Distinct (but process-independent) seed per workload so equal seeds
     # do not correlate streams across workloads.
     stream_seed = seed * 1_000_003 + zlib.crc32(spec.name.encode())
-    return mix.generate(count, seed=stream_seed)
+    return mix.generate(count, seed=stream_seed, fingerprint=fingerprint)
+
+
+def resume_stream(blob: bytes, fingerprint: str | None = None):
+    """Resume any checkpointed access stream, validating its identity.
+
+    Dispatch-free counterpart to :meth:`MixStream.resume` /
+    :meth:`SuiteStream.resume`: accepts a checkpoint from either stream
+    type and, when ``fingerprint`` is given (from
+    :func:`stream_fingerprint` with the resume-side spec/seed/topology),
+    refuses a checkpoint generated under a different configuration with
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    import pickle
+
+    from repro.traces.suite import SuiteStream
+
+    stream = pickle.loads(blob)
+    if not isinstance(stream, (MixStream, SuiteStream)):
+        raise ConfigurationError(
+            f"not a stream checkpoint: {type(stream).__name__}"
+        )
+    check_stream_fingerprint(stream, fingerprint)
+    return stream
 
 
 def simulate_workload_accesses(

@@ -31,12 +31,14 @@ from repro.core.stats import (
     EVICT,
     EventReplayer,
     MARKER,
+    PHASE_FLAG,
     PackedSegment,
     REPLAY_KERNELS,
     SNOOP,
     StreamingFilterBank,
     pack_event,
 )
+from repro.traces.suite import Phase, Suite
 from repro.errors import (
     CoherenceError,
     ConfigurationError,
@@ -99,6 +101,22 @@ GOLDEN_WORKLOADS = (
 )
 
 
+#: A two-phase suite miniature: its simulated event streams carry PHASE
+#: markers mid-stream (the whole trace is far below one 2^18 trace
+#: segment, so every boundary lands *inside* a segment).
+SUITE_SPEC = Suite(
+    [Phase("fill", "zipf-hot", 1_500), Phase("drain", "scan-stream", 2_500)],
+    name="vector-suite",
+    warmup_accesses=1_000,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_streams():
+    """Per-node event streams of the suite miniature (PHASE markers in)."""
+    return runner.compute_sim(SUITE_SPEC, SCALED_SYSTEM, 1).event_streams
+
+
 @pytest.fixture(scope="module")
 def golden_streams():
     """``workload -> per-node event streams`` for the golden miniatures."""
@@ -116,10 +134,11 @@ def golden_streams():
             del WORKLOADS[spec.name]
 
 
-def _replay_bytes(filter_name, streams, kernel, chunk):
+def _replay_bytes(filter_name, streams, kernel, chunk, phase_names=()):
     """Encoded evaluation of one filter over per-node streams, batched."""
     bank = StreamingFilterBank(
-        runner._build_filters(filter_name, SCALED_SYSTEM), kernel=kernel
+        runner._build_filters(filter_name, SCALED_SYSTEM), kernel=kernel,
+        phase_names=phase_names,
     )
     for node_id, stream in enumerate(streams):
         events = stream.events
@@ -189,6 +208,56 @@ class TestOracleParity:
         # Post-marker tallies only.
         assert vector.stats.snoops == 2
         assert vector.allocs == 0 and vector.evicts == 1
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("filter_name", PARITY_FILTERS)
+    def test_phase_marker_mid_segment(self, suite_streams, filter_name, chunk):
+        """PHASE markers inside a segment: identical bytes, phases split."""
+        names = SUITE_SPEC.phase_names()
+        oracle = _replay_bytes(filter_name, suite_streams, "python", chunk,
+                               names)
+        vector = _replay_bytes(filter_name, suite_streams, "numpy", chunk,
+                               names)
+        assert vector == oracle, (filter_name, chunk)
+        evaluation = store_mod.decode_eval(vector)
+        # Canonical encoding sorts keys; consumers look phases up by name.
+        assert set(evaluation.phases) == set(names)
+        split = sum(p.coverage.snoops for p in evaluation.phases.values())
+        assert split == evaluation.coverage.snoops
+
+    @pytest.mark.parametrize("filter_name", PARITY_FILTERS)
+    def test_phase_boundary_exactly_at_segment_cut(self, filter_name):
+        """PHASE markers as a batch's last/first event: cut-invariant."""
+        block = 0x40
+        batches = [
+            # Warm-up reset then PHASE(0), both flush at the cut itself.
+            [_snoop(block), pack_event(ALLOC, 0x81), pack_event(MARKER, 0),
+             pack_event(MARKER, 0, PHASE_FLAG)],
+            # PHASE(1) lands exactly at the *end* of this batch.
+            [_snoop(block), _snoop(block),
+             pack_event(MARKER, 1, PHASE_FLAG)],
+            [_snoop(block + 16), pack_event(EVICT, 0x81),
+             _snoop(block + 16)],
+        ]
+        names = ("first", "second")
+        oracle = EventReplayer(_single_filter(filter_name), 0, names)
+        vector = vector_replay.replayer_for(
+            _single_filter(filter_name), 0, names
+        )
+        assert vector is not None
+        for batch in batches:
+            oracle.feed(list(batch))
+            vector.feed(list(batch))
+        oracle_eval, vector_eval = oracle.finish(), vector.finish()
+        assert store_mod.encode_eval(vector_eval) == (
+            store_mod.encode_eval(oracle_eval)
+        )
+        assert vector_eval.phases["first"].coverage.snoops == 2
+        assert vector_eval.phases["second"].coverage.snoops == 2
+        assert vector_eval.phases["second"].evicts == 1
+        # The warm-up MARKER right before PHASE(0) cleared pre-phase
+        # tallies: totals equal the per-phase sums.
+        assert vector_eval.coverage.snoops == 4
 
 
 # ----------------------------------------------------------------------
