@@ -295,9 +295,87 @@ def measure_phase_overhead(name: str, n_accesses: int, warmup: int,
     }
 
 
+def measure_supervision_overhead(name: str, n_accesses: int, warmup: int,
+                                 workers: int = 2, repeats: int = 3) -> dict:
+    """Supervision price on a clean replay fan-out: supervised vs raw pool.
+
+    Records one trace, then replays all four filter configurations twice
+    per repeat over the *same* task list: once through
+    :class:`~repro.analysis.resilience.SupervisedExecutor` (deadlines,
+    crash detection, retry bookkeeping armed but never firing) and once
+    through a bare ``ProcessPoolExecutor.map``.  Pool startup is paid by
+    both sides, the tasks are byte-identical, and each side takes the
+    best of ``repeats`` runs — the ratio is the supervision machinery's
+    price alone.  The budget is under 2% on a clean run
+    (``--assert-supervision-overhead 0.02`` guards it).
+    """
+    import concurrent.futures
+
+    from repro.analysis import store as store_mod
+    from repro.analysis.resilience import SupervisedExecutor
+    from repro.analysis.runner import (
+        _phase_plan,
+        _replay_task,
+        _segment_payload,
+        load_trace,
+    )
+
+    spec = _sized(name, n_accesses, warmup)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ExperimentStore(Path(tmp) / "bench-supervision.sqlite")
+        runner.execute_replays(
+            [runner.ReplayJob(name, ())],
+            experiment_store=store, specs={name: spec},
+        )
+        tkey = store_mod.trace_key(spec, SCALED_SYSTEM, 1)
+        loaded = load_trace(store, tkey)
+        assert loaded is not None  # the record job above just wrote it
+        path, segments = _segment_payload(store, loaded[1])
+        phase_names = _phase_plan(spec)[1]
+        tasks = [
+            (path, segments, SCALED_SYSTEM,
+             [(store_mod.eval_key(spec, f, SCALED_SYSTEM, 1), f)],
+             "auto", phase_names)
+            for f in FILTERS
+        ]
+
+        def raw_run() -> float:
+            started = time.perf_counter()
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                list(pool.map(_replay_task, tasks))
+            return time.perf_counter() - started
+
+        def supervised_run() -> float:
+            started = time.perf_counter()
+            SupervisedExecutor(workers, backend="process").map(
+                _replay_task, tasks
+            )
+            return time.perf_counter() - started
+
+        raw = min(raw_run() for _ in range(repeats))
+        supervised = min(supervised_run() for _ in range(repeats))
+        store.close()
+    overhead = max(0.0, supervised / raw - 1.0)
+    return {
+        "workload": name,
+        "accesses": n_accesses,
+        "warmup": warmup,
+        "filters": len(FILTERS),
+        "workers": workers,
+        "repeats": repeats,
+        "raw_seconds": round(raw, 3),
+        "supervised_seconds": round(supervised, 3),
+        "overhead_frac": round(overhead, 4),
+    }
+
+
 def run_benchmark(quick: bool, checkpoint_every: int | None = None,
                   phase_overhead: bool = False,
-                  phase_only: bool = False) -> dict:
+                  phase_only: bool = False,
+                  supervision_overhead: bool = False,
+                  supervision_only: bool = False) -> dict:
     s_acc, s_warm, b_acc, b_warm = QUICK_SIZES if quick else FULL_SIZES
     results: dict = {"streamed": {}, "buffered": {}, "replay": {}}
     if phase_overhead:
@@ -309,7 +387,19 @@ def run_benchmark(quick: bool, checkpoint_every: int | None = None,
         print(f"  plain {entry['plain_seconds']}s, phased "
               f"{entry['phased_seconds']}s = "
               f"{entry['overhead_frac']:+.1%} overhead")
-    if phase_only:
+    if supervision_overhead:
+        results["supervision"] = {}
+        # Floor the run length: the 2% budget is smaller than timer
+        # noise on sub-second measurements, even at best-of-repeats.
+        sup_acc = max(s_acc, 400_000)
+        print(f"supervision lu: {sup_acc:,} accesses, supervised vs raw "
+              "process pool on a clean replay fan-out ...", flush=True)
+        entry = measure_supervision_overhead("lu", sup_acc, s_warm)
+        results["supervision"]["lu"] = entry
+        print(f"  raw {entry['raw_seconds']}s, supervised "
+              f"{entry['supervised_seconds']}s = "
+              f"{entry['overhead_frac']:+.1%} overhead")
+    if phase_only or supervision_only:
         return results
     for name in BENCH_WORKLOADS:
         print(f"streamed {name}: {s_acc:,} accesses, "
@@ -442,9 +532,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure only the phase-accounting overhead, "
                         "skipping the streamed/buffered/replay modes "
                         "(requires --assert-phase-overhead)")
+    parser.add_argument("--assert-supervision-overhead", type=float,
+                        default=None, metavar="FRAC",
+                        help="also A/B the supervised executor against a "
+                        "raw process pool on a clean lu replay fan-out and "
+                        "fail when the overhead exceeds FRAC (e.g. 0.02 "
+                        "for the 2%% budget)")
+    parser.add_argument("--supervision-overhead-only", action="store_true",
+                        help="measure only the supervision overhead, "
+                        "skipping the streamed/buffered/replay modes "
+                        "(requires --assert-supervision-overhead)")
     args = parser.parse_args(argv)
     if args.phase_overhead_only and args.assert_phase_overhead is None:
         parser.error("--phase-overhead-only requires --assert-phase-overhead "
+                     "(nothing would be measured otherwise)")
+    if args.supervision_overhead_only and (
+        args.assert_supervision_overhead is None
+    ):
+        parser.error("--supervision-overhead-only requires "
+                     "--assert-supervision-overhead "
                      "(nothing would be measured otherwise)")
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         parser.error("--checkpoint-every must be >= 1")
@@ -459,6 +565,8 @@ def main(argv: list[str] | None = None) -> int:
         args.quick, args.checkpoint_every,
         phase_overhead=args.assert_phase_overhead is not None,
         phase_only=args.phase_overhead_only,
+        supervision_overhead=args.assert_supervision_overhead is not None,
+        supervision_only=args.supervision_overhead_only,
     )
     document = {
         "schema": 1,
@@ -484,6 +592,11 @@ def main(argv: list[str] | None = None) -> int:
         document["phase_overhead_frac"] = {
             name: entry["overhead_frac"]
             for name, entry in results["phase"].items()
+        }
+    if "supervision" in results:
+        document["supervision_overhead_frac"] = {
+            name: entry["overhead_frac"]
+            for name, entry in results["supervision"].items()
         }
 
     previous = {}
@@ -529,6 +642,15 @@ def main(argv: list[str] | None = None) -> int:
         if worst > args.assert_phase_overhead:
             print(f"FAIL: per-phase accounting overhead {worst:.1%} exceeds "
                   f"the {args.assert_phase_overhead:.1%} budget",
+                  file=sys.stderr)
+            return 1
+    if args.assert_supervision_overhead is not None:
+        worst = max(
+            document.get("supervision_overhead_frac", {"none": 0.0}).values()
+        )
+        if worst > args.assert_supervision_overhead:
+            print(f"FAIL: supervision overhead {worst:.1%} exceeds the "
+                  f"{args.assert_supervision_overhead:.1%} budget",
                   file=sys.stderr)
             return 1
     if args.assert_floor is not None and headline is not None and (

@@ -9,8 +9,13 @@ event shards into the store once, then evaluate any number of filters by
 replaying the persisted trace) — deduplicates them against an
 :class:`~repro.analysis.store.ExperimentStore`, and runs the misses
 either inline or on a pluggable executor backend (``serial``,
-``process`` — a ``multiprocessing`` pool, the default — or ``thread``
-via :mod:`concurrent.futures`).
+``process`` — a supervised process pool, the default — or ``thread``).
+Fan-out is *supervised* (see :mod:`repro.analysis.resilience`): worker
+crashes respawn the pool and requeue in-flight tasks, per-task
+deadlines kill stuck workers, failed attempts retry with deterministic
+backoff, and a task that exhausts its budget is quarantined — the
+sweep completes with partial results and the
+:class:`ExecutionReport` says exactly what happened.
 
 **Record once, replay many.**  A filter never alters coherence
 behaviour, so sweeping F filter configurations over one
@@ -71,8 +76,7 @@ store file — is independent of the caller's iteration order.
 from __future__ import annotations
 
 import base64
-import concurrent.futures
-import multiprocessing
+import logging
 import sqlite3
 import time
 import urllib.parse
@@ -80,6 +84,13 @@ import zlib
 from dataclasses import dataclass, field, replace
 
 from repro.analysis import store as store_mod
+from repro.analysis.resilience import (
+    QUARANTINED,
+    RetryPolicy,
+    SQLITE_RETRY_POLICY,
+    SupervisedExecutor,
+    retry_call,
+)
 from repro.analysis.store import ExperimentStore
 from repro.coherence.config import SCALED_SYSTEM, SystemConfig
 from repro.coherence.metrics import SimResult
@@ -99,7 +110,12 @@ from repro.core.stats import (
     TraceReader,
     replay_trace,
 )
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    ExecutionError,
+    ReproError,
+    StoreCorruptionError,
+)
 from repro.traces.workloads import (
     WorkloadSpec,
     apply_preset,
@@ -108,6 +124,8 @@ from repro.traces.workloads import (
     simulate_workload_accesses,
     stream_fingerprint,
 )
+
+_logger = logging.getLogger("repro.runner")
 
 #: A representative sweep when the CLI is given no ``--filters``: the best
 #: member of each family plus the paper's headline hybrid.
@@ -404,7 +422,10 @@ def _load_latest_checkpoint(
             state = store_mod.decode_checkpoint(blob)
             position = int(state["position"])
             usable = state.get("version") == 1
-        except Exception:
+        except (StoreCorruptionError, KeyError, ValueError, TypeError) as error:
+            # Corrupt or structurally wrong snapshot: fall back one
+            # watermark, loudly — silent swallowing hid corruption.
+            _logger.warning("discarding unusable checkpoint %s: %s", key, error)
             usable = False
         if not usable:
             experiment_store.delete_key(key)
@@ -444,7 +465,10 @@ def _validate_recording(
         try:
             events = store_mod.decode_trace_segment(blob)
             raw = events.tobytes()
-        except Exception:
+        except StoreCorruptionError as error:
+            _logger.warning(
+                "discarding truncated tail segment %s: %s", last_key, error
+            )
             experiment_store.delete_key(last_key)
             return False
         crc = sink_state["last_segment_crc"][node_id]
@@ -546,7 +570,19 @@ def _run_checkpointed(
             )
             position = int(state["position"])
             measured = bool(state["measured"])
-        except Exception:
+        except (ReproError, KeyError, ValueError, TypeError,
+                IndexError) as error:
+            # Decoded but failed to *restore*: structural damage
+            # surfaces as TraceError/StoreCorruptionError from the
+            # layers' restore methods, a diverged stream fingerprint
+            # as ConfigurationError, missing/mistyped fields as the
+            # builtin errors.  Delete the snapshot, rebuild the
+            # partially mutated layers, fall back a link.
+            _logger.warning(
+                "checkpoint %s failed to restore (%s: %s); "
+                "falling back to the previous watermark",
+                key, type(error).__name__, error,
+            )
             experiment_store.delete_key(key)
             system, banks, sink = build_fresh()
             continue
@@ -681,20 +717,40 @@ def _eval_group_task(
 
 #: Pluggable executor backends (the runner's ``backend=`` knob):
 #: ``serial`` runs inline whatever the worker count, ``process`` is the
-#: default ``multiprocessing`` pool (true parallelism for the CPU-bound
-#: simulate/replay kernels), and ``thread`` is a
-#: :class:`concurrent.futures.ThreadPoolExecutor` — GIL-bound for the
-#: pure-Python kernels, useful when tasks wait on I/O (store reads over
-#: slow storage) or when process spawn cost dwarfs the task.
+#: default supervised process pool (true parallelism for the CPU-bound
+#: simulate/replay kernels, plus crash detection and per-task
+#: deadlines), and ``thread`` is a supervised thread pool — GIL-bound
+#: for the pure-Python kernels, useful when tasks wait on I/O (store
+#: reads over slow storage) or when process spawn cost dwarfs the task.
+#: When process-pool creation itself fails the executor degrades
+#: process → thread → serial rather than dying.
 EXECUTOR_BACKENDS = ("serial", "process", "thread")
 
 
-def _map_tasks(worker, tasks, workers: int, backend: str | None = None):
+def _map_tasks(
+    worker,
+    tasks,
+    workers: int,
+    backend: str | None = None,
+    *,
+    stage: str = "task",
+    report: "ExecutionReport | None" = None,
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    fault_plan=None,
+):
     """Run ``worker`` over ``tasks`` on the selected executor backend.
 
     Results come back in task order on every backend, so the parent
     inserts them into the store in a deterministic sequence — which
-    executor ran a task can never change a stored byte.
+    executor ran a task can never change a stored byte.  Execution is
+    supervised (:class:`~repro.analysis.resilience.SupervisedExecutor`):
+    worker crashes respawn the pool and requeue in-flight tasks,
+    ``task_timeout`` enforces per-task deadlines on the process
+    backend, and a task that exhausts its retry budget comes back as
+    the :data:`~repro.analysis.resilience.QUARANTINED` sentinel in its
+    slot — callers skip those slots and the sweep degrades to partial
+    results.  All supervision events are counted on ``report``.
     """
     name = backend or "process"
     if name not in EXECUTOR_BACKENDS:
@@ -702,14 +758,16 @@ def _map_tasks(worker, tasks, workers: int, backend: str | None = None):
             f"unknown executor backend {name!r}; "
             f"choose one of {', '.join(EXECUTOR_BACKENDS)}"
         )
-    if name == "serial" or workers <= 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
-    n_workers = min(workers, len(tasks))
-    if name == "thread":
-        with concurrent.futures.ThreadPoolExecutor(n_workers) as pool:
-            return list(pool.map(worker, tasks))
-    with multiprocessing.Pool(processes=n_workers) as pool:
-        return pool.map(worker, tasks, chunksize=1)
+    executor = SupervisedExecutor(
+        min(max(1, workers), max(1, len(tasks))),
+        backend=name,
+        policy=policy,
+        timeout=task_timeout,
+        report=report,
+        fault_plan=fault_plan,
+        stage=stage,
+    )
+    return executor.map(worker, tasks)
 
 
 # ----------------------------------------------------------------------
@@ -735,6 +793,23 @@ class ExecutionReport:
     #: Wall time spent snapshotting + writing checkpoints (the pause a
     #: run pays for resumability; the rest of the loop is untouched).
     checkpoint_seconds: float = 0.0
+    #: Task attempts re-run after a failure of their own (a raised
+    #: transient error or a deadline miss).
+    retried: int = 0
+    #: Tasks resubmitted because a pool-level event (worker crash,
+    #: deadline kill) took them down while in flight.
+    requeued: int = 0
+    #: Tasks that failed every allowed attempt and were set aside; their
+    #: results are missing and the sweep reports partial coverage.
+    quarantined: int = 0
+    #: Per-task deadline misses (process backend only).
+    timeouts: int = 0
+    #: Worker-pool breakages detected and recovered by respawning.
+    worker_crashes: int = 0
+    #: ``"process->thread"`` etc. when pool creation failed and the
+    #: executor fell back to a slower backend; ``None`` when the
+    #: requested backend ran.
+    backend_degraded: str | None = None
 
     def summary(self) -> str:
         text = (
@@ -756,6 +831,23 @@ class ExecutionReport:
             )
         if self.checkpoints_written:
             text += f"; checkpoints: {self.checkpoints_written} written"
+        # Fault accounting only when something actually went wrong, so
+        # clean-run summaries keep their historical shape.
+        faults = [
+            f"{count} {label}"
+            for count, label in (
+                (self.quarantined, "quarantined"),
+                (self.retried, "retried"),
+                (self.requeued, "requeued"),
+                (self.timeouts, "timed out"),
+                (self.worker_crashes, "pool crashes"),
+            )
+            if count
+        ]
+        if faults:
+            text += f"; faults: {', '.join(faults)}"
+        if self.backend_degraded:
+            text += f"; backend degraded: {self.backend_degraded}"
         return text
 
 
@@ -775,6 +867,9 @@ def execute(
     workers: int = 1,
     backend: str | None = None,
     specs: dict[str, WorkloadSpec] | None = None,
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> ExecutionReport:
     """Run every job not already in the store; return what happened.
 
@@ -782,11 +877,18 @@ def execute(
     :class:`WorkloadSpec` objects (the sweep CLI uses this for reduced
     access counts); unlisted names resolve through the registry.
     ``backend`` selects the executor (:data:`EXECUTOR_BACKENDS`;
-    default ``process``).
+    default ``process``).  ``policy`` / ``task_timeout`` / ``fault_plan``
+    configure supervision (see :func:`_map_tasks`); a quarantined
+    simulation also skips every evaluation depending on it, so the
+    sweep completes with partial results and the report says so.
     """
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
     specs = specs if specs is not None else {}
+    supervision = dict(
+        report=report, policy=policy,
+        task_timeout=task_timeout, fault_plan=fault_plan,
+    )
 
     # Phase 1 — every simulation any job needs, deduplicated by key.
     # A simulation is *demanded* when a SimJob names it explicitly or an
@@ -814,7 +916,12 @@ def execute(
             report.sims_cached += 1
         else:
             sim_tasks.append((key, specs[job.workload], job.system, job.seed))
-    for key, blob in _map_tasks(_sim_task, sim_tasks, workers, backend):
+    for outcome in _map_tasks(
+        _sim_task, sim_tasks, workers, backend, stage="sim", **supervision
+    ):
+        if outcome is QUARANTINED:
+            continue
+        key, blob = outcome
         job = needed_sims[key]
         experiment_store.put_sim_blob(
             key, blob, workload=specs[job.workload].name,
@@ -844,13 +951,30 @@ def execute(
     for skey in sorted(groups):
         pairs = groups[skey]
         sim_blob = experiment_store.get_blob(skey)
-        if sim_blob is None:  # pragma: no cover - phase 1 guarantees it
-            raise RuntimeError(f"simulation missing for eval keys {pairs}")
+        if sim_blob is None:
+            # Phase 1 normally guarantees the blob; its absence means
+            # the simulation was quarantined this run.  Degrade: skip
+            # the dependent evaluations rather than dying.
+            if not report.quarantined:  # pragma: no cover - invariant
+                raise ExecutionError(
+                    f"simulation missing for eval keys {pairs} "
+                    "without a quarantine"
+                )
+            _logger.warning(
+                "skipping %d evaluation(s): simulation %s was quarantined",
+                len(pairs), skey,
+            )
+            continue
         job = needed_evals[pairs[0][0]]
         eval_tasks.append(
             (sim_blob, job.system, pairs, _phase_plan(specs[job.workload])[1])
         )
-    for results in _map_tasks(_eval_group_task, eval_tasks, workers, backend):
+    for results in _map_tasks(
+        _eval_group_task, eval_tasks, workers, backend,
+        stage="eval", **supervision
+    ):
+        if results is QUARANTINED:
+            continue
         for key, blob in results:
             job = needed_evals[key]
             experiment_store.put_eval_blob(
@@ -876,6 +1000,9 @@ def execute_streams(
     backend: str | None = None,
     specs: dict[str, WorkloadSpec] | None = None,
     checkpoint_every: int | None = None,
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> ExecutionReport:
     """Run every streaming job whose results are not already stored.
 
@@ -893,10 +1020,19 @@ def execute_streams(
     worker dominates anyway, and the parent owns the store connection.
     Results are byte-identical either way; completed runs retire their
     checkpoint chains.
+
+    ``policy`` / ``task_timeout`` / ``fault_plan`` configure supervised
+    execution of the fanned-out stages (see :func:`_map_tasks`).
+    Checkpointed runs execute serially in the parent and are not
+    supervised — the checkpoint chain itself is their recovery story.
     """
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
     specs = specs if specs is not None else {}
+    supervision = dict(
+        report=report, policy=policy,
+        task_timeout=task_timeout, fault_plan=fault_plan,
+    )
 
     # Fuse jobs by simulation identity; collect each group's filter set.
     grouped: dict[str, tuple[StreamJob, dict[str, str]]] = {}
@@ -952,7 +1088,12 @@ def execute_streams(
     eval_owner = {
         ekey: grouped[mkey] for mkey in grouped for ekey in grouped[mkey][1]
     }
-    for results in _map_tasks(_eval_group_task, replay_tasks, workers, backend):
+    for results in _map_tasks(
+        _eval_group_task, replay_tasks, workers, backend,
+        stage="stream-eval", **supervision
+    ):
+        if results is QUARANTINED:
+            continue
         for ekey, blob in results:
             job, filters = eval_owner[ekey]
             experiment_store.put_eval_blob(
@@ -997,9 +1138,12 @@ def execute_streams(
         report.elapsed_seconds = time.perf_counter() - started
         return report
 
-    for mkey, metrics_blob, eval_blobs in _map_tasks(
-        _stream_task, tasks, workers, backend
+    for outcome in _map_tasks(
+        _stream_task, tasks, workers, backend, stage="stream", **supervision
     ):
+        if outcome is QUARANTINED:
+            continue
+        mkey, metrics_blob, eval_blobs = outcome
         job, _filters = grouped[mkey]
         spec = specs[job.workload]
         experiment_store.put_sim_metrics_blob(
@@ -1176,18 +1320,30 @@ def _replay_task(task) -> list[tuple[str, bytes]]:
     if path is not None:
         # Percent-encode the filesystem path: a raw '?', '#', or '%' in
         # it would be parsed as URI syntax and open the wrong file.
+        # The open retries on transient contention ("database is
+        # locked"/"busy"): the parent holds a writer connection, and a
+        # replay worker racing one of its commits must not fail the
+        # whole task over a lock that clears in milliseconds.
         quoted = urllib.parse.quote(path, safe="/:")
-        connection = sqlite3.connect(f"file:{quoted}?mode=ro", uri=True)
+        connection = retry_call(
+            lambda: sqlite3.connect(f"file:{quoted}?mode=ro", uri=True),
+            policy=SQLITE_RETRY_POLICY,
+            label="replay-store-open",
+        )
         try:
             connection.execute("PRAGMA mmap_size = 268435456")
         except sqlite3.Error:  # pragma: no cover - pragma support varies
             pass
 
         def fetch(node_id: int, index: int):
-            row = connection.execute(
-                "SELECT payload FROM results WHERE key = ?",
-                (segments[node_id][index],),
-            ).fetchone()
+            row = retry_call(
+                lambda: connection.execute(
+                    "SELECT payload FROM results WHERE key = ?",
+                    (segments[node_id][index],),
+                ).fetchone(),
+                policy=SQLITE_RETRY_POLICY,
+                label="replay-segment-fetch",
+            )
             if row is None:
                 raise ConfigurationError(
                     f"trace segment {index} of node {node_id} vanished "
@@ -1223,6 +1379,9 @@ def execute_replays(
     specs: dict[str, WorkloadSpec] | None = None,
     checkpoint_every: int | None = None,
     kernel: str = "auto",
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> ExecutionReport:
     """Record every missing trace once; replay every missing evaluation.
 
@@ -1254,6 +1413,10 @@ def execute_replays(
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
     specs = specs if specs is not None else {}
+    supervision = dict(
+        report=report, policy=policy,
+        task_timeout=task_timeout, fault_plan=fault_plan,
+    )
 
     grouped: dict[str, tuple[ReplayJob, dict[str, str]]] = {}
     #: Trace keys some job *explicitly* asked to record (empty
@@ -1341,7 +1504,11 @@ def execute_replays(
             tasks.append(
                 (path, segments, job.system, pairs, kernel, phase_names)
             )
-    for results in _map_tasks(_replay_task, tasks, workers, backend):
+    for results in _map_tasks(
+        _replay_task, tasks, workers, backend, stage="replay", **supervision
+    ):
+        if results is QUARANTINED:
+            continue
         for ekey, blob in results:
             job, filters = owners[ekey]
             experiment_store.put_eval_blob(
@@ -1533,6 +1700,9 @@ def run_sweep(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     checkpoint_every: int | None = None,
     kernel: str = "auto",
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> SweepResult:
     """Run a full workload x filter x seed sweep through the store.
 
@@ -1560,6 +1730,12 @@ def run_sweep(
     vectorises supported families when NumPy is importable; results are
     byte-identical either way.  Streamed and buffered sweeps drive live
     filters and accept only the default.
+
+    ``policy`` / ``task_timeout`` / ``fault_plan`` configure supervised
+    execution (see :func:`_map_tasks`).  When tasks are quarantined the
+    sweep returns *partial* results: the affected ``(workload, filter,
+    seed)`` cells are simply absent from ``evaluations`` and the
+    report's fault counters say why.
     """
     if kernel != "auto" and not replay:
         raise ConfigurationError(
@@ -1606,6 +1782,7 @@ def run_sweep(
             backend=backend, specs=specs,
             checkpoint_every=checkpoint_every,
             kernel=kernel,
+            policy=policy, task_timeout=task_timeout, fault_plan=fault_plan,
         )
     elif stream:
         stream_jobs = [
@@ -1618,6 +1795,7 @@ def run_sweep(
             experiment_store=experiment_store, workers=workers,
             backend=backend, specs=specs,
             checkpoint_every=checkpoint_every,
+            policy=policy, task_timeout=task_timeout, fault_plan=fault_plan,
         )
     else:
         eval_jobs = [
@@ -1630,6 +1808,7 @@ def run_sweep(
             (), eval_jobs,
             experiment_store=experiment_store, workers=workers,
             backend=backend, specs=specs,
+            policy=policy, task_timeout=task_timeout, fault_plan=fault_plan,
         )
 
     result = SweepResult(report=report)
@@ -1640,6 +1819,13 @@ def run_sweep(
                     specs[workload], filter_name, system, seed
                 )
                 evaluation = experiment_store.get_eval(key)
-                assert evaluation is not None
+                if evaluation is None:
+                    # Only quarantine may leave a cell empty — anything
+                    # else is a bug worth crashing on.
+                    assert report.quarantined, (
+                        f"evaluation missing for {workload}/{filter_name}"
+                        f"/seed {seed} without a quarantine"
+                    )
+                    continue
                 result.evaluations[(workload, filter_name, seed)] = evaluation
     return result

@@ -52,8 +52,10 @@ Invalidation rules:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import logging
 import sqlite3
 import sys
 import zlib
@@ -62,7 +64,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.coherence.config import SystemConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StoreCorruptionError
 from repro.coherence.metrics import BusStats, NodeStats, SimResult
 from repro.core.base import FilterEventCounts
 from repro.core.stats import (
@@ -72,6 +74,8 @@ from repro.core.stats import (
     PhaseStats,
 )
 from repro.traces.workloads import WorkloadSpec
+
+_logger = logging.getLogger("repro.store")
 
 #: Bump whenever simulator semantics, the event encoding, or the payload
 #: layout change: every existing row becomes unreachable (stale results
@@ -100,6 +104,13 @@ CHECKPOINT_KIND = "checkpoint"
 #: workload class" from one key lookup.  Added without a schema bump —
 #: the kind only creates rows under fresh keys.
 MATRIX_KIND = "matrix"
+
+#: Result kind of rows set aside by ``fsck --quarantine``: the original
+#: payload bytes preserved under a prefixed key for post-mortem, while
+#: the original key reads as absent so the next sweep recomputes and
+#: heals in place.  Not a schema bump — quarantine only creates rows
+#: under fresh keys.
+QUARANTINE_KIND = "quarantined"
 
 
 # ----------------------------------------------------------------------
@@ -391,13 +402,36 @@ def evaluation_from_dict(data: dict) -> FilterEvaluation:
     )
 
 
+@contextlib.contextmanager
+def _decoding(kind: str):
+    """Translate payload-decode failures into :class:`StoreCorruptionError`.
+
+    Every ``decode_*`` body runs inside this guard: a blob that fails to
+    decompress (``zlib.error``), parse (``json.JSONDecodeError``, a
+    ``ValueError``), or reconstruct (missing dict fields, wrong types,
+    odd byte counts) raises one library error that consumers can either
+    heal from (``fsck``, the checkpoint resume ladder) or surface with
+    the offending kind attached.  A ``None`` blob (row vanished between
+    lookup and fetch) counts as corruption too — it raises ``TypeError``
+    inside ``zlib.decompress``.
+    """
+    try:
+        yield
+    except (zlib.error, ValueError, KeyError, TypeError,
+            UnicodeDecodeError) as error:
+        raise StoreCorruptionError(
+            f"corrupt {kind} payload: {type(error).__name__}: {error}"
+        ) from error
+
+
 def encode_sim(result: SimResult) -> bytes:
     """Canonical compressed payload bytes (deterministic per result)."""
     return zlib.compress(_canonical(sim_result_to_dict(result)), 6)
 
 
 def decode_sim(blob: bytes) -> SimResult:
-    return sim_result_from_dict(json.loads(zlib.decompress(blob)))
+    with _decoding("sim"):
+        return sim_result_from_dict(json.loads(zlib.decompress(blob)))
 
 
 def encode_sim_metrics(result: SimResult) -> bytes:
@@ -406,7 +440,8 @@ def encode_sim_metrics(result: SimResult) -> bytes:
 
 
 def decode_sim_metrics(blob: bytes) -> SimResult:
-    return sim_metrics_from_dict(json.loads(zlib.decompress(blob)))
+    with _decoding("sim-metrics"):
+        return sim_metrics_from_dict(json.loads(zlib.decompress(blob)))
 
 
 def encode_sim_metrics_dict(data: dict) -> bytes:
@@ -425,7 +460,8 @@ def encode_eval(evaluation: FilterEvaluation) -> bytes:
 
 
 def decode_eval(blob: bytes) -> FilterEvaluation:
-    return evaluation_from_dict(json.loads(zlib.decompress(blob)))
+    with _decoding("eval"):
+        return evaluation_from_dict(json.loads(zlib.decompress(blob)))
 
 
 # ----------------------------------------------------------------------
@@ -438,7 +474,11 @@ def encode_trace_manifest(manifest: dict) -> bytes:
 
 
 def decode_trace_manifest(blob: bytes) -> dict:
-    return json.loads(zlib.decompress(blob))
+    with _decoding("sim-events manifest"):
+        manifest = json.loads(zlib.decompress(blob))
+        if not isinstance(manifest, dict):
+            raise TypeError(f"manifest must be a dict, got {type(manifest)}")
+        return manifest
 
 
 def encode_matrix(payload: dict) -> bytes:
@@ -447,7 +487,11 @@ def encode_matrix(payload: dict) -> bytes:
 
 
 def decode_matrix(blob: bytes) -> dict:
-    return json.loads(zlib.decompress(blob))
+    with _decoding("matrix"):
+        payload = json.loads(zlib.decompress(blob))
+        if not isinstance(payload, dict):
+            raise TypeError(f"matrix payload must be a dict, got {type(payload)}")
+        return payload
 
 
 def encode_checkpoint(state: dict) -> bytes:
@@ -465,7 +509,11 @@ def encode_checkpoint(state: dict) -> bytes:
 
 
 def decode_checkpoint(blob: bytes) -> dict:
-    return json.loads(zlib.decompress(blob))
+    with _decoding("checkpoint"):
+        state = json.loads(zlib.decompress(blob))
+        if not isinstance(state, dict):
+            raise TypeError(f"checkpoint must be a dict, got {type(state)}")
+        return state
 
 
 def encode_trace_segment(raw: bytes) -> bytes:
@@ -485,8 +533,9 @@ def encode_trace_segment(raw: bytes) -> bytes:
 
 def decode_trace_segment(blob: bytes) -> array:
     """Decompress one segment back into an ``array('q')`` of events."""
-    events = array("q")
-    events.frombytes(zlib.decompress(blob))
+    with _decoding("sim-events segment"):
+        events = array("q")
+        events.frombytes(zlib.decompress(blob))
     if sys.byteorder == "big":  # pragma: no cover - exotic platforms
         events.byteswap()
     return events
@@ -514,6 +563,38 @@ class StoreStats:
     checkpoints: int = 0
     #: Total compressed payload bytes per result kind.
     bytes_by_kind: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Outcome of one :meth:`ExperimentStore.fsck` pass."""
+
+    #: Rows examined (quarantined rows from earlier passes are skipped).
+    scanned: int
+    #: Keys whose payload failed validation, sorted.
+    corrupt: tuple[str, ...]
+    #: Rows deleted — includes healthy siblings of a corrupt trace
+    #: member (a trace is one atomic unit) in delete mode.
+    removed: int
+    #: Rows moved aside under :data:`QUARANTINE_KIND` in quarantine mode.
+    quarantined: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"fsck: {self.scanned} row(s) scanned, store clean"
+        action = (
+            f"{self.quarantined} quarantined"
+            if self.quarantined
+            else f"{self.removed} removed"
+        )
+        return (
+            f"fsck: {self.scanned} row(s) scanned, "
+            f"{len(self.corrupt)} corrupt, {action}"
+        )
 
 
 @dataclass(frozen=True)
@@ -899,6 +980,129 @@ class ExperimentStore:
         rows = self._db.execute("SELECT key, payload FROM results").fetchall()
         return {key: payload for key, payload in rows}
 
+    # -- integrity ------------------------------------------------------
+
+    def _validate_entry(
+        self, entry: StoreEntry, blob: bytes | None, present: set[str]
+    ) -> None:
+        """Raise :class:`StoreCorruptionError` unless ``entry`` is sound.
+
+        Structural validation per kind: the payload must decompress,
+        parse, and reconstruct through the same ``decode_*`` function
+        the runner would use.  A trace manifest additionally requires
+        every segment row it names to be present — a trace with a
+        missing shard can never replay, so it is corrupt as a unit.
+        """
+        if blob is None:
+            raise StoreCorruptionError(f"row vanished mid-scan: {entry.key}")
+        if entry.kind == "sim":
+            decode_sim(blob)
+        elif entry.kind == "sim-metrics":
+            decode_sim_metrics(blob)
+        elif entry.kind == "eval":
+            decode_eval(blob)
+        elif entry.kind == MATRIX_KIND:
+            decode_matrix(blob)
+        elif entry.kind == CHECKPOINT_KIND:
+            decode_checkpoint(blob)
+        elif entry.kind == TRACE_KIND:
+            if entry.filter_name is None:
+                manifest = decode_trace_manifest(blob)
+                with _decoding("sim-events manifest"):
+                    counts = list(manifest["segments_per_node"])
+                missing = [
+                    segment_key
+                    for node_id, count in enumerate(counts)
+                    for segment_key in (
+                        trace_segment_key(entry.key, node_id, index)
+                        for index in range(int(count))
+                    )
+                    if segment_key not in present
+                ]
+                if missing:
+                    raise StoreCorruptionError(
+                        f"trace {entry.key} is missing {len(missing)} "
+                        f"segment row(s) (first: {missing[0]})"
+                    )
+            else:
+                decode_trace_segment(blob)
+        else:
+            # Unknown kind (from a newer writer): require at least a
+            # sound compression envelope, leave semantics alone.
+            with _decoding(entry.kind):
+                zlib.decompress(blob)
+
+    def fsck(self, *, quarantine: bool = False) -> FsckReport:
+        """Validate every payload; delete (or quarantine) what fails.
+
+        Extends the checkpoint resume ladder's delete-and-fall-back
+        contract to *all* kinds: corrupt rows are removed so their keys
+        read as absent and the next sweep recomputes them — the store
+        heals in place instead of crashing its readers.  A corrupt
+        trace member dooms the whole trace (manifest plus every
+        segment); checkpoints are individually deletable because the
+        resume ladder already falls back chain-link by chain-link.
+
+        With ``quarantine=True`` the doomed rows are preserved under
+        ``quarantine:``-prefixed keys of kind :data:`QUARANTINE_KIND`
+        for post-mortem instead of being dropped; either way the
+        original keys are gone afterwards.  Quarantined rows are
+        skipped by later passes (and by :meth:`stats` consumers that
+        filter on kind), so fsck is idempotent.
+        """
+        entries = [
+            entry for entry in self.entries()
+            if entry.kind != QUARANTINE_KIND
+        ]
+        present = {entry.key for entry in entries}
+        by_key = {entry.key: entry for entry in entries}
+        corrupt: list[str] = []
+        doomed: set[str] = set()
+        for entry in entries:
+            try:
+                self._validate_entry(entry, self._raw_blob(entry.key), present)
+            except StoreCorruptionError as error:
+                _logger.warning("fsck: %s", error)
+                corrupt.append(entry.key)
+                if entry.kind == TRACE_KIND:
+                    trace = (
+                        entry.key
+                        if entry.filter_name is None
+                        else entry.filter_name
+                    )
+                    doomed.add(trace)
+                    doomed.update(group_key for group_key in present
+                                  if by_key[group_key].kind == TRACE_KIND
+                                  and by_key[group_key].filter_name == trace)
+                else:
+                    doomed.add(entry.key)
+        removed = quarantined = 0
+        for key in sorted(doomed):
+            if key not in by_key:
+                continue
+            if quarantine:
+                blob = self._raw_blob(key)
+                if blob is not None:
+                    entry = by_key[key]
+                    self.put_blob(
+                        f"quarantine:{key}",
+                        blob,
+                        kind=QUARANTINE_KIND,
+                        workload=entry.workload,
+                        filter_name=entry.filter_name,
+                        n_cpus=entry.n_cpus,
+                        seed=entry.seed,
+                    )
+                    quarantined += 1
+            if self.delete_key(key) and not quarantine:
+                removed += 1
+        return FsckReport(
+            scanned=len(entries),
+            corrupt=tuple(sorted(corrupt)),
+            removed=removed,
+            quarantined=quarantined,
+        )
+
     @staticmethod
     def _gc_units(rows) -> list[tuple[int, str, list[str], int]]:
         """Group ``(key, kind, filter, size, used)`` rows into GC units.
@@ -959,7 +1163,13 @@ class ExperimentStore:
         """
         try:
             state = decode_checkpoint(self._raw_blob(keys[0]))
-        except Exception:
+        except StoreCorruptionError:
+            # Missing or corrupt snapshot: evict first, but leave a
+            # trail — silent swallowing is how corruption used to hide.
+            _logger.warning(
+                "checkpoint %s is undecodable; treating its chain as stale",
+                keys[0],
+            )
             return True
         mkey = state.get("mkey")
         tkey = state.get("tkey")

@@ -348,13 +348,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         checkpoint_every=args.checkpoint_every,
         kernel=args.kernel,
+        task_timeout=args.task_timeout,
     )
     headers = ["workload"] + [f"{f} (cov)" for f in filters]
     rows = []
     for workload in workloads:
         row = [workload]
         for filter_name in filters:
-            values = [result.coverage(workload, filter_name, s) for s in seeds]
+            cells = [
+                result.evaluations.get((workload, filter_name, s))
+                for s in seeds
+            ]
+            if any(cell is None for cell in cells):
+                # Quarantined under supervision: the sweep degraded to a
+                # partial result rather than aborting — say so in place.
+                row.append("(failed)")
+                continue
+            values = [cell.coverage.coverage for cell in cells]
             row.append(format_percent(sum(values) / len(values)))
         rows.append(row)
     title = f"sweep: {len(workloads)} workloads x {len(filters)} filters"
@@ -406,8 +416,26 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.testing.faults import run_chaos
+
+    result = run_chaos(
+        args.plan,
+        workers=args.workers,
+        backend=args.backend or "process",
+    )
+    print(result.summary())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = experiments.get_store()
+    if args.action == "fsck":
+        fsck = store.fsck(quarantine=args.quarantine)
+        print(fsck.summary())
+        for key in fsck.corrupt:
+            print(f"  corrupt: {key[:16]}")
+        return 0 if fsck.clean else 1
     if args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} stored result(s)")
@@ -460,6 +488,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     from repro.analysis import store as store_mod
     from repro.analysis.store import CHECKPOINT_KIND
+    from repro.errors import StoreCorruptionError
 
     store = experiments.get_store()
     rows = [e for e in store.entries() if e.kind == CHECKPOINT_KIND]
@@ -499,7 +528,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         """
         try:
             return store_mod.decode_checkpoint(store.get_blob(entry.key))
-        except Exception:
+        except StoreCorruptionError:
             return None
 
     if args.action == "list":
@@ -716,6 +745,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "to the store every N accesses; a killed sweep "
                          "rerun with the same flags resumes from its "
                          "latest checkpoint (requires --stream/--replay)")
+    p_sweep.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-task deadline under the process backend; "
+                         "overdue workers are killed and the task retried "
+                         "(default: no deadline)")
     p_sweep.add_argument("--kernel", default="auto",
                          choices=REPLAY_KERNELS,
                          help="replay kernel for --replay sweeps: auto "
@@ -766,16 +800,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_checkpoint.set_defaults(func=_cmd_checkpoint)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect, clear, or garbage-collect the experiment store"
+        "cache",
+        help="inspect, verify, clear, or garbage-collect the experiment store",
     )
     p_cache.add_argument("action", nargs="?", default="info",
-                         choices=("info", "list", "clear", "gc"))
+                         choices=("info", "list", "clear", "gc", "fsck"))
     p_cache.add_argument("--max-bytes", type=_count, default=None,
                          metavar="N",
                          help="gc: evict least-recently-used results until "
                          "the compressed payload fits N bytes (accepts "
                          "forms like 5e6)")
+    p_cache.add_argument("--quarantine", action="store_true",
+                         help="fsck: move corrupt rows aside for post-mortem "
+                         "instead of deleting them")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection drill end to end",
+    )
+    p_chaos.add_argument("--plan", default="aggressive",
+                         choices=("none", "mild", "aggressive"),
+                         help="named fault plan to inject (default: "
+                         "aggressive)")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="worker processes for the drill's sweeps")
+    p_chaos.add_argument("--backend", default=None,
+                         choices=runner.EXECUTOR_BACKENDS,
+                         help="executor backend for the drill "
+                         "(default: process)")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

@@ -46,3 +46,61 @@ class TraceError(ReproError):
 
 class WorkloadError(ReproError):
     """An unknown workload name or invalid workload specification."""
+
+
+class ExecutionError(ReproError):
+    """A sweep's task execution layer failed (worker, pool, or deadline).
+
+    Base of the supervised-execution subtree.  Subclasses describe *how*
+    a task attempt died; the :class:`repro.analysis.resilience.RetryPolicy`
+    decides whether that failure mode is worth another attempt.
+    """
+
+    #: Whether this failure mode is transient by default — i.e. whether a
+    #: fresh attempt of the same task can plausibly succeed.  RetryPolicy
+    #: consults this for exception types it has no explicit opinion on.
+    transient = False
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker died abruptly (segfault, ``os._exit``, OOM kill).
+
+    The task it was running never reported a result; the supervisor
+    respawns the pool and requeues every in-flight task.  Transient by
+    default: a crash usually indicts the worker (or the machine), not
+    the task, so the task deserves another attempt.
+    """
+
+    transient = True
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task deadline and its worker was killed.
+
+    Transient by default — a deadline miss on a loaded machine says
+    nothing definitive about the task; repeated misses exhaust the
+    retry budget and quarantine it.
+    """
+
+    transient = True
+
+
+class TaskQuarantinedError(ExecutionError):
+    """A task failed every allowed attempt and was set aside.
+
+    Raised only when a caller demands a quarantined task's result;
+    batched sweeps never raise it — they report the quarantine in the
+    :class:`~repro.analysis.runner.ExecutionReport` and degrade to
+    partial results instead.
+    """
+
+
+class StoreCorruptionError(ReproError):
+    """A stored payload failed validation (zlib, JSON, or structure).
+
+    Raised by the ``decode_*`` family in :mod:`repro.analysis.store`
+    when a blob does not decompress, parse, or reconstruct.  Corruption
+    is a *store* condition, never a programming error: consumers either
+    heal (delete the row and recompute — ``fsck``, the checkpoint
+    resume ladder) or surface the key loudly.
+    """

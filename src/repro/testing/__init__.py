@@ -1,0 +1,21 @@
+"""Deterministic fault injection for exercising the resilience layer.
+
+See :mod:`repro.testing.faults` for the fault-plan machinery behind the
+chaos tests and the ``repro chaos`` smoke command.
+"""
+
+from repro.testing.faults import (  # noqa: F401
+    FAULT_PLANS,
+    FaultPlan,
+    InjectedFaultError,
+    corrupt_blobs,
+    run_chaos,
+)
+
+__all__ = [
+    "FAULT_PLANS",
+    "FaultPlan",
+    "InjectedFaultError",
+    "corrupt_blobs",
+    "run_chaos",
+]

@@ -253,3 +253,68 @@ class TestCommands:
     def test_cache_info_in_memory_default(self, capsys):
         assert main(["cache", "info"]) == 0
         assert "in-memory" in capsys.readouterr().out
+
+
+class TestResilienceCommands:
+    def test_sweep_task_timeout_flag_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workloads", "test-tiny", "--task-timeout", "5"]
+        )
+        assert args.task_timeout == 5.0
+
+    def test_cache_fsck_clean(self, capsys):
+        assert main(["cache", "fsck"]) == 0
+        assert "store clean" in capsys.readouterr().out
+
+    def test_cache_fsck_detects_corruption_and_heals(self, capsys):
+        from repro.testing.faults import corrupt_blobs
+
+        argv = ["sweep", "--workloads", "test-tiny", "--filters", "EJ-8x2"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        doomed = corrupt_blobs(experiments.get_store(), seed=1, fraction=1.0)
+        assert doomed
+        assert main(["cache", "fsck"]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out
+        assert "removed" in out
+        # The next sweep recomputes the deleted rows; fsck is then clean.
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "fsck"]) == 0
+        assert "store clean" in capsys.readouterr().out
+
+    def test_cache_fsck_quarantine_flag(self, capsys):
+        from repro.testing.faults import corrupt_blobs
+
+        assert main(["sweep", "--workloads", "test-tiny",
+                     "--filters", "EJ-8x2"]) == 0
+        capsys.readouterr()
+        corrupt_blobs(experiments.get_store(), seed=1, fraction=1.0, limit=1)
+        assert main(["cache", "fsck", "--quarantine"]) == 1
+        assert "quarantined" in capsys.readouterr().out
+        assert main(["cache", "fsck"]) == 0  # quarantined rows are skipped
+
+    def test_sweep_renders_failed_for_quarantined_cells(self, capsys,
+                                                        monkeypatch):
+        from repro.analysis import runner
+
+        def partial_sweep(*_args, **_kwargs):
+            report = runner.ExecutionReport(workers=1)
+            report.quarantined = 1
+            return runner.SweepResult(report=report, evaluations={})
+
+        monkeypatch.setattr(runner, "run_sweep", partial_sweep)
+        assert main(["sweep", "--workloads", "test-tiny",
+                     "--filters", "EJ-8x2"]) == 0
+        out = capsys.readouterr().out
+        assert "(failed)" in out
+        assert "quarantined" in out
+
+    def test_chaos_command_none_plan(self, capsys):
+        assert main(["chaos", "--plan", "none", "--workers", "1",
+                     "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos plan 'none'" in out
+        assert "store byte-identical to clean run: yes" in out
+        assert "poisoned-task demo" in out
