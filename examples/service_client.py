@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Submit a sweep to the crash-safe sweep service over HTTP.
+
+The same record-once / replay-many sweep the other examples run
+in-process, driven through the service stack instead (see
+``docs/service.md``): the script spawns a server and one worker as
+subprocesses sharing a temporary SQLite store, submits a small sweep
+with :class:`repro.service.ServiceClient`, polls until the job settles,
+fetches each cell through the warm ``/result`` endpoint, and then
+re-submits to show the journal answering instantly from the store.
+Finally the server is sent SIGTERM and drains cleanly.
+
+    python examples/service_client.py
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import ServiceClient
+
+WORKLOADS = ("lu", "fft")
+FILTERS = ("EJ-32x4", "IJ-10x4x7")
+N_ACCESSES = 20_000
+WARMUP = 4_000
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def spawn(argv: list[str]) -> subprocess.Popen:
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH") else src
+    )
+    return subprocess.Popen(argv, env=env)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        store = str(Path(tmp) / "sweeps.sqlite")
+        port = free_port()
+        base = f"http://127.0.0.1:{port}"
+        client = ServiceClient(base)
+
+        print(f"Starting server on {base} (store: {store}) ...")
+        server = spawn([
+            sys.executable, "-m", "repro.cli", "--store", store,
+            "serve", "--port", str(port), "--lease-seconds", "10",
+        ])
+        worker = spawn([
+            sys.executable, "-m", "repro.cli", "--store", store,
+            "worker", "--server", base, "--name", "example-worker",
+            "--poll", "0.2", "--idle-exit", "30",
+        ])
+        try:
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    if client.health()["status"] == "ok":
+                        break
+                except OSError:
+                    pass
+                if time.monotonic() > deadline:
+                    raise RuntimeError("server never came up")
+                time.sleep(0.2)
+
+            request = dict(
+                workloads=list(WORKLOADS), filters=list(FILTERS),
+                seeds=[1], mode="replay",
+                accesses=N_ACCESSES, warmup=WARMUP,
+            )
+            status = client.submit(**request)
+            print(f"submitted job {status['job'][:12]}: "
+                  f"{status['states']} shards")
+            status = client.wait(status["job"], timeout=300)
+            print(f"job finished {status['state']}: {status['summary']}")
+
+            print(f"\n{'workload':10s} " + " ".join(
+                f"{name:>12s}" for name in FILTERS
+            ))
+            for workload in WORKLOADS:
+                cells = []
+                for name in FILTERS:
+                    cell = client.result(
+                        workload, name, seed=1, mode="replay",
+                        accesses=N_ACCESSES, warmup=WARMUP,
+                    )
+                    cells.append(
+                        f"{cell['coverage']:>11.1%}" if cell else
+                        f"{'(failed)':>12s}"
+                    )
+                print(f"{workload:10s} " + " ".join(cells))
+
+            # The journal is content-addressed: the identical request
+            # maps to the same job, already done — no worker needed.
+            warm = client.submit(**request)
+            print(f"\nwarm re-submit answered instantly: {warm['summary']}")
+        finally:
+            worker.terminate()
+            worker.wait(timeout=10)
+            server.terminate()
+            server.wait(timeout=30)
+            print(f"server drained and exited {server.returncode}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,11 +9,23 @@ each CPU runs its own "program" (a private working set with its own
 locality profile) — and compares JETTY filters against the best parallel
 workload.
 
+The evaluation uses the record-once / replay-many path: the SMP is
+simulated exactly once, with a :class:`~repro.coherence.smp.TraceSink`
+packing the coherence events into in-memory segments as the run
+advances, and every filter configuration then replays the recorded
+trace through a :class:`~repro.core.stats.StreamingFilterBank` with the
+``auto`` kernel (vectorised with NumPy where available, byte-identical
+either way).  Four filters therefore cost one simulation plus four
+cheap replays — not four simulations.
+
     python examples/throughput_server.py
 """
 
-from repro import SCALED_SYSTEM, build_filter, replay_events, simulate
-from repro.core.stats import merge_evaluations
+from array import array
+
+from repro import SCALED_SYSTEM, build_filter
+from repro.coherence.smp import TraceSink, simulate_streaming
+from repro.core.stats import StreamingFilterBank, TraceReader, replay_trace
 from repro.energy import EnergyAccountant
 from repro.traces.synth import PrivateWorkingSet, WorkloadMix
 
@@ -45,32 +57,76 @@ def build_multiprogrammed_mix() -> WorkloadMix:
     return WorkloadMix(components, repeat_frac=0.6)
 
 
-def main() -> None:
-    mix = build_multiprogrammed_mix()
+def record_once(mix: WorkloadMix) -> tuple:
+    """Simulate the server once, packing its events into memory segments.
 
-    print("Simulating a 4-way throughput server (no data sharing) ...")
+    Returns ``(metrics, segments)`` where ``segments[node]`` is that
+    node's list of raw packed-event byte strings — the same bytes the
+    experiment store would persist, minus the compression.
+    """
+    segments: dict[int, list[bytes]] = {
+        cpu: [] for cpu in range(SCALED_SYSTEM.n_cpus)
+    }
+
+    def write_segment(node_id: int, index: int, raw: bytes) -> None:
+        assert index == len(segments[node_id])
+        segments[node_id].append(raw)
+
+    sink = TraceSink(SCALED_SYSTEM.n_cpus, write_segment)
     stream = mix.generate(N_ACCESSES + WARMUP, seed=2024)
-    result = simulate(SCALED_SYSTEM, stream, "throughput", warmup=WARMUP)
+    metrics = simulate_streaming(
+        SCALED_SYSTEM, stream, "throughput", warmup=WARMUP, sinks=(sink,)
+    )
+    sink.finish()
+    return metrics, [segments[cpu] for cpu in range(SCALED_SYSTEM.n_cpus)]
 
-    aggregate = result.aggregate
-    miss_fraction = result.snoop_miss_fraction_of_snoops
-    print(f"  snoop probes            : {aggregate.snoop_tag_probes:,}")
-    print(f"  snoops that miss        : {miss_fraction:.1%} "
-          "(no sharing => every snoop should miss)")
-    print(f"  remote-hit histogram    : {result.bus.remote_hit_histogram}")
 
-    accountant = EnergyAccountant()
-    print(f"\n{'filter':28s} {'coverage':>9s} {'snoop-energy saved':>19s}")
-    for name in FILTERS:
-        evaluations = []
-        for node_stream in result.event_streams:
-            snoop_filter = build_filter(
+def replay_filter(name: str, segments: list) -> "FilterEvaluation":
+    """Replay the recorded trace through one filter configuration."""
+    bank = StreamingFilterBank(
+        [
+            build_filter(
                 name,
                 counter_bits=SCALED_SYSTEM.ij_counter_bits,
                 addr_bits=SCALED_SYSTEM.block_address_bits,
             )
-            evaluations.append(replay_events(snoop_filter, node_stream))
-        merged = merge_evaluations(evaluations)
+            for _cpu in range(SCALED_SYSTEM.n_cpus)
+        ],
+        kernel="auto",
+    )
+
+    def fetch(node_id: int, index: int) -> array:
+        events = array("q")
+        events.frombytes(segments[node_id][index])
+        return events
+
+    reader = TraceReader([len(node) for node in segments], fetch)
+    replay_trace(reader, [bank])
+    return bank.finish()
+
+
+def main() -> None:
+    mix = build_multiprogrammed_mix()
+
+    print("Simulating a 4-way throughput server (no data sharing) ...")
+    metrics, segments = record_once(mix)
+
+    aggregate = metrics.aggregate
+    miss_fraction = metrics.snoop_miss_fraction_of_snoops
+    n_segments = sum(len(node) for node in segments)
+    n_bytes = sum(len(raw) for node in segments for raw in node)
+    print(f"  snoop probes            : {aggregate.snoop_tag_probes:,}")
+    print(f"  snoops that miss        : {miss_fraction:.1%} "
+          "(no sharing => every snoop should miss)")
+    print(f"  remote-hit histogram    : {metrics.bus.remote_hit_histogram}")
+    print(f"  recorded trace          : {n_segments} segment(s), "
+          f"{n_bytes / 1024:.0f} KiB packed "
+          f"(replayed {len(FILTERS)}x, simulated once)")
+
+    accountant = EnergyAccountant()
+    print(f"\n{'filter':28s} {'coverage':>9s} {'snoop-energy saved':>19s}")
+    for name in FILTERS:
+        merged = replay_filter(name, segments)
         if name == "oracle":
             saved = "(not a hardware design)"
         else:

@@ -54,6 +54,7 @@ from repro.errors import (
 logger = logging.getLogger("repro.resilience")
 
 __all__ = [
+    "AttemptTracker",
     "QUARANTINED",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
@@ -218,6 +219,54 @@ def retry_call(
             )
             if pause > 0:
                 time.sleep(pause)
+
+
+class AttemptTracker:
+    """Per-label attempt ledger driving lease reassignment and backoff.
+
+    The sweep service (:mod:`repro.service`) charges one attempt each
+    time a shard's lease expires or its worker reports failure; the
+    tracker answers with the policy's deterministic backoff delay for
+    the *next* attempt, or ``None`` once the budget is exhausted and
+    the shard must be quarantined.  Attempts are keyed by an opaque
+    label (the shard fingerprint), so the ledger can be rebuilt from a
+    recovered journal with :meth:`restore` and two servers that replay
+    the same failure history schedule identical backoffs.
+    """
+
+    def __init__(self, policy: Optional[RetryPolicy] = None) -> None:
+        self.policy = policy if policy is not None else DEFAULT_RETRY_POLICY
+        self._attempts: dict = {}
+
+    def attempts(self, label: str) -> int:
+        """How many failed attempts *label* has accumulated."""
+
+        return self._attempts.get(label, 0)
+
+    def record_failure(self, label: str) -> Optional[float]:
+        """Charge one failed attempt; return the backoff delay or ``None``.
+
+        A ``None`` return means the attempt budget is exhausted: the
+        caller must quarantine the labelled work instead of requeueing
+        it.
+        """
+
+        attempt = self._attempts.get(label, 0) + 1
+        self._attempts[label] = attempt
+        if attempt >= self.policy.max_attempts:
+            return None
+        return self.policy.delay_for(label, attempt)
+
+    def restore(self, label: str, attempts: int) -> None:
+        """Reload a label's attempt count from a recovered journal."""
+
+        if attempts > 0:
+            self._attempts[label] = attempts
+
+    def forget(self, label: str) -> None:
+        """Drop a label's history (its work completed)."""
+
+        self._attempts.pop(label, None)
 
 
 class _PoolCreationError(Exception):

@@ -715,6 +715,50 @@ def _eval_group_task(
     ]
 
 
+def _checkpointed_stream_task(task):
+    """Worker entry: one checkpointed streaming run, writes owned locally.
+
+    Unlike the other worker entries, this one does not ship results back
+    for the parent to store: a checkpointed run *is* a store client — it
+    snapshots mid-run state at every watermark — so the worker opens its
+    own read-write connection to the shared SQLite file and lands
+    checkpoints, metrics, and evaluations itself (every ``put_blob``
+    retries under ``SQLITE_RETRY_POLICY``, so concurrent writers from
+    sibling workers contend safely).  Only counters cross the process
+    boundary.  This is what lets checkpointed sweeps fan out instead of
+    being forced serial in the parent.
+    """
+    (path, spec, system, seed, all_names, chunk_size,
+     checkpoint_every, mkey, pairs) = task
+    store = ExperimentStore(path)
+    try:
+        local = ExecutionReport()
+        metrics, evaluations, _sink, chain = _run_checkpointed(
+            spec, system, seed, all_names, chunk_size, checkpoint_every,
+            store, report=local,
+        )
+        store.put_sim_metrics_blob(
+            mkey, store_mod.encode_sim_metrics(metrics),
+            workload=spec.name, n_cpus=system.n_cpus, seed=seed,
+        )
+        for ekey, name in pairs:
+            store.put_eval_blob(
+                ekey, store_mod.encode_eval(evaluations[name]),
+                workload=spec.name, filter_name=name,
+                n_cpus=system.n_cpus, seed=seed,
+            )
+        # Results are durable; retire the chain from the worker too.
+        store.delete_group(store_mod.CHECKPOINT_KIND, chain)
+        return len(pairs), {
+            "checkpoints_written": local.checkpoints_written,
+            "checkpoints_resumed": local.checkpoints_resumed,
+            "resumed_accesses": local.resumed_accesses,
+            "checkpoint_seconds": local.checkpoint_seconds,
+        }
+    finally:
+        store.close()
+
+
 #: Pluggable executor backends (the runner's ``backend=`` knob):
 #: ``serial`` runs inline whatever the worker count, ``process`` is the
 #: default supervised process pool (true parallelism for the CPU-bound
@@ -1015,16 +1059,20 @@ def execute_streams(
     With ``checkpoint_every``, each simulation snapshots its full state
     into the store at that access cadence and resumes from the newest
     stored checkpoint on a warm start (see :func:`_run_checkpointed`).
-    Checkpointed simulations run serially in the parent process — they
-    are the minutes-to-hours paper-scale runs whose wall clock one
-    worker dominates anyway, and the parent owns the store connection.
-    Results are byte-identical either way; completed runs retire their
-    checkpoint chains.
+    When the store is a SQLite file and parallel workers are requested,
+    checkpointed runs fan out like plain ones — each worker owns its
+    own store connection and writes its checkpoints, metrics, and
+    evaluations under the SQLite retry policy
+    (:func:`_checkpointed_stream_task`).  In-memory stores and the
+    serial backend keep the runs in the parent, which owns the only
+    store connection.  Results are byte-identical either way; completed
+    runs retire their checkpoint chains.
 
     ``policy`` / ``task_timeout`` / ``fault_plan`` configure supervised
-    execution of the fanned-out stages (see :func:`_map_tasks`).
-    Checkpointed runs execute serially in the parent and are not
-    supervised — the checkpoint chain itself is their recovery story.
+    execution of the fanned-out stages (see :func:`_map_tasks`),
+    checkpointed or not — though a checkpointed run's first recovery
+    story is its own chain: a respawned task resumes at the dead
+    worker's last watermark instead of access 0.
     """
     started = time.perf_counter()
     report = ExecutionReport(workers=max(1, workers))
@@ -1104,8 +1152,43 @@ def execute_streams(
             report.evals_run += 1
 
     if checkpoint_every is not None:
-        # Checkpointed runs stay in the parent: they need the live store
-        # connection for their snapshots, and each simulates serially.
+        parallel = (
+            experiment_store.path is not None
+            and max(1, workers) > 1
+            and len(tasks) > 1
+            and (backend or "process") != "serial"
+        )
+        if parallel:
+            # Worker-side checkpoint writers: each run opens its own
+            # connection to the shared SQLite file and lands snapshots,
+            # metrics, and evaluations itself (see
+            # :func:`_checkpointed_stream_task`), so checkpointed
+            # sweeps fan out like plain ones.  Only counters return.
+            ck_tasks = []
+            for mkey, spec, system, seed, task_chunk, pairs in tasks:
+                _job, filters_map = grouped[mkey]
+                all_names = tuple(sorted(set(filters_map.values())))
+                ck_tasks.append((
+                    str(experiment_store.path), spec, system, seed,
+                    all_names, task_chunk, checkpoint_every, mkey, pairs,
+                ))
+            for outcome in _map_tasks(
+                _checkpointed_stream_task, ck_tasks, workers, backend,
+                stage="checkpoint", **supervision
+            ):
+                if outcome is QUARANTINED:
+                    continue
+                evals_done, counters = outcome
+                report.sims_run += 1
+                report.evals_run += evals_done
+                report.checkpoints_written += counters["checkpoints_written"]
+                report.checkpoints_resumed += counters["checkpoints_resumed"]
+                report.resumed_accesses += counters["resumed_accesses"]
+                report.checkpoint_seconds += counters["checkpoint_seconds"]
+            report.elapsed_seconds = time.perf_counter() - started
+            return report
+        # In-memory or serial: checkpointed runs stay in the parent —
+        # they need the live store connection for their snapshots.
         for mkey, spec, system, seed, task_chunk, pairs in tasks:
             # The chain (and the attached banks) covers the job's *full*
             # filter union, not just the currently missing evaluations:

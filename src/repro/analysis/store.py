@@ -63,6 +63,7 @@ from array import array
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.analysis.resilience import SQLITE_RETRY_POLICY, retry_call
 from repro.coherence.config import SystemConfig
 from repro.errors import ConfigurationError, StoreCorruptionError
 from repro.coherence.metrics import BusStats, NodeStats, SimResult
@@ -111,6 +112,16 @@ MATRIX_KIND = "matrix"
 #: heals in place.  Not a schema bump — quarantine only creates rows
 #: under fresh keys.
 QUARANTINE_KIND = "quarantined"
+
+#: Result kind of the sweep service's durable job journal: one row per
+#: submitted job holding the normalised request plus every shard's
+#: state-machine position (``submitted`` → ``leased`` → ``done`` /
+#: ``quarantined``) and attempt count.  Content-addressed over the
+#: sorted shard fingerprints, so re-submitting the same sweep lands on
+#: the same journal row (idempotent submission) and a restarted server
+#: recovers every in-flight job from a plain kind scan.  Added without
+#: a schema bump — the kind only creates rows under fresh keys.
+JOB_KIND = "job"
 
 
 # ----------------------------------------------------------------------
@@ -272,6 +283,22 @@ def matrix_key(
         "filters": list(filter_names),
         "system": system_fingerprint(system),
         "seed": seed,
+    })
+
+
+def job_key(shard_ids) -> str:
+    """Store key of one service job's journal row.
+
+    The fingerprint is the *sorted* set of shard fingerprints (each of
+    which already content-addresses its workload, filter list, seed,
+    mode, and sizing — see ``repro.service.journal``), so submission is
+    idempotent: the same sweep request, however its workloads or seeds
+    were ordered, maps to the same journal row.
+    """
+    return _digest({
+        "kind": JOB_KIND,
+        "schema": SCHEMA_VERSION,
+        "shards": sorted(shard_ids),
     })
 
 
@@ -494,6 +521,26 @@ def decode_matrix(blob: bytes) -> dict:
         return payload
 
 
+def encode_job(payload: dict) -> bytes:
+    """Canonical compressed bytes of one service-job journal row."""
+    return zlib.compress(_canonical(payload), 6)
+
+
+def decode_job(blob: bytes) -> dict:
+    with _decoding("job"):
+        payload = json.loads(zlib.decompress(blob))
+        if not isinstance(payload, dict):
+            raise TypeError(f"job payload must be a dict, got {type(payload)}")
+        shards = payload["shards"]
+        if not isinstance(shards, list):
+            raise TypeError(f"job shards must be a list, got {type(shards)}")
+        for shard in shards:
+            # Every shard must carry its state-machine position; a
+            # journal row that lost one is unrecoverable as a unit.
+            shard["id"], shard["state"], shard["attempts"]
+        return payload
+
+
 def encode_checkpoint(state: dict) -> bytes:
     """Compressed bytes of one checkpoint snapshot.
 
@@ -561,6 +608,10 @@ class StoreStats:
     #: Mid-run checkpoint rows (kind ``checkpoint``); one row per saved
     #: watermark, chains share ``bytes_by_kind`` accounting.
     checkpoints: int = 0
+    #: Service-job journal rows (kind ``job``); one row per submitted
+    #: sweep, rewritten in place as its shards move through the state
+    #: machine.
+    jobs: int = 0
     #: Total compressed payload bytes per result kind.
     bytes_by_kind: tuple[tuple[str, int], ...] = ()
 
@@ -763,13 +814,23 @@ class ExperimentStore:
             self._used[key] = self._clock
             return
         self._flush_touches()
-        self._db.execute(
-            "INSERT OR REPLACE INTO results "
-            "(key, kind, workload, filter, n_cpus, seed, payload, last_used) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            (key, kind, workload, filter_name, n_cpus, seed, blob, self._clock),
-        )
-        self._db.commit()
+
+        def _write() -> None:
+            self._db.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, kind, workload, filter, n_cpus, seed, payload, "
+                "last_used) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (key, kind, workload, filter_name, n_cpus, seed, blob,
+                 self._clock),
+            )
+            self._db.commit()
+
+        # Several processes may share one store file (service workers,
+        # worker-side checkpoint writers): a write that loses the SQLite
+        # lock race retries under seeded backoff instead of crashing the
+        # run.  INSERT OR REPLACE is idempotent, so a retried write that
+        # half-landed converges to the same row.
+        retry_call(_write, policy=SQLITE_RETRY_POLICY, label=f"put:{key[:16]}")
 
     def contains(self, key: str) -> bool:
         """Presence check; counts as a *use* for LRU purposes.
@@ -929,6 +990,7 @@ class ExperimentStore:
                 stream_sims=by_kind.get("sim-metrics", 0),
                 traces=traces,
                 checkpoints=by_kind.get(CHECKPOINT_KIND, 0),
+                jobs=by_kind.get(JOB_KIND, 0),
                 payload_bytes=sum(len(b) for b in self._blobs.values()),
                 path=None,
                 bytes_by_kind=tuple(sorted(bytes_by_kind.items())),
@@ -949,6 +1011,7 @@ class ExperimentStore:
             stream_sims=counts.get("sim-metrics", (0, 0))[0],
             traces=traces,
             checkpoints=counts.get(CHECKPOINT_KIND, (0, 0))[0],
+            jobs=counts.get(JOB_KIND, (0, 0))[0],
             payload_bytes=sum(nbytes for _, nbytes in counts.values()),
             path=str(self.path),
             bytes_by_kind=tuple(
@@ -1003,6 +1066,8 @@ class ExperimentStore:
             decode_eval(blob)
         elif entry.kind == MATRIX_KIND:
             decode_matrix(blob)
+        elif entry.kind == JOB_KIND:
+            decode_job(blob)
         elif entry.kind == CHECKPOINT_KIND:
             decode_checkpoint(blob)
         elif entry.kind == TRACE_KIND:

@@ -428,6 +428,126 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_store_path(command: str):
+    """The service commands share one SQLite file — in-memory won't do."""
+    store = experiments.get_store()
+    if store.path is None:
+        print(
+            f"error: {command} requires a persistent --store PATH "
+            "(server and workers share the SQLite file as the data plane)",
+            file=sys.stderr,
+        )
+        return None
+    return store
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.service.server import (
+        SERVICE_RETRY_POLICY,
+        SweepService,
+        serve,
+    )
+
+    store = _require_store_path("serve")
+    if store is None:
+        return 2
+    policy = SERVICE_RETRY_POLICY
+    if args.max_attempts is not None:
+        policy = dc_replace(policy, max_attempts=args.max_attempts)
+    service = SweepService(
+        store,
+        policy=policy,
+        lease_seconds=args.lease_seconds,
+        max_pending=args.max_pending,
+    )
+    serve(
+        service,
+        args.host,
+        args.port,
+        drain_grace=args.drain_grace,
+        delay_ms=args.delay_ms,
+        ready_path=args.ready_file,
+    )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import ServiceWorker
+
+    store = _require_store_path("worker")
+    if store is None:
+        return 2
+    worker = ServiceWorker(
+        args.server,
+        str(store.path),
+        name=args.name,
+        poll_seconds=args.poll,
+        max_shards=args.max_shards,
+        idle_seconds=args.idle_exit,
+        drop_heartbeats=args.drop_heartbeats,
+        poison=tuple(args.poison or ()),
+    )
+    completed = worker.run()
+    print(f"worker {args.name} exiting: {completed} shard(s) completed")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server, timeout=10.0)
+    workloads = args.workloads if args.workloads else list(WORKLOADS)
+    filters = args.filters if args.filters else list(runner.DEFAULT_SWEEP_FILTERS)
+    seeds = list(args.seeds) if args.seeds else [args.seed]
+    request = {
+        "workloads": workloads,
+        "filters": filters,
+        "seeds": seeds,
+        "mode": "stream" if args.stream else "replay",
+    }
+    for field in ("accesses", "warmup", "preset", "cpus"):
+        value = getattr(args, field)
+        if value is not None:
+            request[field] = value
+    status = client.submit(**request)
+    print(f"job {status['job'][:12]} {status['state']}: {status['summary']}")
+    if not args.wait:
+        return 0
+    status = client.wait(status["job"], timeout=args.timeout)
+    print(f"job {status['job'][:12]} {status['state']}: {status['summary']}")
+    headers = ["workload"] + [f"{f} (cov)" for f in filters]
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for filter_name in filters:
+            values = []
+            for seed in seeds:
+                cell = client.result(
+                    workload, filter_name, seed=seed,
+                    mode=request["mode"],
+                    accesses=request.get("accesses"),
+                    warmup=request.get("warmup"),
+                    preset=request.get("preset"),
+                    cpus=request.get("cpus"),
+                )
+                if cell is not None:
+                    values.append(cell["coverage"])
+            if len(values) < len(seeds):
+                # Quarantined on the server: the job finished degraded;
+                # say so in place, like a supervised local sweep does.
+                row.append("(failed)")
+            else:
+                row.append(format_percent(sum(values) / len(values)))
+        rows.append(row)
+    title = f"service sweep: {len(workloads)} workloads x {len(filters)} filters"
+    if len(seeds) > 1:
+        title += f" (mean over seeds {tuple(seeds)})"
+    print(render_table(headers, rows, title=title))
+    return 0 if status["state"] == "done" else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = experiments.get_store()
     if args.action == "fsck":
@@ -460,6 +580,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"streamed: {stats.stream_sims}")
     print(f"traces:   {stats.traces}")
     print(f"checkpoints: {stats.checkpoints}")
+    print(f"jobs:     {stats.jobs}")
     print(f"evals:    {stats.evals}")
     print(f"payload:  {stats.payload_bytes / 1024:.1f} KiB")
     for kind, nbytes in stats.bytes_by_kind:
@@ -820,9 +941,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the deterministic fault-injection drill end to end",
     )
     p_chaos.add_argument("--plan", default="aggressive",
-                         choices=("none", "mild", "aggressive"),
+                         choices=("none", "mild", "aggressive", "service"),
                          help="named fault plan to inject (default: "
-                         "aggressive)")
+                         "aggressive); 'service' runs the subprocess "
+                         "server/worker drill")
     p_chaos.add_argument("--workers", type=int, default=2,
                          help="worker processes for the drill's sweeps")
     p_chaos.add_argument("--backend", default=None,
@@ -830,6 +952,87 @@ def build_parser() -> argparse.ArgumentParser:
                          help="executor backend for the drill "
                          "(default: process)")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe sweep server over the shared store",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument("--lease-seconds", type=float, default=15.0,
+                         help="lease term; a worker silent this long "
+                         "forfeits its shard to reassignment")
+    p_serve.add_argument("--max-pending", type=int, default=256,
+                         help="bounded queue: submissions that would "
+                         "exceed this many pending shards get 429 + "
+                         "Retry-After")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="SIGTERM drain: seconds to let in-flight "
+                         "leases land before exiting")
+    p_serve.add_argument("--max-attempts", type=int, default=None,
+                         help="override the service retry policy's "
+                         "quarantine threshold")
+    p_serve.add_argument("--delay-ms", type=float, default=0.0,
+                         help="inject a fixed delay before every response "
+                         "(chaos harness fault)")
+    p_serve.add_argument("--ready-file", default=None, metavar="PATH",
+                         help="write host:port here once listening "
+                         "(subprocess orchestration handshake)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a leased sweep worker against a server",
+    )
+    p_worker.add_argument("--server", default="http://127.0.0.1:8765",
+                          help="server base URL")
+    p_worker.add_argument("--name", default="worker",
+                          help="worker name (appears in leases and logs)")
+    p_worker.add_argument("--poll", type=float, default=0.5,
+                          help="seconds between lease polls when idle")
+    p_worker.add_argument("--max-shards", type=int, default=None,
+                          help="exit after completing this many shards")
+    p_worker.add_argument("--idle-exit", type=float, default=None,
+                          metavar="SECONDS",
+                          help="exit after this long without a lease grant")
+    p_worker.add_argument("--drop-heartbeats", action="store_true",
+                          help="chaos hook: never heartbeat, so every "
+                          "lease expires mid-run")
+    p_worker.add_argument("--poison", nargs="+", default=None,
+                          metavar="WORKLOAD",
+                          help="chaos hook: report failure for these "
+                          "workloads without executing them")
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running server over HTTP",
+    )
+    p_submit.add_argument("--server", default="http://127.0.0.1:8765",
+                          help="server base URL")
+    p_submit.add_argument("--workloads", nargs="+", default=None,
+                          help="workload names (default: all ten)")
+    p_submit.add_argument("--filters", nargs="+", default=None,
+                          help="filter configuration names")
+    p_submit.add_argument("--seeds", type=int, nargs="+", default=None,
+                          help="seeds to sweep (default: --seed)")
+    p_submit.add_argument("--accesses", type=_count, default=None,
+                          help="override per-workload access count")
+    p_submit.add_argument("--warmup", type=_count, default=None,
+                          help="override per-workload warm-up accesses")
+    p_submit.add_argument("--cpus", type=int, default=None,
+                          help="SMP width (default: the scaled system's 4)")
+    p_submit.add_argument("--preset", default=None,
+                          choices=sorted(PRESETS),
+                          help="named workload transformation")
+    p_submit.add_argument("--stream", action="store_true",
+                          help="streamed shards instead of record/replay")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job settles, then render "
+                          "the coverage table")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait deadline in seconds")
+    p_submit.set_defaults(func=_cmd_submit)
 
     return parser
 

@@ -95,6 +95,41 @@ class TaskQuarantinedError(ExecutionError):
     """
 
 
+class ServiceError(ReproError):
+    """The sweep service rejected or could not honour a request.
+
+    Base of the service subtree (:mod:`repro.service`): protocol
+    violations, malformed submissions, and capacity refusals all derive
+    from here so clients can catch service-side failures with one
+    clause while transport errors (socket resets, timeouts) propagate
+    as their stdlib selves.
+    """
+
+
+class QueueFullError(ServiceError):
+    """A submission would overflow the server's bounded pending queue.
+
+    Carries ``retry_after`` — the seconds a well-behaved client should
+    wait before retrying (the HTTP layer surfaces it as a 429 response
+    with a ``Retry-After`` header).  Backpressure, not failure: the
+    request was valid, the server is protecting itself.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class LeaseError(ServiceError):
+    """A worker presented an unknown, expired, or stolen lease token.
+
+    Stale completions are *expected* under churn (the lease expired and
+    the shard was reassigned while the original worker kept computing);
+    the server answers them without side effects because the worker's
+    store writes are content-addressed and therefore harmless.
+    """
+
+
 class StoreCorruptionError(ReproError):
     """A stored payload failed validation (zlib, JSON, or structure).
 

@@ -1,0 +1,53 @@
+"""Sweep-as-a-service: crash-safe job server with leased workers.
+
+The one-machine sweep engine promoted to a long-running service (see
+``docs/service.md``): a durable job journal in the experiment store, a
+lease/heartbeat dispatch loop with deterministic reassignment backoff,
+graceful degradation to warm store lookups with zero workers, and a
+chaos drill that SIGKILLs the lot and demands a byte-identical store.
+
+Layout:
+
+* :mod:`repro.service.journal` — shard fingerprints, the
+  submitted → leased → done/quarantined state machine, durable job
+  records under the store's ``job`` kind;
+* :mod:`repro.service.server` — the transport-free
+  :class:`~repro.service.server.SweepService` scheduler plus the
+  asyncio HTTP front end;
+* :mod:`repro.service.worker` — the lease-pull worker loop (own store
+  connection, heartbeat thread, chaos hooks);
+* :mod:`repro.service.client` — stdlib submission/query client;
+* :mod:`repro.service.chaos` — the ``--plan service`` drill.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.journal import (
+    JobJournal,
+    build_shards,
+    normalize_request,
+    shard_fingerprint,
+    shard_result_keys,
+    shard_satisfied,
+)
+from repro.service.server import (
+    DEFAULT_LEASE_SECONDS,
+    SERVICE_RETRY_POLICY,
+    SweepService,
+    serve,
+)
+from repro.service.worker import ServiceWorker
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "JobJournal",
+    "SERVICE_RETRY_POLICY",
+    "ServiceClient",
+    "ServiceWorker",
+    "SweepService",
+    "build_shards",
+    "normalize_request",
+    "serve",
+    "shard_fingerprint",
+    "shard_result_keys",
+    "shard_satisfied",
+]

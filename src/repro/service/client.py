@@ -1,0 +1,149 @@
+"""Thin stdlib HTTP client for the sweep service.
+
+``urllib.request`` only — the client mirrors the server's no-new-deps
+stance.  Transport failures (connection refused mid-restart, resets)
+raise their stdlib selves (``OSError`` subclasses) so callers — the
+worker loop, the chaos drill — can decide to wait and retry; protocol
+refusals come back as parsed status/payload pairs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.errors import QueueFullError, ServiceError
+
+
+def http_json(
+    method: str,
+    url: str,
+    payload: dict | None = None,
+    timeout: float = 10.0,
+) -> tuple[int, dict]:
+    """One JSON request/response round trip; returns ``(status, body)``.
+
+    4xx/5xx are *returned*, not raised — they are protocol answers
+    (429 backpressure, 410 stale lease), and the caller branches on
+    them.  Only transport-level failures raise.
+    """
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+            return response.status, json.loads(raw) if raw else {}
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        try:
+            body = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            body = {"error": raw.decode(errors="replace")}
+        if error.headers.get("Retry-After"):
+            body.setdefault("retry_after", error.headers["Retry-After"])
+        return error.code, body
+
+
+class ServiceClient:
+    """Submission-side view of one sweep server."""
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _url(self, path: str, query: dict | None = None) -> str:
+        url = f"{self.base_url}{path}"
+        if query:
+            url += "?" + urllib.parse.urlencode(
+                {k: v for k, v in query.items() if v is not None}
+            )
+        return url
+
+    def submit(self, **request) -> dict:
+        """Submit a sweep; returns the job status dict.
+
+        Raises :class:`~repro.errors.QueueFullError` on 429 (carrying
+        the server's ``Retry-After``) and :class:`ServiceError` on any
+        other refusal.
+        """
+        status, body = http_json(
+            "POST", self._url("/submit"), request, timeout=self.timeout
+        )
+        if status == 429:
+            raise QueueFullError(
+                body.get("error", "queue full"),
+                retry_after=float(body.get("retry_after", 1.0)),
+            )
+        if status != 200:
+            raise ServiceError(
+                body.get("error", f"submit failed with HTTP {status}")
+            )
+        return body
+
+    def job(self, job_id: str) -> dict:
+        status, body = http_json(
+            "GET", self._url(f"/job/{job_id}"), timeout=self.timeout
+        )
+        if status != 200:
+            raise ServiceError(
+                body.get("error", f"job lookup failed with HTTP {status}")
+            )
+        return body
+
+    def result(self, workload: str, filter_name: str, **params) -> dict | None:
+        """Warm query for one evaluation cell; ``None`` when absent."""
+        query = {"workload": workload, "filter": filter_name, **params}
+        status, body = http_json(
+            "GET", self._url("/result", query), timeout=self.timeout
+        )
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(
+                body.get("error", f"result lookup failed with HTTP {status}")
+            )
+        return body
+
+    def health(self) -> dict:
+        status, body = http_json(
+            "GET", self._url("/health"), timeout=self.timeout
+        )
+        if status != 200:
+            raise ServiceError(f"health check failed with HTTP {status}")
+        return body
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll_seconds: float = 0.5,
+    ) -> dict:
+        """Poll until the job leaves ``running``; returns its status.
+
+        Connection errors during the poll are tolerated (the server may
+        be restarting mid-sweep — exactly the scenario the journal
+        exists for); the deadline still applies.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                status = self.job(job_id)
+                if status["state"] != "running":
+                    return status
+            except OSError:
+                pass  # server briefly unreachable; keep polling
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id[:12]} still running after {timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,760 @@
+"""Crash-safe sweep server: lease scheduler core + asyncio HTTP front.
+
+Two layers, deliberately separable:
+
+:class:`SweepService`
+    The robustness core — a synchronous, socket-free scheduler over the
+    durable :class:`~repro.service.journal.JobJournal`.  It owns the
+    shard state machine (submit → lease → heartbeat → complete / fail /
+    expire), charges lease expiries and failures against an
+    :class:`~repro.analysis.resilience.AttemptTracker` seeded by the
+    service :class:`~repro.analysis.resilience.RetryPolicy` (so
+    reassignment backoff is deterministic), quarantines shards that
+    exhaust their budget, applies bounded-queue backpressure, answers
+    warm queries straight from the store with zero workers, and
+    persists every transition.  Tests drive it in-process with an
+    injected clock; the HTTP layer is just transport.
+
+:func:`serve`
+    A hand-rolled HTTP/1.1 front end on ``asyncio.start_server`` (no
+    ``http.server``, no third-party deps): JSON in, JSON out, one
+    route table, ``Connection: close``.  ``SIGTERM``/``SIGINT`` begin a
+    drain — no new leases, in-flight leases allowed to land until a
+    grace deadline — and the process exits 0 with the journal
+    consistent.
+
+Correctness under churn rests on content-addressed results: a worker
+whose lease expired may keep computing and writing — its bytes are the
+same bytes any other worker would write, so the server simply checks
+the store before (re)granting a lease and marks shards done when their
+results already exist, whoever produced them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+import urllib.parse
+
+from repro.analysis.resilience import AttemptTracker, RetryPolicy
+from repro.analysis.store import ExperimentStore, evaluation_to_dict
+from repro.errors import QueueFullError, ReproError, ServiceError
+from repro.service.journal import (
+    JobJournal,
+    shard_result_keys,
+    shard_satisfied,
+    normalize_request,
+)
+
+#: How workers and leases are timed by default: generous enough for a
+#: smoke-sized shard, short enough that a dead worker's shard is back
+#: in the queue within seconds.
+DEFAULT_LEASE_SECONDS = 15.0
+
+#: Reassignment policy: five attempts with sub-second seeded backoff.
+#: A shard that fails five leases in a row is quarantined and rendered
+#: as ``(failed)`` — the fleet stays live on partial results.
+SERVICE_RETRY_POLICY = RetryPolicy(
+    max_attempts=5, base_delay=0.25, backoff=2.0, max_delay=5.0, seed=0
+)
+
+
+def _log(message: str) -> None:
+    # Plain flushed stdout, not logging: the chaos drill and the CI
+    # smoke grep server output across process boundaries.
+    print(f"[serve] {message}", flush=True)
+
+
+class SweepService:
+    """Transport-independent scheduler over the durable job journal."""
+
+    def __init__(
+        self,
+        store: ExperimentStore,
+        *,
+        policy: RetryPolicy | None = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_pending: int = 256,
+        clock=time.monotonic,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ServiceError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        if max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.store = store
+        self.journal = JobJournal(store)
+        self.policy = policy if policy is not None else SERVICE_RETRY_POLICY
+        self.lease_seconds = lease_seconds
+        self.max_pending = max_pending
+        self.clock = clock
+        self.tracker = AttemptTracker(self.policy)
+        self.jobs: dict[str, dict] = {}
+        self.leases: dict[str, tuple[str, int]] = {}
+        self.workers: dict[str, float] = {}
+        self.draining = False
+        self._lease_counter = 0
+        self.counters = {
+            "leases_granted": 0,
+            "reassigned": 0,
+            "completed": 0,
+            "failures": 0,
+            "quarantined": 0,
+            "rejected": 0,
+        }
+        self._recover()
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        records = self.journal.load()
+        if not records:
+            return
+        requeued = done = 0
+        for job_id, record in records.items():
+            for shard in record["shards"]:
+                if shard["state"] == "leased":
+                    # The server died holding this lease; the journal
+                    # never trusts a dead lease.  No attempt is charged
+                    # — the shard didn't fail, the server did.
+                    shard["state"] = "submitted"
+                    requeued += 1
+                if (shard["state"] == "submitted"
+                        and shard_satisfied(self.store, shard)):
+                    # Its worker (or a previous run) already landed the
+                    # content-addressed results: resume without
+                    # re-running the shard.
+                    self._credit_cached(record, shard)
+                    shard["state"] = "done"
+                self.tracker.restore(shard["id"], shard.get("attempts", 0))
+                if shard["state"] == "done":
+                    done += 1
+            self.jobs[job_id] = record
+            self.journal.persist(record)
+        _log(
+            f"recovered {len(records)} journaled job(s): "
+            f"{done} shard(s) already done, {requeued} requeued"
+        )
+
+    # -- bookkeeping helpers -------------------------------------------
+
+    @staticmethod
+    def _credit_cached(record: dict, shard: dict) -> None:
+        counters = record.setdefault("counters", {})
+        counters["sims_cached"] = counters.get("sims_cached", 0) + 1
+        counters["evals_cached"] = (
+            counters.get("evals_cached", 0) + len(shard["filters"])
+        )
+
+    def _queued(self) -> int:
+        return sum(
+            1
+            for record in self.jobs.values()
+            for shard in record["shards"]
+            if shard["state"] in ("submitted", "leased")
+        )
+
+    def leased_count(self) -> int:
+        return len(self.leases)
+
+    def _shard_label(self, shard: dict) -> str:
+        return (
+            f"shard {shard['id'][:8]} "
+            f"({shard['workload']} seed {shard['seed']})"
+        )
+
+    # -- the state machine ---------------------------------------------
+
+    def submit(self, payload: dict) -> dict:
+        """Admit (or recognise) a sweep request; return its job status.
+
+        Idempotent by construction: the request normalises to the same
+        shard fingerprints and therefore the same job key however its
+        lists were ordered.  A fully warm job never touches the queue —
+        every shard is marked done from a pure store lookup.  A cold
+        job whose shards would overflow ``max_pending`` raises
+        :class:`~repro.errors.QueueFullError` (429 upstream), and a
+        draining server refuses new work with :class:`ServiceError`.
+        """
+        request = normalize_request(payload)
+        record = JobJournal.new_record(request)
+        job_id = record["job"]
+        existing = self.jobs.get(job_id)
+        if existing is not None:
+            # Refresh: shards whose results landed since the last poll
+            # flip to done even with zero workers attached.
+            for shard in existing["shards"]:
+                if (shard["state"] == "submitted"
+                        and shard_satisfied(self.store, shard)):
+                    self._credit_cached(existing, shard)
+                    shard["state"] = "done"
+            self.journal.persist(existing)
+            return self._submission_status(job_id)
+        cold = []
+        for shard in record["shards"]:
+            if shard_satisfied(self.store, shard):
+                self._credit_cached(record, shard)
+                shard["state"] = "done"
+            else:
+                cold.append(shard)
+        if cold and self.draining:
+            raise ServiceError(
+                "server is draining and accepts no new work"
+            )
+        if self._queued() + len(cold) > self.max_pending:
+            self.counters["rejected"] += 1
+            # A well-behaved client retries after roughly one lease
+            # term per queue's worth of backlog ahead of it.
+            retry_after = max(
+                1.0,
+                self.lease_seconds * self._queued() / self.max_pending,
+            )
+            raise QueueFullError(
+                f"queue full: {self._queued()} shard(s) pending "
+                f"(bound {self.max_pending})",
+                retry_after=retry_after,
+            )
+        self.jobs[job_id] = record
+        self.journal.persist(record)
+        _log(
+            f"job {job_id[:12]} submitted: {len(record['shards'])} "
+            f"shard(s), {len(cold)} cold"
+        )
+        return self._submission_status(job_id)
+
+    def _submission_status(self, job_id: str) -> dict:
+        """Job status whose summary describes *this* submission.
+
+        A submission that found every shard already done ran nothing —
+        its summary must say ``sims: 0 run``, whatever history the job
+        accumulated while it was cold.  In-progress jobs keep the
+        historical summary (that is what ``--wait`` reports at the
+        end).
+        """
+        status = self.job_status(job_id)
+        record = self.jobs[job_id]
+        if status["state"] == "done":
+            shards = len(record["shards"])
+            evals = sum(len(s["filters"]) for s in record["shards"])
+            status["summary"] = (
+                f"sims: 0 run / {shards} cached; "
+                f"evals: 0 run / {evals} cached"
+            )
+        return status
+
+    def register(self, worker: str) -> dict:
+        self.workers[worker] = self.clock()
+        return {
+            "worker": worker,
+            "lease_seconds": self.lease_seconds,
+            "store": str(self.store.path) if self.store.path else None,
+        }
+
+    def lease(self, worker: str) -> dict | None:
+        """Grant the next runnable shard to *worker*, or ``None``.
+
+        Shards are scanned in job-insertion then shard order (the
+        deterministic schedule); a shard still backing off after a
+        failure is skipped until its ``not_before`` passes, and a shard
+        whose results appeared in the store since it was queued — a
+        stale worker finished it — is marked done instead of leased.
+        """
+        now = self.clock()
+        self.workers[worker] = now
+        if self.draining:
+            return None
+        for job_id, record in self.jobs.items():
+            for index, shard in enumerate(record["shards"]):
+                if shard["state"] != "submitted":
+                    continue
+                if shard.get("not_before", 0.0) > now:
+                    continue
+                if shard_satisfied(self.store, shard):
+                    self._credit_cached(record, shard)
+                    shard["state"] = "done"
+                    self.tracker.forget(shard["id"])
+                    self.journal.persist(record)
+                    _log(
+                        f"{self._shard_label(shard)} already satisfied "
+                        "by the store; marked done without a lease"
+                    )
+                    continue
+                self._lease_counter += 1
+                token = f"L{self._lease_counter}"
+                shard["state"] = "leased"
+                shard["worker"] = worker
+                shard["lease"] = token
+                shard["deadline"] = now + self.lease_seconds
+                self.leases[token] = (job_id, index)
+                self.counters["leases_granted"] += 1
+                self.journal.persist(record)
+                return {
+                    "lease": token,
+                    "lease_seconds": self.lease_seconds,
+                    "job": job_id,
+                    "shard": {
+                        key: shard[key]
+                        for key in ("id", "workload", "filters", "seed",
+                                    "mode", "accesses", "warmup", "preset",
+                                    "cpus", "chunk_size", "checkpoint_every")
+                        if key in shard
+                    },
+                }
+        return None
+
+    def heartbeat(self, worker: str, token: str) -> bool:
+        """Extend a live lease's deadline; ``False`` for a dead one."""
+        self.workers[worker] = self.clock()
+        entry = self.leases.get(token)
+        if entry is None:
+            return False
+        job_id, index = entry
+        shard = self.jobs[job_id]["shards"][index]
+        if shard.get("lease") != token or shard.get("worker") != worker:
+            return False
+        shard["deadline"] = self.clock() + self.lease_seconds
+        return True
+
+    def _release(self, token: str, worker: str) -> tuple[dict, dict] | None:
+        entry = self.leases.get(token)
+        if entry is None:
+            return None
+        job_id, index = entry
+        record = self.jobs[job_id]
+        shard = record["shards"][index]
+        if shard.get("lease") != token or shard.get("worker") != worker:
+            return None
+        del self.leases[token]
+        for key in ("lease", "worker", "deadline"):
+            shard.pop(key, None)
+        return record, shard
+
+    def complete(self, worker: str, token: str, report: dict | None = None) -> str:
+        """A worker claims its leased shard finished; verify and settle.
+
+        Completion is *verified*, never trusted: the shard flips to
+        done only if its content-addressed results actually exist in
+        the store.  A claim without results is charged as a failure.
+        Stale tokens (the lease expired and moved on) are answered
+        ``"stale"`` with no side effects — the worker's writes, if any,
+        are content-addressed and therefore harmless.
+        """
+        self.workers[worker] = self.clock()
+        released = self._release(token, worker)
+        if released is None:
+            return "stale"
+        record, shard = released
+        if not shard_satisfied(self.store, shard):
+            return self._charge_failure(
+                record, shard,
+                f"worker {worker} reported completion but results are "
+                "missing from the store",
+            )
+        shard["state"] = "done"
+        self.tracker.forget(shard["id"])
+        counters = record.setdefault("counters", {})
+        for key in ("sims_run", "evals_run", "sims_cached", "evals_cached"):
+            value = (report or {}).get(key, 0)
+            if isinstance(value, int) and value > 0:
+                counters[key] = counters.get(key, 0) + value
+        self.counters["completed"] += 1
+        self.journal.persist(record)
+        _log(f"{self._shard_label(shard)} completed by {worker}")
+        return "done"
+
+    def fail(self, worker: str, token: str, error: str = "") -> str:
+        """A worker reports its leased shard failed; requeue or quarantine."""
+        self.workers[worker] = self.clock()
+        released = self._release(token, worker)
+        if released is None:
+            return "stale"
+        record, shard = released
+        self.counters["failures"] += 1
+        return self._charge_failure(record, shard, error or "worker failure")
+
+    def _charge_failure(self, record: dict, shard: dict, error: str) -> str:
+        delay = self.tracker.record_failure(shard["id"])
+        shard["attempts"] = self.tracker.attempts(shard["id"])
+        shard["error"] = error
+        if delay is None:
+            shard["state"] = "quarantined"
+            self.counters["quarantined"] += 1
+            self.journal.persist(record)
+            _log(
+                f"{self._shard_label(shard)} quarantined after "
+                f"{shard['attempts']} attempt(s): {error}"
+            )
+            return "quarantined"
+        shard["state"] = "submitted"
+        shard["not_before"] = self.clock() + delay
+        self.journal.persist(record)
+        _log(
+            f"{self._shard_label(shard)} requeued "
+            f"(attempt {shard['attempts']}/{self.policy.max_attempts}, "
+            f"backoff {delay:.2f}s): {error}"
+        )
+        return "requeued"
+
+    def expire_leases(self) -> int:
+        """Reassign (or settle) every lease whose deadline has passed."""
+        now = self.clock()
+        expired = [
+            token
+            for token, (job_id, index) in self.leases.items()
+            if self.jobs[job_id]["shards"][index].get("deadline", now) <= now
+        ]
+        for token in expired:
+            job_id, index = self.leases.pop(token)
+            record = self.jobs[job_id]
+            shard = record["shards"][index]
+            worker = shard.get("worker", "?")
+            for key in ("lease", "worker", "deadline"):
+                shard.pop(key, None)
+            if shard_satisfied(self.store, shard):
+                # The worker finished the work but lost contact —
+                # results are content-addressed, so keep them.
+                shard["state"] = "done"
+                self.tracker.forget(shard["id"])
+                self.counters["completed"] += 1
+                self.journal.persist(record)
+                _log(
+                    f"lease {token} expired on {worker} but "
+                    f"{self._shard_label(shard)} is satisfied; kept"
+                )
+                continue
+            self.counters["reassigned"] += 1
+            _log(
+                f"lease {token} ({self._shard_label(shard)}) expired on "
+                f"worker {worker}; reassigned"
+            )
+            self._charge_failure(
+                record, shard, f"lease expired on worker {worker}"
+            )
+        return len(expired)
+
+    # -- queries -------------------------------------------------------
+
+    def job_status(self, job_id: str) -> dict:
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job: {job_id}")
+        states = {state: 0 for state in
+                  ("submitted", "leased", "done", "quarantined")}
+        for shard in record["shards"]:
+            states[shard["state"]] += 1
+        if states["submitted"] or states["leased"]:
+            overall = "running"
+        elif states["quarantined"]:
+            overall = "quarantined"
+        else:
+            overall = "done"
+        counters = record.get("counters", {})
+        summary = (
+            f"sims: {counters.get('sims_run', 0)} run / "
+            f"{counters.get('sims_cached', 0)} cached; "
+            f"evals: {counters.get('evals_run', 0)} run / "
+            f"{counters.get('evals_cached', 0)} cached"
+        )
+        return {
+            "job": job_id,
+            "state": overall,
+            "states": states,
+            "summary": summary,
+            "request": record["request"],
+            "shards": [
+                {
+                    "id": shard["id"],
+                    "workload": shard["workload"],
+                    "seed": shard["seed"],
+                    "state": shard["state"],
+                    "attempts": shard.get("attempts", 0),
+                    **({"error": shard["error"]} if shard.get("error")
+                       else {}),
+                }
+                for shard in record["shards"]
+            ],
+        }
+
+    def warm_result(self, params: dict) -> dict | None:
+        """Answer one evaluation cell from the store — a pure key lookup.
+
+        The graceful-degradation path: requires no workers, no queue,
+        no journal — only the content-addressed key.  Returns ``None``
+        when the cell was never computed (or was quarantined away).
+        """
+        shard = {
+            "workload": params["workload"],
+            "filters": [params["filter"]],
+            "seed": int(params.get("seed", 1)),
+            "mode": params.get("mode", "replay"),
+        }
+        for field in ("accesses", "warmup", "cpus"):
+            if params.get(field) is not None:
+                shard[field] = int(params[field])
+        if params.get("preset") is not None:
+            shard["preset"] = params["preset"]
+        _mkey, ekeys = shard_result_keys(shard)
+        evaluation = self.store.get_eval(ekeys[params["filter"]])
+        if evaluation is None:
+            return None
+        return {
+            "workload": shard["workload"],
+            "filter": params["filter"],
+            "seed": shard["seed"],
+            # The derived fraction, precomputed: the stored dict holds
+            # raw counters only (coverage is a property, not a field).
+            "coverage": evaluation.coverage.coverage,
+            "evaluation": evaluation_to_dict(evaluation),
+        }
+
+    def stats(self) -> dict:
+        states = {state: 0 for state in
+                  ("submitted", "leased", "done", "quarantined")}
+        for record in self.jobs.values():
+            for shard in record["shards"]:
+                states[shard["state"]] += 1
+        return {
+            "status": "draining" if self.draining else "ok",
+            "jobs": len(self.jobs),
+            "shards": states,
+            "workers": sorted(self.workers),
+            "leases": [
+                {
+                    "lease": token,
+                    "worker": self.jobs[job_id]["shards"][index].get(
+                        "worker"
+                    ),
+                    "shard": self.jobs[job_id]["shards"][index]["id"],
+                    "job": job_id,
+                }
+                for token, (job_id, index) in self.leases.items()
+            ],
+            **self.counters,
+        }
+
+    def begin_drain(self) -> None:
+        if not self.draining:
+            self.draining = True
+            _log(
+                f"draining: {self.leased_count()} lease(s) in flight, "
+                "no new work accepted"
+            )
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+
+_MAX_BODY = 4 * 1024 * 1024
+
+
+def _response(
+    status: int, payload: dict, extra_headers: dict | None = None
+) -> bytes:
+    reasons = {200: "OK", 204: "No Content", 400: "Bad Request",
+               404: "Not Found", 410: "Gone", 429: "Too Many Requests",
+               500: "Internal Server Error", 503: "Service Unavailable"}
+    body = b"" if status == 204 else json.dumps(payload).encode()
+    headers = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+async def _read_request(reader) -> tuple[str, str, dict, dict]:
+    """Parse one HTTP/1.1 request into (method, path, query, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("empty request")
+    try:
+        method, target, _version = request_line.decode().split(None, 2)
+    except ValueError as error:
+        raise ServiceError(f"malformed request line: {request_line!r}") \
+            from error
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    if content_length > _MAX_BODY:
+        raise ServiceError(f"body too large: {content_length} bytes")
+    body = {}
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"request body is not JSON: {error}") \
+                from error
+    parsed = urllib.parse.urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in urllib.parse.parse_qs(parsed.query).items()
+    }
+    return method, parsed.path, query, body
+
+
+def _dispatch(service: SweepService, method: str, path: str,
+              query: dict, body: dict) -> tuple[int, dict, dict]:
+    """Route one parsed request; returns (status, payload, headers)."""
+    if method == "GET" and path == "/health":
+        return 200, service.stats(), {}
+    if method == "POST" and path == "/submit":
+        return 200, service.submit(body), {}
+    if method == "GET" and path.startswith("/job/"):
+        return 200, service.job_status(path[len("/job/"):]), {}
+    if method == "GET" and path == "/result":
+        for field in ("workload", "filter"):
+            if field not in query:
+                raise ServiceError(f"/result needs a '{field}' parameter")
+        result = service.warm_result(query)
+        if result is None:
+            return 404, {"error": "no stored result for that cell"}, {}
+        return 200, result, {}
+    if method == "POST" and path == "/register":
+        worker = body.get("worker")
+        if not worker:
+            raise ServiceError("/register needs a 'worker' name")
+        return 200, service.register(str(worker)), {}
+    if method == "POST" and path == "/lease":
+        worker = body.get("worker")
+        if not worker:
+            raise ServiceError("/lease needs a 'worker' name")
+        grant = service.lease(str(worker))
+        if grant is None:
+            return 204, {}, {}
+        return 200, grant, {}
+    if method == "POST" and path == "/heartbeat":
+        alive = service.heartbeat(
+            str(body.get("worker", "")), str(body.get("lease", ""))
+        )
+        if not alive:
+            return 410, {"error": "lease is gone"}, {}
+        return 200, {"lease": body.get("lease")}, {}
+    if method == "POST" and path == "/complete":
+        disposition = service.complete(
+            str(body.get("worker", "")), str(body.get("lease", "")),
+            body.get("report"),
+        )
+        if disposition == "stale":
+            return 410, {"disposition": disposition}, {}
+        return 200, {"disposition": disposition}, {}
+    if method == "POST" and path == "/fail":
+        disposition = service.fail(
+            str(body.get("worker", "")), str(body.get("lease", "")),
+            str(body.get("error", "")),
+        )
+        if disposition == "stale":
+            return 410, {"disposition": disposition}, {}
+        return 200, {"disposition": disposition}, {}
+    return 404, {"error": f"no route for {method} {path}"}, {}
+
+
+def serve(
+    service: SweepService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    drain_grace: float = 30.0,
+    delay_ms: float = 0.0,
+    ready_path: str | None = None,
+) -> None:
+    """Run the HTTP front end until SIGTERM/SIGINT drains it.
+
+    ``delay_ms`` injects a fixed asynchronous delay before every
+    response — the chaos harness's "delayed responses" fault.
+    ``ready_path``, when given, receives a one-line file once the
+    socket is listening (subprocess orchestration handshake).
+    """
+
+    async def handle(reader, writer):
+        try:
+            try:
+                method, path, query, body = await _read_request(reader)
+            except ConnectionError:
+                return
+            if delay_ms > 0:
+                await asyncio.sleep(delay_ms / 1000.0)
+            try:
+                status, payload, headers = _dispatch(
+                    service, method, path, query, body
+                )
+            except QueueFullError as error:
+                status, payload = 429, {"error": str(error)}
+                headers = {"Retry-After": str(int(error.retry_after + 0.5))}
+            except ServiceError as error:
+                draining = "draining" in str(error)
+                status = 503 if draining else (
+                    404 if "unknown job" in str(error) else 400
+                )
+                payload, headers = {"error": str(error)}, {}
+            except ReproError as error:
+                status, payload, headers = 400, {"error": str(error)}, {}
+            except Exception as error:  # never kill the server on a request
+                status = 500
+                payload = {"error": f"{type(error).__name__}: {error}"}
+                headers = {}
+                _log(f"internal error serving {method} {path}: {error}")
+            writer.write(_response(status, payload, headers))
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - racy
+                pass
+
+    async def main() -> None:
+        server = await asyncio.start_server(handle, host, port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                signal.signal(signum, lambda *_args: stop.set())
+        _log(f"listening on http://{host}:{port}")
+        if ready_path:
+            with open(ready_path, "w", encoding="utf-8") as handle_:
+                handle_.write(f"{host}:{port}\n")
+
+        async def expiry_loop() -> None:
+            tick = max(0.1, service.lease_seconds / 4.0)
+            while not stop.is_set():
+                service.expire_leases()
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=tick)
+                except asyncio.TimeoutError:
+                    pass
+
+        expiry = asyncio.ensure_future(expiry_loop())
+        await stop.wait()
+        service.begin_drain()
+        deadline = time.monotonic() + drain_grace
+        while service.leased_count() and time.monotonic() < deadline:
+            service.expire_leases()
+            await asyncio.sleep(0.1)
+        expiry.cancel()
+        server.close()
+        await server.wait_closed()
+        _log(
+            "drained and stopped"
+            if not service.leased_count()
+            else f"drain grace expired with {service.leased_count()} "
+                 "lease(s) abandoned (journal requeues them on restart)"
+        )
+
+    asyncio.run(main())

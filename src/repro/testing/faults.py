@@ -283,13 +283,26 @@ def run_chaos(
     from repro.analysis.runner import run_sweep
     from repro.analysis.store import ExperimentStore
 
+    if plan == "service":
+        # The service drill is a different animal — real subprocesses,
+        # real sockets, SIGKILL — so it lives with the service package.
+        # Its result duck-types ChaosResult where it matters: .summary()
+        # ends with the same byte-identity verdict line.
+        from repro.service.chaos import run_service_chaos
+
+        service_result = run_service_chaos()
+        if not service_result.ok:
+            raise ExecutionError(
+                "service chaos drill failed\n" + service_result.summary()
+            )
+        return service_result
     if isinstance(plan, str):
         try:
             plan = FAULT_PLANS[plan]
         except KeyError:
             raise ExecutionError(
-                f"unknown fault plan {plan!r}; "
-                f"choose one of {', '.join(sorted(FAULT_PLANS))}"
+                f"unknown fault plan {plan!r}; choose one of "
+                f"{', '.join(sorted(FAULT_PLANS))}, service"
             ) from None
     policy = RetryPolicy(
         # Generous budget: a task can suffer its own faults plus crash
