@@ -203,6 +203,97 @@ def measure_replay(name: str, n_accesses: int, warmup: int) -> dict:
     return entry
 
 
+def measure_trace_economics(name: str, n_accesses: int, warmup: int) -> dict:
+    """Trace-economics A/B: stored bytes and replay rates per variant.
+
+    Three cold records of the same ``(workload, seed)`` into separate
+    scratch stores — full trace under ``raw-v1``, full trace under
+    ``delta-v1``, and measured-region-only under ``delta-v1`` (warm-up
+    events replaced by a fast-forward filter-state snapshot) — each
+    followed by a warm serial replay of all four filter configurations.
+    Reports per-variant stored trace bytes (manifest + segments +
+    fast-forward rows), bytes/access, record and replay rates; the
+    headline ratios (``delta_vs_raw_bytes``,
+    ``measured_delta_vs_raw_bytes`` — the CI gate's number — and
+    ``measured_replay_speedup``); and whether every filter's evaluation
+    payload is byte-identical across all three variants (the
+    correctness contract the codecs and fast-forward must uphold).
+    """
+    from repro.analysis import store as store_mod
+
+    spec = _sized(name, n_accesses, warmup)
+    variants = (
+        ("raw_full", "raw-v1", False),
+        ("delta_full", "delta-v1", False),
+        ("delta_measured", "delta-v1", True),
+    )
+    entry: dict = {
+        "workload": name,
+        "accesses": n_accesses,
+        "warmup": warmup,
+        "filters": len(FILTERS),
+        "variants": {},
+    }
+    eval_blobs: dict[str, dict[str, bytes]] = {}
+    for key, codec, measured_only in variants:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ExperimentStore(Path(tmp) / f"bench-{key}.sqlite")
+            started = time.perf_counter()
+            runner.execute_replays(
+                [runner.ReplayJob(name, (), codec=codec,
+                                  measured_only=measured_only)],
+                experiment_store=store, specs={name: spec},
+            )
+            record_elapsed = time.perf_counter() - started
+            trace_bytes = sum(
+                e.payload_bytes for e in store.entries()
+                if e.kind in (store_mod.TRACE_KIND, store_mod.FAST_FORWARD_KIND)
+            )
+            started = time.perf_counter()
+            runner.execute_replays(
+                [runner.ReplayJob(name, FILTERS, codec=codec,
+                                  measured_only=measured_only)],
+                experiment_store=store, backend="serial", specs={name: spec},
+            )
+            replay_elapsed = time.perf_counter() - started
+            eval_blobs[key] = {
+                f: store.get_blob(
+                    store_mod.eval_key(spec, f, SCALED_SYSTEM, 1)
+                )
+                for f in FILTERS
+            }
+            store.close()
+        entry["variants"][key] = {
+            "codec": codec,
+            "measured_only": measured_only,
+            "trace_bytes": trace_bytes,
+            "bytes_per_access": round(trace_bytes / n_accesses, 3),
+            "record_seconds": round(record_elapsed, 3),
+            "record_accesses_per_sec": round(n_accesses / record_elapsed),
+            "replay_seconds": round(replay_elapsed, 3),
+            "replay_accesses_per_sec": round(n_accesses / replay_elapsed),
+        }
+    raw = entry["variants"]["raw_full"]
+    delta = entry["variants"]["delta_full"]
+    measured = entry["variants"]["delta_measured"]
+    entry["delta_vs_raw_bytes"] = round(
+        delta["trace_bytes"] / raw["trace_bytes"], 3
+    )
+    entry["measured_delta_vs_raw_bytes"] = round(
+        measured["trace_bytes"] / raw["trace_bytes"], 3
+    )
+    entry["measured_replay_speedup"] = round(
+        raw["replay_seconds"] / measured["replay_seconds"], 2
+    )
+    entry["eval_payloads_identical"] = all(
+        eval_blobs["raw_full"][f] is not None
+        and eval_blobs["raw_full"][f] == eval_blobs["delta_full"][f]
+        and eval_blobs["raw_full"][f] == eval_blobs["delta_measured"][f]
+        for f in FILTERS
+    )
+    return entry
+
+
 def measure_checkpointed(name: str, n_accesses: int, warmup: int,
                          every: int) -> dict:
     """One streamed run with mid-run checkpointing into a scratch store.
@@ -335,7 +426,7 @@ def measure_supervision_overhead(name: str, n_accesses: int, warmup: int,
         tasks = [
             (path, segments, SCALED_SYSTEM,
              [(store_mod.eval_key(spec, f, SCALED_SYSTEM, 1), f)],
-             "auto", phase_names)
+             "auto", phase_names, None)
             for f in FILTERS
         ]
 
@@ -375,9 +466,36 @@ def run_benchmark(quick: bool, checkpoint_every: int | None = None,
                   phase_overhead: bool = False,
                   phase_only: bool = False,
                   supervision_overhead: bool = False,
-                  supervision_only: bool = False) -> dict:
+                  supervision_only: bool = False,
+                  trace_economics: bool = False,
+                  trace_economics_only: bool = False) -> dict:
     s_acc, s_warm, b_acc, b_warm = QUICK_SIZES if quick else FULL_SIZES
     results: dict = {"streamed": {}, "buffered": {}, "replay": {}}
+    if trace_economics:
+        results["trace_economics"] = {}
+        # A warm-up of a quarter of the run: the measured-region mode
+        # exists to skip warm-up, so the A/B needs a warm-up fraction
+        # representative of filter-warming methodology, not the token
+        # one the throughput modes use.
+        eco_warm = max(s_warm, s_acc // 4)
+        print(f"trace economics em3d: {s_acc:,} accesses "
+              f"({eco_warm:,} warm-up), raw-v1 vs delta-v1 vs "
+              "measured-only ...", flush=True)
+        entry = measure_trace_economics("em3d", s_acc, eco_warm)
+        results["trace_economics"]["em3d"] = entry
+        raw = entry["variants"]["raw_full"]
+        measured = entry["variants"]["delta_measured"]
+        print(f"  raw-v1 full {raw['trace_bytes']:,} B "
+              f"({raw['bytes_per_access']} B/access); delta-v1 full "
+              f"x{entry['delta_vs_raw_bytes']}; measured-only delta "
+              f"{measured['trace_bytes']:,} B = "
+              f"x{entry['measured_delta_vs_raw_bytes']} of raw, replay "
+              f"x{entry['measured_replay_speedup']} faster")
+        print("  eval payloads byte-identical: "
+              + ("yes" if entry["eval_payloads_identical"] else "NO"),
+              flush=True)
+    if trace_economics_only:
+        return results
     if phase_overhead:
         results["phase"] = {}
         print(f"phase-accounting lu: {s_acc:,} accesses, plain vs "
@@ -542,7 +660,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure only the supervision overhead, "
                         "skipping the streamed/buffered/replay modes "
                         "(requires --assert-supervision-overhead)")
+    parser.add_argument("--assert-trace-bytes-per-access", type=float,
+                        default=None, metavar="RATIO",
+                        help="also A/B trace codecs on em3d (raw-v1 full "
+                        "vs delta-v1 full vs measured-only delta-v1) and "
+                        "fail when the measured-only delta archive "
+                        "exceeds RATIO x the raw-v1 full archive's bytes, "
+                        "or when any variant's eval payloads diverge "
+                        "(e.g. 0.75 for the CI budget)")
+    parser.add_argument("--trace-economics-only", action="store_true",
+                        help="measure only the trace-economics A/B, "
+                        "skipping the streamed/buffered/replay modes "
+                        "(requires --assert-trace-bytes-per-access)")
     args = parser.parse_args(argv)
+    if args.trace_economics_only and (
+        args.assert_trace_bytes_per_access is None
+    ):
+        parser.error("--trace-economics-only requires "
+                     "--assert-trace-bytes-per-access "
+                     "(nothing would be measured otherwise)")
     if args.phase_overhead_only and args.assert_phase_overhead is None:
         parser.error("--phase-overhead-only requires --assert-phase-overhead "
                      "(nothing would be measured otherwise)")
@@ -567,6 +703,9 @@ def main(argv: list[str] | None = None) -> int:
         phase_only=args.phase_overhead_only,
         supervision_overhead=args.assert_supervision_overhead is not None,
         supervision_only=args.supervision_overhead_only,
+        trace_economics=(args.assert_trace_bytes_per_access is not None
+                         or not args.quick),
+        trace_economics_only=args.trace_economics_only,
     )
     document = {
         "schema": 1,
@@ -597,6 +736,16 @@ def main(argv: list[str] | None = None) -> int:
         document["supervision_overhead_frac"] = {
             name: entry["overhead_frac"]
             for name, entry in results["supervision"].items()
+        }
+    if "trace_economics" in results:
+        document["trace_bytes_ratio"] = {
+            name: {
+                "delta_vs_raw": entry["delta_vs_raw_bytes"],
+                "measured_delta_vs_raw": entry["measured_delta_vs_raw_bytes"],
+                "measured_replay_speedup": entry["measured_replay_speedup"],
+                "eval_payloads_identical": entry["eval_payloads_identical"],
+            }
+            for name, entry in results["trace_economics"].items()
         }
 
     previous = {}
@@ -676,6 +825,19 @@ def main(argv: list[str] | None = None) -> int:
                   f"{args.assert_checkpoint_overhead:.1%} budget",
                   file=sys.stderr)
             return 1
+    if args.assert_trace_bytes_per_access is not None:
+        for name, entry in results.get("trace_economics", {}).items():
+            if not entry["eval_payloads_identical"]:
+                print(f"FAIL: {name} eval payloads diverge across trace "
+                      "codec / measured-only variants", file=sys.stderr)
+                return 1
+            ratio = entry["measured_delta_vs_raw_bytes"]
+            if ratio > args.assert_trace_bytes_per_access:
+                print(f"FAIL: {name} measured-only delta-v1 archive is "
+                      f"x{ratio} of the raw-v1 full archive, above the "
+                      f"x{args.assert_trace_bytes_per_access} budget",
+                      file=sys.stderr)
+                return 1
     return 0
 
 

@@ -174,6 +174,13 @@ class ReplayJob:
     change a stored byte (segments are cut at fixed event counts) and is
     absent from all keys.  An empty ``filter_names`` is a pure record
     job.
+
+    ``codec`` picks the segment wire format for a *new* recording (see
+    :data:`repro.analysis.store.SEGMENT_CODECS`) and ``measured_only``
+    records only post-warm-up events plus a fast-forward snapshot of
+    the warmed filter state.  Both are execution hints like
+    ``chunk_size``: replays decode whatever is stored, evaluations are
+    byte-identical either way, and neither appears in any store key.
     """
 
     workload: str
@@ -181,6 +188,12 @@ class ReplayJob:
     system: SystemConfig = SCALED_SYSTEM
     seed: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    codec: str = store_mod.DEFAULT_SEGMENT_CODEC
+    measured_only: bool = False
+    #: Extra filter configurations to warm (and snapshot) during a
+    #: measured-only recording, beyond ``filter_names`` and the default
+    #: sweep set — a pure record job names its future replay targets here.
+    warm_filters: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -262,6 +275,7 @@ def _build_bank(
     system: SystemConfig,
     kernel: str = "python",
     phase_names: tuple[str, ...] = (),
+    filter_states=None,
 ) -> StreamingFilterBank:
     """One live filter bank: a freshly built filter per node.
 
@@ -271,9 +285,23 @@ def _build_bank(
     kernels neither drive live filters nor snapshot; replay call sites
     pass the caller's choice (``"auto"`` by default).  ``phase_names``
     labels PHASE-marker splits in the finished evaluations.
+
+    ``filter_states`` (one snapshot per node, from a fast-forward row)
+    restores warmed state into the filters *before* the bank wires its
+    replayers — the vector kernels import filter state at construction,
+    so the restore must happen first.
     """
+    filters = _build_filters(filter_name, system)
+    if filter_states is not None:
+        if len(filter_states) != len(filters):
+            raise ConfigurationError(
+                f"fast-forward snapshot covers {len(filter_states)} "
+                f"node(s), system has {len(filters)}"
+            )
+        for snoop_filter, state in zip(filters, filter_states):
+            snoop_filter.restore(state)
     return StreamingFilterBank(
-        _build_filters(filter_name, system),
+        filters,
         kernel=kernel,
         phase_names=phase_names,
     )
@@ -1260,6 +1288,9 @@ def record_trace(
     checkpoint_every: int | None = None,
     report: ExecutionReport | None = None,
     segment_events: int = TRACE_SEGMENT_EVENTS,
+    codec: str = store_mod.DEFAULT_SEGMENT_CODEC,
+    measured_only: bool = False,
+    warm_filters: tuple[str, ...] = (),
 ) -> SimResult:
     """Simulate once, persisting the packed event shards as a trace.
 
@@ -1274,6 +1305,21 @@ def record_trace(
     partially collected recording must never mix with fresh ones.
     Returns the metrics-only result.
 
+    ``codec`` selects the segment wire format (see
+    :data:`repro.analysis.store.SEGMENT_CODECS`); replays sniff it per
+    segment, so the choice never appears in a key and mixed-codec
+    stores stay warm.
+
+    With ``measured_only=True`` (requires a warm-up), only post-warm-up
+    events are recorded: live per-node filter banks for ``warm_filters``
+    plus the default sweep set consume the warm-up shards, their warmed
+    state is snapshotted at ``begin_measurement`` into a ``fast-forward``
+    store row (written *before* the manifest, so a manifest always
+    implies its snapshot landed), and replays restore that state instead
+    of re-replaying warm-up.  Evaluations stay byte-identical to a
+    full-trace replay per the determinism contract — pinned per family
+    by the codec test suite.
+
     With ``checkpoint_every``, the recording snapshots its state (the
     machine *and* the sink's segment watermarks) at that access cadence;
     an interrupted recording then resumes at its last durable segment
@@ -1283,12 +1329,17 @@ def record_trace(
     previous watermark.  Either way the recorded bytes equal an
     uninterrupted recording's exactly.
     """
+    if codec not in store_mod.SEGMENT_CODECS:
+        raise ConfigurationError(
+            f"unknown trace segment codec {codec!r}; choose one of "
+            f"{', '.join(store_mod.SEGMENT_CODECS)}"
+        )
     tkey = store_mod.trace_key(spec, system, seed)
 
     def write_segment(node_id: int, index: int, raw: bytes) -> None:
         experiment_store.put_blob(
             store_mod.trace_segment_key(tkey, node_id, index),
-            store_mod.encode_trace_segment(raw),
+            store_mod.encode_trace_segment(raw, codec),
             kind=store_mod.TRACE_KIND,
             workload=spec.name,
             filter_name=tkey,
@@ -1297,7 +1348,55 @@ def record_trace(
         )
 
     chain = None
-    if checkpoint_every is not None:
+    ffkey = None
+    warmup = 0
+    if measured_only:
+        if checkpoint_every is not None:
+            raise ConfigurationError(
+                "measured-only recording does not support "
+                "checkpoint_every: the warm-up filter banks are not "
+                "part of the checkpoint protocol"
+            )
+        stream, warmup = simulate_workload_accesses(
+            spec, n_cpus=system.n_cpus, seed=seed
+        )
+        if warmup <= 0:
+            raise ConfigurationError(
+                f"measured-only recording of {spec.name!r} needs a "
+                "positive warm-up: with none there is no state to "
+                "fast-forward over"
+            )
+        experiment_store.delete_trace(tkey)
+        sink = TraceSink(system.n_cpus, write_segment, segment_events)
+        families = sorted(set(warm_filters) | set(DEFAULT_SWEEP_FILTERS))
+        warm_banks = {
+            name: _build_bank(name, system) for name in families
+        }
+        snapshots: dict[str, list[dict]] = {}
+
+        def capture(_system) -> None:
+            for name, bank in warm_banks.items():
+                states = []
+                for replayer in bank.replayers:
+                    snoop_filter = replayer.snoop_filter
+                    # Canonical zero-count snapshots: replay resets the
+                    # counts at the warm-up MARKER anyway, and zeroing
+                    # here keeps the payload independent of warm-up
+                    # event tallies.
+                    snoop_filter.reset_counts()
+                    states.append(snoop_filter.snapshot())
+                snapshots[name] = states
+
+        metrics = simulate_streaming(
+            system, stream, spec.name,
+            warmup=warmup, chunk_size=chunk_size,
+            warmup_sinks=list(warm_banks.values()),
+            measurement_sinks=[sink],
+            on_measurement=capture,
+            phase_marks=_phase_plan(spec)[0],
+        )
+        ffkey = store_mod.fast_forward_key(spec, system, seed, warmup)
+    elif checkpoint_every is not None:
         metrics, _evaluations, sink, chain = _run_checkpointed(
             spec, system, seed, (), chunk_size, checkpoint_every,
             experiment_store, record=True, write_segment=write_segment,
@@ -1324,6 +1423,34 @@ def record_trace(
         "events_per_node": list(sink.events_per_node),
         "metrics": store_mod.sim_metrics_to_dict(metrics),
     }
+    if codec != store_mod.DEFAULT_SEGMENT_CODEC:
+        # Informational only (decode sniffs per segment); omitted at the
+        # default so pre-codec recordings' manifest bytes are unchanged.
+        manifest["codec"] = codec
+    if measured_only:
+        manifest["measured_only"] = True
+        manifest["warmup"] = warmup
+        manifest["fast_forward"] = ffkey
+        # Durability ladder: the snapshot lands before the manifest that
+        # references it, so a crash between the writes leaves a trace
+        # that merely looks unrecorded — never one that replays without
+        # its warm state.
+        experiment_store.put_blob(
+            ffkey,
+            store_mod.encode_fast_forward({
+                "version": 1,
+                "workload": spec.name,
+                "n_cpus": system.n_cpus,
+                "seed": seed,
+                "warmup": warmup,
+                "filters": snapshots,
+            }),
+            kind=store_mod.FAST_FORWARD_KIND,
+            workload=spec.name,
+            filter_name=tkey,
+            n_cpus=system.n_cpus,
+            seed=seed,
+        )
     experiment_store.put_blob(
         tkey,
         store_mod.encode_trace_manifest(manifest),
@@ -1358,6 +1485,12 @@ def load_trace(
     if blob is None:
         return None
     manifest = store_mod.decode_trace_manifest(blob)
+    if manifest.get("measured_only") and not experiment_store.contains(
+        manifest["fast_forward"]
+    ):
+        # A measured-only trace without its warm state cannot replay
+        # byte-identically; treat it like any other incomplete trace.
+        return None
     segment_keys = [
         [store_mod.trace_segment_key(tkey, node_id, index)
          for index in range(count)]
@@ -1368,6 +1501,102 @@ def load_trace(
             if not experiment_store.contains(key):
                 return None
     return manifest, segment_keys
+
+
+def _warm_states_for(
+    experiment_store: ExperimentStore,
+    manifest: dict,
+    pairs: list[tuple[str, str]],
+) -> dict[str, list[dict]] | None:
+    """The fast-forward states a replay of ``pairs`` needs, or ``None``.
+
+    Full-trace manifests need none.  For a measured-only trace every
+    requested filter family must have been warmed at record time — a
+    family the snapshot lacks cannot replay byte-identically, so the
+    error names the fix (re-record with the family in the warm set)
+    rather than silently evaluating from cold state.
+    """
+    if not manifest.get("measured_only"):
+        return None
+    blob = experiment_store.get_blob(manifest["fast_forward"])
+    if blob is None:
+        # load_trace checked presence; a vanish since then is corruption.
+        raise StoreCorruptionError(
+            "fast-forward snapshot vanished from the store mid-replay"
+        )
+    payload = store_mod.decode_fast_forward(blob)
+    states = payload["filters"]
+    missing = sorted({name for _ekey, name in pairs} - set(states))
+    if missing:
+        raise ConfigurationError(
+            f"measured-only trace of {manifest['workload']!r} has no "
+            f"fast-forward state for filter(s) {', '.join(missing)}; "
+            "re-record the trace with these filters in the warm set "
+            "(they are warmed automatically when requested at record "
+            "time)"
+        )
+    return {name: states[name] for _ekey, name in pairs}
+
+
+def transcode_trace(
+    experiment_store: ExperimentStore, tkey: str, codec: str
+) -> tuple[int, int]:
+    """Rewrite one stored trace's segments under ``codec``, in place.
+
+    Decode-and-re-encode every segment (byte-exact round trip — the
+    packed events, and therefore every replay, are unchanged), update
+    the manifest's codec note, and return ``(bytes_before,
+    bytes_after)`` over the rewritten segment rows.  Keys never change:
+    the codec is an encoding detail, so evaluations stay warm and
+    mixed-codec archives converge row by row.  Each segment is rewritten
+    with one ``INSERT OR REPLACE`` — an interrupted transcode leaves a
+    mixed-codec trace that still replays correctly.
+    """
+    if codec not in store_mod.SEGMENT_CODECS:
+        raise ConfigurationError(
+            f"unknown trace segment codec {codec!r}; choose one of "
+            f"{', '.join(store_mod.SEGMENT_CODECS)}"
+        )
+    loaded = load_trace(experiment_store, tkey)
+    if loaded is None:
+        raise ConfigurationError(
+            "no complete trace stored under this key; nothing to "
+            "transcode"
+        )
+    manifest, segment_keys = loaded
+    before = after = 0
+    for node_keys in segment_keys:
+        for key in node_keys:
+            blob = experiment_store.get_blob(key)
+            before += len(blob)
+            if store_mod.segment_codec(blob) != codec:
+                events = store_mod.decode_trace_segment(blob)
+                raw = events.tobytes()
+                blob = store_mod.encode_trace_segment(raw, codec)
+                experiment_store.put_blob(
+                    key, blob,
+                    kind=store_mod.TRACE_KIND,
+                    workload=manifest["workload"],
+                    filter_name=tkey,
+                    n_cpus=manifest["n_cpus"],
+                    seed=manifest["seed"],
+                )
+            after += len(blob)
+    if manifest.get("codec", store_mod.DEFAULT_SEGMENT_CODEC) != codec:
+        if codec == store_mod.DEFAULT_SEGMENT_CODEC:
+            manifest.pop("codec", None)
+        else:
+            manifest["codec"] = codec
+        experiment_store.put_blob(
+            tkey,
+            store_mod.encode_trace_manifest(manifest),
+            kind=store_mod.TRACE_KIND,
+            workload=manifest["workload"],
+            filter_name=None,
+            n_cpus=manifest["n_cpus"],
+            seed=manifest["seed"],
+        )
+    return before, after
 
 
 def _segment_payload(
@@ -1397,8 +1626,12 @@ def _replay_task(task) -> list[tuple[str, bytes]]:
     crosses the process boundary) or per-node lists of already-compressed
     blobs (in-memory stores).  Each segment is decoded once and fed to
     every requested bank via the shared :func:`replay_trace` kernel.
+
+    ``warm_states`` (measured-only traces) maps each task filter name to
+    its per-node fast-forward snapshots; the banks restore them before
+    consuming the recorded measurement stream.
     """
-    path, segments, system, pairs, kernel, phase_names = task
+    path, segments, system, pairs, kernel, phase_names, warm_states = task
     connection = None
     if path is not None:
         # Percent-encode the filesystem path: a raw '?', '#', or '%' in
@@ -1439,7 +1672,12 @@ def _replay_task(task) -> list[tuple[str, bytes]]:
 
     try:
         banks = [
-            (ekey, _build_bank(name, system, kernel, phase_names))
+            (ekey, _build_bank(
+                name, system, kernel, phase_names,
+                filter_states=(
+                    None if warm_states is None else warm_states[name]
+                ),
+            ))
             for ekey, name in pairs
         ]
         reader = TraceReader([len(keys) for keys in segments], fetch)
@@ -1547,6 +1785,9 @@ def execute_replays(
                 chunk_size=job.chunk_size,
                 checkpoint_every=checkpoint_every,
                 report=report,
+                codec=job.codec,
+                measured_only=job.measured_only,
+                warm_filters=tuple(filters.values()) + job.warm_filters,
             )
             report.sims_run += 1
             loaded = load_trace(experiment_store, tkey)
@@ -1566,7 +1807,7 @@ def execute_replays(
                 )
         if pairs:
             manifest, segment_keys = loaded
-            units.append((tkey, segment_keys, pairs, job))
+            units.append((tkey, manifest, segment_keys, pairs, job))
 
     # Phase 2 — replay, fanned out per filter configuration.
     backend_name = backend or "process"
@@ -1575,17 +1816,21 @@ def execute_replays(
         ekey: grouped[tkey] for tkey in grouped for ekey in grouped[tkey][1]
     }
     tasks = []
-    for tkey, segment_keys, pairs, job in units:
+    for tkey, manifest, segment_keys, pairs, job in units:
         path, segments = _segment_payload(experiment_store, segment_keys)
         phase_names = _phase_plan(specs[job.workload])[1]
+        warm_states = _warm_states_for(experiment_store, manifest, pairs)
         if parallel and len(pairs) > 1:
             tasks.extend(
-                (path, segments, job.system, [pair], kernel, phase_names)
+                (path, segments, job.system, [pair], kernel, phase_names,
+                 None if warm_states is None
+                 else {pair[1]: warm_states[pair[1]]})
                 for pair in pairs
             )
         else:
             tasks.append(
-                (path, segments, job.system, pairs, kernel, phase_names)
+                (path, segments, job.system, pairs, kernel, phase_names,
+                 warm_states)
             )
     for results in _map_tasks(
         _replay_task, tasks, workers, backend, stage="replay", **supervision
@@ -1627,12 +1872,14 @@ def replay_filter_from_store(
     loaded = load_trace(experiment_store, tkey)
     if loaded is None:
         return None
-    _manifest, segment_keys = loaded
+    manifest, segment_keys = loaded
     path, segments = _segment_payload(experiment_store, segment_keys)
     ekey = store_mod.eval_key(spec, filter_name, system, seed)
+    pairs = [(ekey, filter_name)]
     [(_key, blob)] = _replay_task(
-        (path, segments, system, [(ekey, filter_name)], kernel,
-         _phase_plan(spec)[1])
+        (path, segments, system, pairs, kernel,
+         _phase_plan(spec)[1],
+         _warm_states_for(experiment_store, manifest, pairs))
     )
     experiment_store.put_eval_blob(
         ekey, blob, workload=spec.name, filter_name=filter_name,
@@ -1710,6 +1957,8 @@ def evaluate_replay(
     backend: str | None = None,
     experiment_store: ExperimentStore | None = None,
     kernel: str = "auto",
+    codec: str = store_mod.DEFAULT_SEGMENT_CODEC,
+    measured_only: bool = False,
 ) -> StreamOutcome:
     """Evaluate N filters via the record-once / replay-many path.
 
@@ -1718,7 +1967,9 @@ def evaluate_replay(
     and every call after that — with these filters or any others — only
     replays stored segments, fanning out across ``workers`` when a
     parallel backend is selected.  Results are byte-identical to the
-    other modes' and share their store entries.
+    other modes' and share their store entries.  ``codec`` and
+    ``measured_only`` shape a *new* recording only; an already-stored
+    trace replays as recorded.
     """
     if isinstance(spec, str):
         spec = get_workload(spec)
@@ -1728,7 +1979,9 @@ def evaluate_replay(
         experiment_store = experiments.get_store()
 
     filters = tuple(filters)
-    job = ReplayJob(spec.name, filters, system, seed, chunk_size)
+    job = ReplayJob(
+        spec.name, filters, system, seed, chunk_size, codec, measured_only
+    )
     report = execute_replays(
         [job], experiment_store=experiment_store,
         workers=workers, backend=backend, specs={spec.name: spec},
@@ -1783,6 +2036,8 @@ def run_sweep(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     checkpoint_every: int | None = None,
     kernel: str = "auto",
+    codec: str = store_mod.DEFAULT_SEGMENT_CODEC,
+    measured_only: bool = False,
     policy: RetryPolicy | None = None,
     task_timeout: float | None = None,
     fault_plan=None,
@@ -1814,6 +2069,12 @@ def run_sweep(
     byte-identical either way.  Streamed and buffered sweeps drive live
     filters and accept only the default.
 
+    ``codec`` and ``measured_only`` (replay mode only) shape any *new*
+    recording the sweep performs — segment wire format and
+    measured-region-only capture with a fast-forward snapshot.  Like
+    ``chunk_size`` they are execution hints: already-recorded traces
+    replay as stored, and no store key changes.
+
     ``policy`` / ``task_timeout`` / ``fault_plan`` configure supervised
     execution (see :func:`_map_tasks`).  When tasks are quarantined the
     sweep returns *partial* results: the affected ``(workload, filter,
@@ -1825,6 +2086,13 @@ def run_sweep(
             "kernel selection applies to replay sweeps only: streamed "
             "and buffered sweeps drive live filters through the "
             "python path"
+        )
+    if (codec != store_mod.DEFAULT_SEGMENT_CODEC or measured_only) and (
+        not replay
+    ):
+        raise ConfigurationError(
+            "codec and measured-only selection apply to replay sweeps "
+            "only: nothing else records traces"
         )
     if stream and replay:
         raise ConfigurationError(
@@ -1855,7 +2123,10 @@ def run_sweep(
 
     if replay:
         replay_jobs = [
-            ReplayJob(workload, tuple(filters), system, seed, chunk_size)
+            ReplayJob(
+                workload, tuple(filters), system, seed, chunk_size,
+                codec, measured_only,
+            )
             for workload in workloads
             for seed in seeds
         ]

@@ -57,6 +57,7 @@ import hashlib
 import json
 import logging
 import sqlite3
+import struct
 import sys
 import zlib
 from array import array
@@ -75,6 +76,11 @@ from repro.core.stats import (
     PhaseStats,
 )
 from repro.traces.workloads import WorkloadSpec
+
+try:  # NumPy is optional; the codec keeps a byte-identical pure path.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 _logger = logging.getLogger("repro.store")
 
@@ -122,6 +128,15 @@ QUARANTINE_KIND = "quarantined"
 #: recovers every in-flight job from a plain kind scan.  Added without
 #: a schema bump — the kind only creates rows under fresh keys.
 JOB_KIND = "job"
+
+#: Result kind of measured-region fast-forward snapshots: the warmed
+#: per-family filter states (plus the system snapshot) captured at
+#: ``begin_measurement`` by a ``--measured-only`` recording.  Keyed by
+#: simulation identity plus warm-up length, grouped (via the ``filter``
+#: column) under the trace manifest it belongs to so garbage collection
+#: and ``delete_trace`` treat trace + snapshot as one unit.  Added
+#: without a schema bump — the kind only creates rows under fresh keys.
+FAST_FORWARD_KIND = "fast-forward"
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +240,27 @@ def trace_segment_key(trace: str, node_id: int, index: int) -> str:
         "trace": trace,
         "node": node_id,
         "segment": index,
+    })
+
+
+def fast_forward_key(
+    spec: WorkloadSpec, system: SystemConfig, seed: int, warmup: int
+) -> str:
+    """Store key of one measured-only recording's fast-forward snapshot.
+
+    The fingerprint is the simulation identity (the same fields as
+    :func:`trace_key`) plus the warm-up length: the warmed filter state
+    at ``begin_measurement`` is a pure function of those and nothing
+    else — codec, chunk size, and kernel never appear, by the same
+    argument that keeps them out of every other key.
+    """
+    return _digest({
+        "kind": FAST_FORWARD_KIND,
+        "schema": SCHEMA_VERSION,
+        "spec": spec_fingerprint(spec),
+        "system": system_fingerprint(system),
+        "seed": seed,
+        "warmup": warmup,
     })
 
 
@@ -563,29 +599,347 @@ def decode_checkpoint(blob: bytes) -> dict:
         return state
 
 
-def encode_trace_segment(raw: bytes) -> bytes:
-    """Compress one segment of native-order packed-event bytes.
+#: Registered per-segment trace codecs, in introduction order.
+#:
+#: ``raw-v1`` is the original wire format: zlib over the little-endian
+#: packed ``array('q')`` bytes (every pre-codec store is a raw-v1 store).
+#: ``delta-v1`` splits each event into three planes — kind bits, flag
+#: bits, and the block address — and stores block addresses as zig-zag +
+#: varint coded first differences before zlib.  Workload address streams
+#: are overwhelmingly local, so the delta plane collapses from 8 bytes
+#: per event to 1–2, which is where the archive-byte win comes from.
+#: The codec id lives in the segment bytes themselves (a magic first
+#: byte) and in the trace *manifest*, never in :func:`trace_key` — a
+#: transcoded archive keeps its key and mixed-codec stores stay warm.
+SEGMENT_CODECS = ("raw-v1", "delta-v1")
 
-    On-disk byte order is little-endian (the byte swap is a no-op on
-    every mainstream platform), so a trace recorded on one machine
-    replays on any other.
-    """
+#: Codec used when the caller does not ask for one; keeps every existing
+#: recording path byte-identical to pre-codec stores.
+DEFAULT_SEGMENT_CODEC = "raw-v1"
+
+#: First byte of a delta-v1 segment blob.  zlib streams with a 32K
+#: window (the only kind ``zlib.compress`` emits) always start 0x78, so
+#: a single sniff byte cleanly separates the two wire formats without
+#: touching raw-v1 bytes.
+_DELTA_V1_MAGIC = 0xD7
+
+
+def _le_event_bytes(raw: bytes) -> bytes:
+    """Native-order packed-event bytes as little-endian on-disk bytes."""
     if sys.byteorder == "big":  # pragma: no cover - exotic platforms
         events = array("q")
         events.frombytes(raw)
         events.byteswap()
         raw = events.tobytes()
-    return zlib.compress(raw, 6)
+    return raw
+
+
+#: Address-region granularity of the delta-v1 chain key, in block-address
+#: bits: events are delta-chained per ``(kind, block >> shift)`` so the
+#: interleaved per-pattern streams (each CPU's streaming sweep, each
+#: private working set, the shared region) untangle into near-sequential
+#: chains instead of one jumpy global chain.  2**12 blocks = 256 KB
+#: regions at 64-byte blocks — measured best on the bench workloads.
+#: Written into the segment header, so the constant can move without a
+#: wire-format break.
+_DELTA_V1_REGION_SHIFT = 12
+
+
+def _varints_encode_py(values) -> bytes:
+    """LEB128 bytes of an iterable of non-negative ints (< 2**64)."""
+    out = bytearray()
+    for value in values:
+        while True:
+            group = value & 0x7F
+            value >>= 7
+            out.append(group | 0x80 if value else group)
+            if not value:
+                break
+    return bytes(out)
+
+
+def _varints_decode_py(data: bytes, count: int) -> list[int]:
+    """Decode exactly ``count`` LEB128 values; the stream must end there."""
+    values = []
+    position = 0
+    for index in range(count):
+        value = 0
+        shift = 0
+        while True:
+            if position >= len(data):
+                raise ValueError(
+                    f"delta-v1 varint stream truncated at value {index}"
+                )
+            byte = data[position]
+            position += 1
+            value |= (byte & 0x7F) << shift
+            shift += 7
+            if not byte & 0x80:
+                break
+        values.append(value)
+    if position != len(data):
+        raise ValueError("delta-v1 varint stream has trailing bytes")
+    return values
+
+
+def _varints_encode_np(values) -> bytes:
+    """Vectorised LEB128 bytes of a uint64 array (NumPy path)."""
+    n = len(values)
+    if n == 0:
+        return b""
+    nbytes = _np.ones(n, dtype=_np.int64)
+    for k in range(1, 10):
+        nbytes += values >= (_np.uint64(1) << _np.uint64(7 * k))
+    ends = _np.cumsum(nbytes)
+    starts = ends - nbytes
+    owner = _np.repeat(_np.arange(n), nbytes)
+    offset = _np.arange(int(ends[-1])) - starts[owner]
+    groups = (values[owner] >> (offset * 7).astype(_np.uint64)) & _np.uint64(0x7F)
+    cont = _np.where(offset == nbytes[owner] - 1, 0, 0x80)
+    return (groups.astype(_np.uint16) | cont).astype(_np.uint8).tobytes()
+
+
+def _varints_decode_np(data: bytes, count: int):
+    """Vectorised LEB128 decode of exactly ``count`` values (uint64)."""
+    raw = _np.frombuffer(data, dtype=_np.uint8)
+    ends = _np.flatnonzero((raw & 0x80) == 0)
+    if ends.size != count or (count and int(ends[-1]) != raw.size - 1):
+        raise ValueError(
+            f"delta-v1 varint stream holds {ends.size} value(s), "
+            f"expected {count}"
+        )
+    if count == 0:
+        if raw.size:
+            raise ValueError("delta-v1 varint stream has trailing bytes")
+        return _np.zeros(0, dtype=_np.uint64)
+    lengths = _np.diff(ends, prepend=_np.int64(-1))
+    starts = ends - lengths + 1
+    owner = _np.repeat(_np.arange(count), lengths)
+    offset = _np.arange(raw.size) - starts[owner]
+    groups = (raw & 0x7F).astype(_np.uint64) << (offset * 7).astype(_np.uint64)
+    return _np.bitwise_or.reduceat(groups, starts)
+
+
+def _delta_planes_encode(raw: bytes) -> bytes:
+    """The delta-v1 inner payload (pre-zlib) of one segment.
+
+    Layout: ``<QB`` header (event count, region shift), a kinds plane
+    (one byte per event, bits 0-1 of the packed word), a flags plane
+    (bits 2-3), then one LEB128 varint stream holding ``2n`` values:
+    the ``n`` region ids (``block >> shift``) followed by the zig-zag
+    block deltas of kinds 0..3 in turn, each kind's deltas in stream
+    order.  A delta is taken against the previous block in the same
+    ``(kind, region)`` chain (0 before the first), which is what turns
+    the interleaved access patterns back into the near-sequential
+    per-pattern streams the simulator generated.  Both the NumPy and the
+    pure-Python path produce these exact bytes.
+    """
+    raw = _le_event_bytes(raw)
+    n = len(raw) // 8
+    header = struct.pack("<QB", n, _DELTA_V1_REGION_SHIFT)
+    if _np is not None:
+        events = _np.frombuffer(raw, dtype="<i8").astype(_np.int64, copy=False)
+        kinds = events & 3
+        flags = (events >> 2) & 3
+        blocks = events >> 4
+        regions = blocks >> _DELTA_V1_REGION_SHIFT
+        chain = (kinds << 50) | regions
+        order = _np.argsort(chain, kind="stable")
+        chain_sorted = chain[order]
+        deltas_sorted = _np.diff(blocks[order], prepend=_np.int64(0))
+        firsts = _np.flatnonzero(
+            _np.diff(chain_sorted, prepend=_np.int64(-1)) != 0
+        )
+        deltas_sorted[firsts] = blocks[order][firsts]
+        deltas = _np.empty_like(deltas_sorted)
+        deltas[order] = deltas_sorted
+        zigzag = (
+            (deltas.astype(_np.uint64) << _np.uint64(1))
+            ^ (deltas >> _np.int64(63)).astype(_np.uint64)
+        )
+        values = _np.concatenate(
+            [regions.astype(_np.uint64)]
+            + [zigzag[kinds == kind] for kind in range(4)]
+        )
+        return (
+            header
+            + kinds.astype(_np.uint8).tobytes()
+            + flags.astype(_np.uint8).tobytes()
+            + _varints_encode_np(values)
+        )
+    events = array("q")
+    events.frombytes(raw)
+    if sys.byteorder == "big":  # pragma: no cover - exotic platforms
+        events.byteswap()
+    kinds = bytes(event & 3 for event in events)
+    flags = bytes((event >> 2) & 3 for event in events)
+    values: list[int] = []
+    per_kind: list[list[int]] = [[], [], [], []]
+    previous: dict[tuple[int, int], int] = {}
+    for event in events:
+        kind = event & 3
+        block = event >> 4
+        region = block >> _DELTA_V1_REGION_SHIFT
+        values.append(region)
+        delta = block - previous.get((kind, region), 0)
+        previous[(kind, region)] = block
+        per_kind[kind].append(
+            ((delta << 1) ^ (delta >> 63)) & 0xFFFFFFFFFFFFFFFF
+        )
+    for zigzags in per_kind:
+        values.extend(zigzags)
+    return header + kinds + flags + _varints_encode_py(values)
+
+
+def _delta_planes_decode(inner: bytes) -> array:
+    """Rebuild an ``array('q')`` of packed events from delta-v1 planes."""
+    if len(inner) < 9:
+        raise ValueError(
+            f"delta-v1 segment header truncated: {len(inner)} byte(s)"
+        )
+    n, shift = struct.unpack_from("<QB", inner)
+    if shift > 60:
+        raise ValueError(f"delta-v1 region shift {shift} out of range")
+    if len(inner) < 9 + 2 * n:
+        raise ValueError(
+            f"delta-v1 segment planes truncated: "
+            f"{len(inner)} byte(s) for {n} event(s)"
+        )
+    kinds_plane = inner[9:9 + n]
+    flags_plane = inner[9 + n:9 + 2 * n]
+    varints = inner[9 + 2 * n:]
+    if _np is not None:
+        kinds = _np.frombuffer(kinds_plane, dtype=_np.uint8).astype(_np.int64)
+        flags = _np.frombuffer(flags_plane, dtype=_np.uint8).astype(_np.int64)
+        values = _varints_decode_np(varints, 2 * n)
+        if n == 0:
+            return array("q")
+        regions = values[:n].astype(_np.int64)
+        zigzag = values[n:]
+        deltas = _np.empty(n, dtype=_np.int64)
+        cursor = 0
+        for kind in range(4):
+            positions = _np.flatnonzero(kinds == kind)
+            chunk = zigzag[cursor:cursor + positions.size]
+            cursor += positions.size
+            deltas[positions] = (
+                (chunk >> _np.uint64(1)).astype(_np.int64)
+                ^ -(chunk & _np.uint64(1)).astype(_np.int64)
+            )
+        chain = (kinds << 50) | regions
+        order = _np.argsort(chain, kind="stable")
+        chain_sorted = chain[order]
+        deltas_sorted = deltas[order]
+        firsts = _np.flatnonzero(
+            _np.diff(chain_sorted, prepend=_np.int64(-1)) != 0
+        )
+        lengths = _np.diff(_np.append(firsts, n))
+        running = _np.cumsum(deltas_sorted)
+        bases = _np.where(firsts == 0, 0, running[firsts - 1])
+        blocks_sorted = running - _np.repeat(bases, lengths)
+        blocks = _np.empty_like(blocks_sorted)
+        blocks[order] = blocks_sorted
+        events_np = (blocks << 4) | (flags << 2) | kinds
+        events = array("q")
+        events.frombytes(events_np.astype("<i8").tobytes())
+        if sys.byteorder == "big":  # pragma: no cover - exotic platforms
+            events.byteswap()
+        return events
+    values = _varints_decode_py(varints, 2 * n)
+    regions = values[:n]
+    cursors = [n]
+    for kind in range(3):
+        cursors.append(cursors[-1] + kinds_plane.count(kind))
+    previous: dict[tuple[int, int], int] = {}
+    events = array("q")
+    for index in range(n):
+        kind = kinds_plane[index]
+        zz = values[cursors[kind]]
+        cursors[kind] += 1
+        delta = (zz >> 1) ^ -(zz & 1)
+        chain = (kind, regions[index])
+        block = previous.get(chain, 0) + delta
+        previous[chain] = block
+        events.append((block << 4) | (flags_plane[index] << 2) | kind)
+    return events
+
+
+def encode_trace_segment(raw: bytes, codec: str = DEFAULT_SEGMENT_CODEC) -> bytes:
+    """Compress one segment of native-order packed-event bytes.
+
+    On-disk byte order is little-endian (the byte swap is a no-op on
+    every mainstream platform), so a trace recorded on one machine
+    replays on any other.  ``codec`` picks the wire format — see
+    :data:`SEGMENT_CODECS`; ``raw-v1`` output is byte-identical to every
+    pre-codec store's segments.
+    """
+    if codec == "raw-v1":
+        return zlib.compress(_le_event_bytes(raw), 6)
+    if codec == "delta-v1":
+        return bytes([_DELTA_V1_MAGIC]) + zlib.compress(
+            _delta_planes_encode(raw), 6
+        )
+    raise ConfigurationError(
+        f"unknown trace segment codec {codec!r}; "
+        f"known codecs: {', '.join(SEGMENT_CODECS)}"
+    )
+
+
+def segment_codec(blob: bytes) -> str:
+    """The codec one stored segment blob was written with (sniffed)."""
+    if blob[:1] == bytes([_DELTA_V1_MAGIC]):
+        return "delta-v1"
+    return "raw-v1"
 
 
 def decode_trace_segment(blob: bytes) -> array:
-    """Decompress one segment back into an ``array('q')`` of events."""
+    """Decode one segment back into an ``array('q')`` of packed events.
+
+    The codec is sniffed from the blob itself (see :func:`segment_codec`),
+    so readers never need to know how an archive was written — mixed-codec
+    and transcoded stores replay transparently.
+    """
     with _decoding("sim-events segment"):
+        if blob[:1] == bytes([_DELTA_V1_MAGIC]):
+            return _delta_planes_decode(zlib.decompress(blob[1:]))
         events = array("q")
         events.frombytes(zlib.decompress(blob))
     if sys.byteorder == "big":  # pragma: no cover - exotic platforms
         events.byteswap()
     return events
+
+
+def decoded_segment_bytes(blob: bytes) -> int:
+    """In-memory byte count of one segment once decoded (8 per event).
+
+    ``cache info`` uses this to show compressed-vs-decoded economics per
+    kind without holding every decoded segment alive at once.
+    """
+    return len(decode_trace_segment(blob)) * 8
+
+
+def encode_fast_forward(payload: dict) -> bytes:
+    """Canonical compressed bytes of one fast-forward snapshot."""
+    return zlib.compress(_canonical(payload), 6)
+
+
+def decode_fast_forward(blob: bytes) -> dict:
+    with _decoding(FAST_FORWARD_KIND):
+        payload = json.loads(zlib.decompress(blob))
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"fast-forward payload must be a dict, got {type(payload)}"
+            )
+        # Every snapshot must carry the warmed per-family filter states
+        # and the warm-up watermark; one without either can never
+        # fast-forward a replay.
+        filters = payload["filters"]
+        if not isinstance(filters, dict):
+            raise TypeError(
+                f"fast-forward filters must be a dict, got {type(filters)}"
+            )
+        int(payload["warmup"])
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -1070,6 +1424,8 @@ class ExperimentStore:
             decode_job(blob)
         elif entry.kind == CHECKPOINT_KIND:
             decode_checkpoint(blob)
+        elif entry.kind == FAST_FORWARD_KIND:
+            decode_fast_forward(blob)
         elif entry.kind == TRACE_KIND:
             if entry.filter_name is None:
                 manifest = decode_trace_manifest(blob)
@@ -1084,10 +1440,17 @@ class ExperimentStore:
                     )
                     if segment_key not in present
                 ]
+                # A measured-only manifest names the fast-forward row
+                # replay depends on; a trace whose snapshot vanished can
+                # never restore the warmed state, so it is corrupt as a
+                # unit, exactly like a trace missing a segment.
+                ff_key = manifest.get("fast_forward")
+                if ff_key is not None and ff_key not in present:
+                    missing.append(ff_key)
                 if missing:
                     raise StoreCorruptionError(
                         f"trace {entry.key} is missing {len(missing)} "
-                        f"segment row(s) (first: {missing[0]})"
+                        f"dependent row(s) (first: {missing[0]})"
                     )
             else:
                 decode_trace_segment(blob)
@@ -1129,16 +1492,23 @@ class ExperimentStore:
             except StoreCorruptionError as error:
                 _logger.warning("fsck: %s", error)
                 corrupt.append(entry.key)
-                if entry.kind == TRACE_KIND:
+                if entry.kind in (TRACE_KIND, FAST_FORWARD_KIND):
+                    # Fast-forward snapshots group under their trace via
+                    # the filter column, so a corrupt snapshot dooms the
+                    # trace it serves (and vice versa) — the pair is one
+                    # replayable unit.
                     trace = (
                         entry.key
                         if entry.filter_name is None
                         else entry.filter_name
                     )
                     doomed.add(trace)
-                    doomed.update(group_key for group_key in present
-                                  if by_key[group_key].kind == TRACE_KIND
-                                  and by_key[group_key].filter_name == trace)
+                    doomed.update(
+                        group_key for group_key in present
+                        if by_key[group_key].kind in (TRACE_KIND,
+                                                      FAST_FORWARD_KIND)
+                        and by_key[group_key].filter_name == trace
+                    )
                 else:
                     doomed.add(entry.key)
         removed = quarantined = 0
@@ -1186,7 +1556,7 @@ class ExperimentStore:
         for key, kind, filter_name, size, used in rows:
             group = (
                 filter_name
-                if kind in (TRACE_KIND, CHECKPOINT_KIND)
+                if kind in (TRACE_KIND, CHECKPOINT_KIND, FAST_FORWARD_KIND)
                 and filter_name is not None
                 else key
             )
@@ -1312,18 +1682,19 @@ class ExperimentStore:
         return removed, freed
 
     def delete_trace(self, trace: str) -> int:
-        """Drop a trace's manifest and every segment row; return rows removed.
+        """Drop a trace's manifest, segments, and fast-forward snapshot.
 
         Used before re-recording (a partially garbage-collected or
         interrupted recording must never mix stale segments with fresh
         ones) and harmless when nothing is stored under the key.
+        Returns rows removed.
         """
         removed = 0
         if self._db is None:
             doomed = [trace] + [
                 key
                 for key, m in self._meta.items()
-                if m[0] == TRACE_KIND and m[2] == trace
+                if m[0] in (TRACE_KIND, FAST_FORWARD_KIND) and m[2] == trace
             ]
             for key in doomed:
                 if self._blobs.pop(key, None) is not None:
@@ -1335,8 +1706,8 @@ class ExperimentStore:
         self._flush_touches()
         cursor = self._db.execute(
             "DELETE FROM results WHERE key = ? "
-            "OR (kind = ? AND filter = ?)",
-            (trace, TRACE_KIND, trace),
+            "OR (kind IN (?, ?) AND filter = ?)",
+            (trace, TRACE_KIND, FAST_FORWARD_KIND, trace),
         )
         removed = cursor.rowcount
         self._db.commit()

@@ -194,23 +194,38 @@ def _trace_system(args: argparse.Namespace):
     return SCALED_SYSTEM if args.cpus is None else SCALED_SYSTEM.with_cpus(args.cpus)
 
 
-def _trace_sizes(store) -> dict[str, tuple[int, int]]:
-    """Per-trace ``(segment rows, compressed bytes)`` in one store pass."""
+def _trace_accounting(store) -> tuple[dict[str, dict], dict[str, tuple[int, int]]]:
+    """Stored-byte accounting for every trace, in one store pass.
+
+    Returns ``(per_trace, orphans)``.  ``per_trace[manifest_key]`` holds
+    ``segments`` (rows actually present), ``segment_bytes`` and
+    ``manifest_bytes`` — totals that include the manifest row, matching
+    what deleting the trace would free.  ``orphans`` maps manifest keys
+    that have segment rows but *no manifest* (a partial record killed
+    before its durability point) to ``(rows, bytes)``; the fsck ladder
+    removes them, inspection must at least show them.
+    """
     from repro.analysis.store import TRACE_KIND
 
-    sizes: dict[str, tuple[int, int]] = {}
+    manifest_bytes: dict[str, int] = {}
+    groups: dict[str, tuple[int, int]] = {}
     for entry in store.entries():
         if entry.kind != TRACE_KIND:
             continue
         if entry.filter_name is None:  # manifest row
-            segments, total = sizes.get(entry.key, (0, 0))
-            sizes[entry.key] = (segments, total + entry.payload_bytes)
+            manifest_bytes[entry.key] = entry.payload_bytes
         else:  # segment row, grouped by its manifest key
-            segments, total = sizes.get(entry.filter_name, (0, 0))
-            sizes[entry.filter_name] = (
-                segments + 1, total + entry.payload_bytes
-            )
-    return sizes
+            rows, total = groups.get(entry.filter_name, (0, 0))
+            groups[entry.filter_name] = (rows + 1, total + entry.payload_bytes)
+    per_trace = {}
+    for key, mbytes in manifest_bytes.items():
+        rows, sbytes = groups.pop(key, (0, 0))
+        per_trace[key] = {
+            "segments": rows,
+            "segment_bytes": sbytes,
+            "manifest_bytes": mbytes,
+        }
+    return per_trace, groups  # leftover groups have no manifest: orphans
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
@@ -219,17 +234,43 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     spec = _replay_spec(args)
     system = _trace_system(args)
     store = experiments.get_store()
+    if args.warm_filters:
+        from repro.core.config import parse_filter_name
+
+        for filter_name in args.warm_filters:
+            parse_filter_name(filter_name)
     report = runner.execute_replays(
-        [runner.ReplayJob(spec.name, (), system, args.seed, args.chunk_size)],
+        [runner.ReplayJob(spec.name, (), system, args.seed, args.chunk_size,
+                          args.codec, args.measured_only,
+                          tuple(args.warm_filters or ()))],
         experiment_store=store, specs={spec.name: spec},
     )
     tkey = store_mod.trace_key(spec, system, args.seed)
-    segments, nbytes = _trace_sizes(store).get(tkey, (0, 0))
+    acct, _ = _trace_accounting(store)
+    info = acct.get(tkey, {"segments": 0, "segment_bytes": 0,
+                           "manifest_bytes": 0})
+    nbytes = info["segment_bytes"] + info["manifest_bytes"]
     verb = "recorded" if report.sims_run else "already recorded"
+    mode = " (measured region only)" if args.measured_only else ""
     print(f"{verb}: {spec.name} seed {args.seed} on {system.n_cpus} CPUs — "
-          f"{spec.n_accesses:,} accesses, {segments} segment(s), "
-          f"{nbytes / 1024:.1f} KiB compressed")
+          f"{spec.n_accesses:,} accesses{mode}, {info['segments']} segment(s), "
+          f"{nbytes / 1024:.1f} KiB stored")
     print(report.summary())
+    return 0
+
+
+def _cmd_trace_transcode(args: argparse.Namespace) -> int:
+    from repro.analysis import store as store_mod
+
+    spec = _replay_spec(args)
+    system = _trace_system(args)
+    store = experiments.get_store()
+    tkey = store_mod.trace_key(spec, system, args.seed)
+    before, after = runner.transcode_trace(store, tkey, args.codec)
+    ratio = after / before if before else 1.0
+    print(f"transcoded: {spec.name} seed {args.seed} on {system.n_cpus} CPUs "
+          f"to {args.codec} — segment bytes {before:,} -> {after:,} "
+          f"({ratio:.2f}x)")
     return 0
 
 
@@ -246,6 +287,8 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         workers=args.workers, backend=args.backend,
         experiment_store=experiments.get_store(),
         kernel=args.kernel,
+        codec=args.codec,
+        measured_only=args.measured_only,
     )
     headers = ["filter", "coverage"]
     rows = [[name, format_percent(outcome.coverage(name))] for name in filters]
@@ -268,27 +311,44 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     ]
     if args.workload is not None:
         manifests = [m for m in manifests if m.workload == args.workload]
-    if not manifests:
+    acct, orphans = _trace_accounting(store)
+    if not manifests and not orphans:
         print("no recorded traces"
               + (f" for workload {args.workload!r}" if args.workload else ""))
         return 0
-    headers = ["workload", "cpus", "seed", "accesses", "events",
-               "segments", "size"]
-    sizes = _trace_sizes(store)
+    headers = ["workload", "cpus", "seed", "accesses", "events", "codec",
+               "mode", "segments", "size"]
     rows = []
     for entry in manifests:
         manifest = store_mod.decode_trace_manifest(store.get_blob(entry.key))
-        segments, nbytes = sizes.get(entry.key, (0, 0))
+        info = acct.get(entry.key, {"segments": 0, "segment_bytes": 0,
+                                    "manifest_bytes": entry.payload_bytes})
+        expected = sum(manifest["segments_per_node"])
+        present = info["segments"]
+        segments = (
+            str(expected) if present == expected
+            else f"{present}/{expected} (incomplete)"
+        )
+        nbytes = info["segment_bytes"] + info["manifest_bytes"]
         rows.append([
             entry.workload,
             str(entry.n_cpus),
             str(entry.seed),
             f"{manifest['metrics']['accesses']:,}",
             f"{sum(manifest['events_per_node']):,}",
-            str(segments),
+            manifest.get("codec", store_mod.DEFAULT_SEGMENT_CODEC),
+            "measured" if manifest.get("measured_only") else "full",
+            segments,
             f"{nbytes / 1024:.1f} KiB",
         ])
-    print(render_table(headers, rows, title="recorded traces (sim-events)"))
+    if rows:
+        print(render_table(headers, rows, title="recorded traces (sim-events)"))
+    if orphans and args.workload is None:
+        print("orphaned segments (no manifest — partial record; "
+              "cache fsck removes them):")
+        for key in sorted(orphans):
+            count, nbytes = orphans[key]
+            print(f"  {key[:16]}: {count} segment(s), {nbytes / 1024:.1f} KiB")
     return 0
 
 
@@ -348,6 +408,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         checkpoint_every=args.checkpoint_every,
         kernel=args.kernel,
+        codec=args.codec,
+        measured_only=args.measured_only,
         task_timeout=args.task_timeout,
     )
     headers = ["workload"] + [f"{f} (cov)" for f in filters]
@@ -511,6 +573,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         value = getattr(args, field)
         if value is not None:
             request[field] = value
+    if args.codec is not None:
+        request["codec"] = args.codec
+    if args.measured_only:
+        request["measured_only"] = True
     status = client.submit(**request)
     print(f"job {status['job'][:12]} {status['state']}: {status['summary']}")
     if not args.wait:
@@ -548,6 +614,70 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if status["state"] == "done" else 1
 
 
+def _decoded_bytes_by_kind(store) -> dict[str, int]:
+    """Decoded (in-memory) byte totals per result kind.
+
+    Stored payloads are compressed: canonical-JSON rows zlib-deflate,
+    trace segments go through the segment codec.  The decoded column is
+    what replay/decode actually materialises — packed events are 8 bytes
+    each regardless of codec, so this is the figure a codec shrinks the
+    *stored* side of without touching.
+    """
+    import zlib
+
+    from repro.analysis import store as store_mod
+    from repro.analysis.store import TRACE_KIND
+
+    decoded: dict[str, int] = {}
+    for entry in store.entries():
+        blob = store.get_blob(entry.key)
+        if blob is None:
+            continue
+        if entry.kind == TRACE_KIND and entry.filter_name is not None:
+            try:
+                size = store_mod.decoded_segment_bytes(blob)
+            except Exception:
+                size = len(blob)  # corrupt segment: fsck's problem
+        else:
+            try:
+                size = len(zlib.decompress(blob))
+            except zlib.error:
+                size = len(blob)
+        decoded[entry.kind] = decoded.get(entry.kind, 0) + size
+    return decoded
+
+
+def _print_trace_economics(store) -> None:
+    """Per-trace-manifest stored bytes/access lines under ``cache info``."""
+    from repro.analysis import store as store_mod
+    from repro.analysis.store import TRACE_KIND
+    from repro.errors import StoreCorruptionError
+
+    acct, _ = _trace_accounting(store)
+    manifests = [
+        entry for entry in store.entries()
+        if entry.kind == TRACE_KIND and entry.filter_name is None
+    ]
+    for entry in manifests:
+        try:
+            manifest = store_mod.decode_trace_manifest(store.get_blob(entry.key))
+        except StoreCorruptionError:
+            continue  # fsck's problem, not inspection's
+        info = acct.get(entry.key)
+        if info is None:
+            continue
+        nbytes = info["segment_bytes"] + info["manifest_bytes"]
+        accesses = manifest.get("metrics", {}).get("accesses", 0)
+        if not accesses:
+            continue
+        codec = manifest.get("codec", store_mod.DEFAULT_SEGMENT_CODEC)
+        mode = "measured" if manifest.get("measured_only") else "full"
+        print(f"  trace {entry.workload} seed {entry.seed} "
+              f"({entry.n_cpus}-way, {codec}, {mode}): "
+              f"{nbytes / accesses:.2f} bytes/access "
+              f"({nbytes / 1024:.1f} KiB / {accesses:,} accesses)")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = experiments.get_store()
     if args.action == "fsck":
@@ -583,8 +713,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"jobs:     {stats.jobs}")
     print(f"evals:    {stats.evals}")
     print(f"payload:  {stats.payload_bytes / 1024:.1f} KiB")
+    decoded_by_kind = _decoded_bytes_by_kind(store)
     for kind, nbytes in stats.bytes_by_kind:
-        print(f"  {kind + ':':13s}{nbytes / 1024:.1f} KiB")
+        decoded = decoded_by_kind.get(kind, nbytes)
+        print(f"  {kind + ':':13s}{nbytes / 1024:.1f} KiB stored / "
+              f"{decoded / 1024:.1f} KiB decoded")
+    _print_trace_economics(store)
     if args.action == "list":
         from repro.analysis.store import CHECKPOINT_KIND, TRACE_KIND
 
@@ -774,16 +908,49 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cpus", type=int, default=None,
                        help="SMP width (default: the scaled system's 4)")
 
+    from repro.analysis.store import DEFAULT_SEGMENT_CODEC, SEGMENT_CODECS
+
+    def _codec_overrides(p) -> None:
+        p.add_argument("--codec", default=DEFAULT_SEGMENT_CODEC,
+                       choices=sorted(SEGMENT_CODECS),
+                       help="segment wire format for a *new* recording "
+                       "(delta-v1 shrinks dense traces; decoded events "
+                       "and replay results are byte-identical)")
+        p.add_argument("--measured-only", action="store_true",
+                       help="record only the measured region, persisting "
+                       "a fast-forward snapshot of the warmed filter "
+                       "state at the measurement boundary (requires a "
+                       "warm-up; replay restores the snapshot instead "
+                       "of replaying warm-up events)")
+
     t_record = trace_sub.add_parser(
         "record", help="simulate once, persisting the packed event shards"
     )
     t_record.add_argument("workload")
     _trace_overrides(t_record)
+    _codec_overrides(t_record)
     t_record.add_argument("--chunk-size", type=_positive_count,
                           default=runner.DEFAULT_CHUNK_SIZE,
                           help="recording pass chunk size (memory knob; "
                           "never changes the stored bytes)")
+    t_record.add_argument("--warm-filters", nargs="+", default=None,
+                          metavar="FILTER",
+                          help="measured-only: extra filter configs to "
+                          "warm and snapshot besides the default sweep "
+                          "set (replaying a config absent from the "
+                          "snapshot requires re-recording)")
     t_record.set_defaults(func=_cmd_trace_record)
+
+    t_transcode = trace_sub.add_parser(
+        "transcode", help="rewrite a stored trace's segments under "
+        "another codec, in place (keys and replays unchanged)"
+    )
+    t_transcode.add_argument("workload")
+    _trace_overrides(t_transcode)
+    t_transcode.add_argument("--codec", default=None, required=True,
+                             choices=sorted(SEGMENT_CODECS),
+                             help="target segment wire format")
+    t_transcode.set_defaults(func=_cmd_trace_transcode)
 
     t_replay = trace_sub.add_parser(
         "replay", help="evaluate filters against a recorded trace "
@@ -805,6 +972,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="replay kernel: auto vectorises supported "
                           "filter families with NumPy when available; "
                           "results are byte-identical across kernels")
+    _codec_overrides(t_replay)
     t_replay.set_defaults(func=_cmd_trace_replay)
 
     t_info = trace_sub.add_parser(
@@ -877,6 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "vectorises supported filter families with NumPy "
                          "when available; results are byte-identical "
                          "across kernels")
+    _codec_overrides(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_matrix = sub.add_parser(
@@ -1027,6 +1196,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="named workload transformation")
     p_submit.add_argument("--stream", action="store_true",
                           help="streamed shards instead of record/replay")
+    p_submit.add_argument("--codec", default=None,
+                          choices=sorted(SEGMENT_CODECS),
+                          help="segment wire format for new recordings "
+                          "(replay submissions only)")
+    p_submit.add_argument("--measured-only", action="store_true",
+                          help="record only measured regions with a "
+                          "fast-forward snapshot (replay submissions only)")
     p_submit.add_argument("--wait", action="store_true",
                           help="poll until the job settles, then render "
                           "the coverage table")

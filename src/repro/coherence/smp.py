@@ -561,6 +561,9 @@ def simulate_streaming(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     sinks: Iterable[ShardConsumer] = (),
     phase_marks=(),
+    warmup_sinks: Iterable[ShardConsumer] = (),
+    measurement_sinks: Iterable[ShardConsumer] = (),
+    on_measurement=None,
 ) -> SimResult:
     """Single-pass, bounded-memory sibling of :func:`simulate`.
 
@@ -573,9 +576,28 @@ def simulate_streaming(
     O(chunk_size), independent of trace length; the returned result is
     metrics-only (``event_streams == []``) with node, bus, and access
     counters equal to what :func:`simulate` would report.
+
+    ``sinks`` see every shard.  ``warmup_sinks`` stop receiving shards at
+    ``begin_measurement`` and ``measurement_sinks`` start there (the
+    warm-up MARKER rides at the front of the first *measurement* shard,
+    so a measurement-only consumer still observes the statistics reset
+    exactly where a full-stream consumer does); ``on_measurement`` is
+    called with the system at the same boundary, after warm-up sinks are
+    detached and before any measurement shard is cut.  Together these
+    are the measured-region-only recording hooks: warm-up sinks carry
+    the filter banks whose warmed state gets snapshotted by the
+    callback, measurement sinks carry the trace sink that records only
+    post-marker events.
     """
     system = SMPSystem(config)
-    sinks = list(sinks)
+    always = list(sinks)
+    warmup_sinks = list(warmup_sinks)
+    measurement_sinks = list(measurement_sinks)
+    if warmup <= 0 and (warmup_sinks or measurement_sinks or on_measurement):
+        raise TraceError(
+            "measurement-boundary hooks require a positive warm-up"
+        )
+    active = always + warmup_sinks
     iterator = iter(accesses)
     position = 0
     for stop, action in _boundary_schedule(warmup, phase_marks):
@@ -583,22 +605,25 @@ def simulate_streaming(
             for shard in system.run_chunked(
                 iterator, chunk_size, limit=stop - position
             ):
-                for sink in sinks:
+                for sink in active:
                     sink.consume(shard)
             position = stop
         if action < 0:
             system.begin_measurement()
+            active = always + measurement_sinks
+            if on_measurement is not None:
+                on_measurement(system)
         else:
             system.mark_phase(action)
     for shard in system.run_chunked(iterator, chunk_size):
-        for sink in sinks:
+        for sink in active:
             sink.consume(shard)
     # A warm-up or PHASE marker (and nothing else) can remain pending
     # when the region after it is empty or the stream ended exactly at a
     # boundary.
     residue = system.take_shard()
     if any(stream.events for stream in residue):
-        for sink in sinks:
+        for sink in active:
             sink.consume(residue)
     system.finish()
     return system.result(workload, include_events=False)

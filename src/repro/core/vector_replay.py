@@ -33,7 +33,19 @@ Per family:
   per-event decode or method dispatch.  Consecutive same-set, same-block
   P0 snoops are provably pure repeat-hits (the first leaves the entry at
   MRU; the second just counts ``filtered``), so they are removed from
-  the loop vectorially and counted in bulk.
+  the loop vectorially and counted in bulk.  The residual loop is then
+  *grouped by set* with one stable argsort: sets are independent, so
+  each set's items run through a tight loop with the set's stack
+  hoisted to a local — no per-item set indexing.  A safety violation
+  (rare, and fatal to the replay) restores the touched sets from their
+  pre-span copies and re-runs the span in original order, so the
+  flushed post-mortem statistics match the oracle exactly.
+
+Every replayer *imports* the wrapped filter's current storage state at
+construction (freshly built filters are empty, so the cold path is
+unchanged).  This is what lets measured-region-only traces replay from
+a restored fast-forward snapshot: the runner restores the warmed state
+into the filter objects and the kernels pick it up from there.
 * **HJ** — the IJ component is vectorised as above; its pass verdict per
   snoop feeds the exclude-component loop, which also handles HJ's
   filtered accounting.  Both ``HJ(IJ, EJ)`` and ``HJ(IJ, VEJ)`` are
@@ -49,6 +61,8 @@ Python kernel.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from repro.core.base import FilterEventCounts, SnoopFilter
 from repro.core.exclude import ExcludeJetty
@@ -240,6 +254,41 @@ def _lane_profile(
     return segment.shared(("lane", lo, hi, shift, entry_bits), build)
 
 
+def _warm_stacks(exclude: ExcludeJetty) -> list[list[int]]:
+    """Per-set MRU-first stacks importing an EJ's current contents.
+
+    A freshly built filter has no valid entries, so the cold path gets
+    the empty stacks it always had; a restored (fast-forwarded) filter
+    contributes its valid entries in recency order — way placement and
+    invalid ways are unobservable to replay, exactly the abstraction
+    the stack model is built on.
+    """
+    return [
+        [tags[way] for way in lru.order() if tags[way] is not None]
+        for tags, lru in zip(exclude._tags, exclude._lru)
+    ]
+
+
+def _warm_vectors(exclude: VectorExcludeJetty) -> list[dict[int, int]]:
+    """Per-set insertion-ordered chunk->vector dicts importing a VEJ.
+
+    The replayer's eviction takes the dict's *first* key, so entries
+    insert in LRU-to-MRU order (``lru.order()`` is MRU-first, hence
+    reversed), skipping invalid ways.
+    """
+    vectors: list[dict[int, int]] = []
+    for chunks, vecs, lru in zip(
+        exclude._chunks, exclude._vectors, exclude._lru
+    ):
+        entries: dict[int, int] = {}
+        for way in reversed(lru.order()):
+            chunk = chunks[way]
+            if chunk is not None:
+                entries[chunk] = vecs[way]
+        vectors.append(entries)
+    return vectors
+
+
 class _IncludeLanes:
     """The vectorised counter machinery of one :class:`IncludeJetty`.
 
@@ -257,16 +306,26 @@ class _IncludeLanes:
     wholesale instead of re-sorting every lane.
     """
 
-    __slots__ = ("include", "_counters", "_events", "_allocs", "_evicts")
+    __slots__ = (
+        "include", "_counters", "_events", "_allocs", "_evicts", "_seed"
+    )
 
     def __init__(self, include: IncludeJetty) -> None:
         self.include = include
-        size = 1 << include.entry_bits
+        # Import the wrapped filter's current counters: zeros for a
+        # freshly built IJ, the warmed lanes for a fast-forwarded one.
         self._counters = [
-            _np.zeros(size, dtype=_np.int32) for _ in include._shifts
+            _np.asarray(counters, dtype=_np.int32)
+            for counters in include._counters
         ]
         # Committed-history fingerprint, part of the sharing key: equal
-        # geometry + equal history => equal counter state.
+        # geometry + equal *initial state* + equal history => equal
+        # counter state.  The seed digest distinguishes warm starts —
+        # all cold lanes of one geometry share one digest, so the
+        # IJ-and-HJ sharing of cold replays is untouched.
+        self._seed = hashlib.sha256(
+            b"".join(counters.tobytes() for counters in self._counters)
+        ).hexdigest()[:16]
         self._events = 0
         self._allocs = 0
         self._evicts = 0
@@ -285,7 +344,7 @@ class _IncludeLanes:
         key = (
             "ijspan", lo, hi,
             include.entry_bits, include.n_arrays, include.skip,
-            self._events, self._allocs, self._evicts,
+            self._seed, self._events, self._allocs, self._evicts,
         )
 
         def build() -> dict:
@@ -594,6 +653,58 @@ class _ExcludeLoopReplayer(VectorReplayer):
             return 0
         return int(_np.searchsorted(dup_pos, k))
 
+    def _set_groups(
+        self, segment, lo, hi, b_arr, code, ok=None, memo: bool = True
+    ) -> dict:
+        """Group a span's residual items by set with one stable argsort.
+
+        Returns ``gids`` (the set index of each group), ``bounds`` (group
+        slice boundaries), and the item arrays permuted set-major —
+        within a group, items keep their original relative order, which
+        is all the per-set state machines can observe.  Memoised on the
+        segment for the plain EJ/VEJ kernels (their dedup, and therefore
+        their grouping, depends only on the set geometry); the hybrid
+        kernel's dedup depends on IJ state, so it passes ``memo=False``.
+        """
+
+        def build() -> dict:
+            idx = (
+                (b_arr >> self._dedup_pre_shift) & self._dedup_mask
+            ).astype(_np.uint16)
+            order = _np.argsort(idx, kind="stable")
+            idx_s = idx[order]
+            n = idx_s.size
+            if n == 0:
+                record = {"gids": [], "bounds": [0], "b": [], "code": []}
+                if ok is not None:
+                    record["ok"] = []
+                return record
+            first = _np.empty(n, dtype=bool)
+            first[0] = True
+            _np.not_equal(idx_s[1:], idx_s[:-1], out=first[1:])
+            fpos = _np.flatnonzero(first)
+            bounds = fpos.tolist()
+            bounds.append(n)
+            # Plain Python lists: the group loops slice them directly
+            # (C-level list slicing), and memoisation shares the one
+            # conversion between every bank replaying the segment.
+            record = {
+                "gids": idx_s[fpos].tolist(),
+                "bounds": bounds,
+                "b": b_arr[order].tolist(),
+                "code": code[order].tolist(),
+            }
+            if ok is not None:
+                record["ok"] = ok[order].tolist()
+            return record
+
+        if memo:
+            return segment.shared(
+                ("exgroup", lo, hi, self._dedup_pre_shift, self._dedup_mask),
+                build,
+            )
+        return build()
+
 
 class _ExcludeReplayer(_ExcludeLoopReplayer):
     """EJ replay: per-set bounded MRU stacks over pre-extracted items.
@@ -611,19 +722,14 @@ class _ExcludeReplayer(_ExcludeLoopReplayer):
     ) -> None:
         super().__init__(snoop_filter, node_id, phase_names)
         self._dedup_mask = snoop_filter._index_mask
-        self._stacks: list[list[int]] = [[] for _ in range(snoop_filter.sets)]
+        self._stacks = _warm_stacks(snoop_filter)
 
-    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
-        s = _span_stats(segment, lo, hi)
-        b_arr, code, pos, dup_pos = self._dedup_items(segment, lo, hi)
-        stacks = self._stacks
-        smask = self._dedup_mask
-        ways = self.snoop_filter.ways
-        entry_writes = filtered = p1_seen = 0
-        viol_b = None
-        for b, c in zip(b_arr.tolist(), code.tolist()):
+    @staticmethod
+    def _group_ej(stack: list, blist, clist, ways: int):
+        """Run one set's items through its stack; ``None`` on violation."""
+        entry_writes = filtered = 0
+        for b, c in zip(blist, clist):
             if c == 0:  # P0 snoop
-                stack = stacks[b & smask]
                 if b in stack:
                     if stack[0] != b:
                         stack.remove(b)
@@ -635,16 +741,80 @@ class _ExcludeReplayer(_ExcludeLoopReplayer):
                     stack.insert(0, b)
                     entry_writes += 1
             elif c == 2:  # alloc: invalidate any entry claiming absence
-                stack = stacks[b & smask]
                 if b in stack:
                     stack.remove(b)
                     entry_writes += 1
             else:  # P1 snoop: a hit would filter a cached block
+                if b in stack:
+                    return None
+        return entry_writes, filtered
+
+    def _sequential(self, blist, clist):
+        """Original-order fallback for the violation post-mortem."""
+        stacks = self._stacks
+        smask = self._dedup_mask
+        ways = self.snoop_filter.ways
+        entry_writes = filtered = p1_seen = 0
+        viol_b = None
+        for b, c in zip(blist, clist):
+            if c == 0:
+                stack = stacks[b & smask]
+                if b in stack:
+                    if stack[0] != b:
+                        stack.remove(b)
+                        stack.insert(0, b)
+                    filtered += 1
+                else:
+                    if len(stack) == ways:
+                        stack.pop()
+                    stack.insert(0, b)
+                    entry_writes += 1
+            elif c == 2:
+                stack = stacks[b & smask]
+                if b in stack:
+                    stack.remove(b)
+                    entry_writes += 1
+            else:
                 p1_seen += 1
                 if b in stacks[b & smask]:
                     viol_b = b
                     break
-        if viol_b is not None:
+        return viol_b, entry_writes, filtered, p1_seen
+
+    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
+        s = _span_stats(segment, lo, hi)
+        b_arr, code, pos, dup_pos = self._dedup_items(segment, lo, hi)
+        groups = self._set_groups(segment, lo, hi, b_arr, code)
+        stacks = self._stacks
+        ways = self.snoop_filter.ways
+        bounds = groups["bounds"]
+        b_s, code_s = groups["b"], groups["code"]
+        entry_writes = filtered = 0
+        touched = []
+        violated = False
+        for gi, g in enumerate(groups["gids"]):
+            stack = stacks[g]
+            touched.append((g, stack.copy()))
+            res = self._group_ej(
+                stack,
+                b_s[bounds[gi]:bounds[gi + 1]],
+                code_s[bounds[gi]:bounds[gi + 1]],
+                ways,
+            )
+            if res is None:
+                violated = True
+                break
+            entry_writes += res[0]
+            filtered += res[1]
+        if violated:
+            # Sets are independent, so a violation found group-wise is a
+            # violation in original order too; restore the touched sets
+            # and re-run sequentially for exact oracle error accounting.
+            for g, saved in touched:
+                stacks[g] = saved
+            viol_b, entry_writes, filtered, p1_seen = self._sequential(
+                b_arr.tolist(), code.tolist()
+            )
             k = self._violation_pos(code, pos, p1_seen)
             self._flush_prefix(s, k, filtered + self._dups_before(dup_pos, k))
             raise self._safety_error(viol_b)
@@ -674,24 +844,14 @@ class _VectorExcludeReplayer(_ExcludeLoopReplayer):
         super().__init__(snoop_filter, node_id, phase_names)
         self._dedup_pre_shift = snoop_filter._vec_shift
         self._dedup_mask = snoop_filter._index_mask
-        self._vectors: list[dict[int, int]] = [
-            {} for _ in range(snoop_filter.sets)
-        ]
+        self._vectors = _warm_vectors(snoop_filter)
 
-    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
-        s = _span_stats(segment, lo, hi)
-        b_arr, code, pos, dup_pos = self._dedup_items(segment, lo, hi)
-        snoop_filter = self.snoop_filter
-        vectors = self._vectors
-        vshift = snoop_filter._vec_shift
-        vmask = snoop_filter._vec_mask
-        smask = self._dedup_mask
-        ways = snoop_filter.ways
-        entry_writes = filtered = p1_seen = 0
-        viol_b = None
-        for b, c in zip(b_arr.tolist(), code.tolist()):
+    @staticmethod
+    def _group_vej(vecs: dict, blist, clist, vshift, vmask, ways):
+        """Run one set's items through its dict; ``None`` on violation."""
+        entry_writes = filtered = 0
+        for b, c in zip(blist, clist):
             chunk = b >> vshift
-            vecs = vectors[chunk & smask]
             if c == 0:  # P0 snoop
                 vector = vecs.pop(chunk, None)
                 if vector is None:  # chunk miss: allocate a fresh entry
@@ -717,6 +877,51 @@ class _VectorExcludeReplayer(_ExcludeLoopReplayer):
                         vecs[chunk] = vector
                     entry_writes += 1
             else:  # P1 snoop
+                vector = vecs.pop(chunk, None)
+                if vector is not None:
+                    vecs[chunk] = vector
+                    if vector & (1 << (b & vmask)):
+                        return None
+        return entry_writes, filtered
+
+    def _sequential(self, blist, clist):
+        """Original-order fallback for the violation post-mortem."""
+        snoop_filter = self.snoop_filter
+        vectors = self._vectors
+        vshift = snoop_filter._vec_shift
+        vmask = snoop_filter._vec_mask
+        smask = self._dedup_mask
+        ways = snoop_filter.ways
+        entry_writes = filtered = p1_seen = 0
+        viol_b = None
+        for b, c in zip(blist, clist):
+            chunk = b >> vshift
+            vecs = vectors[chunk & smask]
+            if c == 0:
+                vector = vecs.pop(chunk, None)
+                if vector is None:
+                    if len(vecs) == ways:
+                        del vecs[next(iter(vecs))]
+                    vecs[chunk] = 1 << (b & vmask)
+                    entry_writes += 1
+                else:
+                    bit = 1 << (b & vmask)
+                    if vector & bit:
+                        vecs[chunk] = vector
+                        filtered += 1
+                    else:
+                        vecs[chunk] = vector | bit
+                        entry_writes += 1
+            elif c == 2:
+                vector = vecs.get(chunk)
+                if vector is not None:
+                    vector &= ~(1 << (b & vmask))
+                    if vector == 0:
+                        del vecs[chunk]
+                    else:
+                        vecs[chunk] = vector
+                    entry_writes += 1
+            else:
                 p1_seen += 1
                 vector = vecs.pop(chunk, None)
                 if vector is not None:
@@ -724,7 +929,42 @@ class _VectorExcludeReplayer(_ExcludeLoopReplayer):
                     if vector & (1 << (b & vmask)):
                         viol_b = b
                         break
-        if viol_b is not None:
+        return viol_b, entry_writes, filtered, p1_seen
+
+    def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
+        s = _span_stats(segment, lo, hi)
+        b_arr, code, pos, dup_pos = self._dedup_items(segment, lo, hi)
+        snoop_filter = self.snoop_filter
+        groups = self._set_groups(segment, lo, hi, b_arr, code)
+        vectors = self._vectors
+        vshift = snoop_filter._vec_shift
+        vmask = snoop_filter._vec_mask
+        ways = snoop_filter.ways
+        bounds = groups["bounds"]
+        b_s, code_s = groups["b"], groups["code"]
+        entry_writes = filtered = 0
+        touched = []
+        violated = False
+        for gi, g in enumerate(groups["gids"]):
+            vecs = vectors[g]
+            touched.append((g, dict(vecs)))
+            res = self._group_vej(
+                vecs,
+                b_s[bounds[gi]:bounds[gi + 1]],
+                code_s[bounds[gi]:bounds[gi + 1]],
+                vshift, vmask, ways,
+            )
+            if res is None:
+                violated = True
+                break
+            entry_writes += res[0]
+            filtered += res[1]
+        if violated:
+            for g, saved in touched:
+                vectors[g] = saved
+            viol_b, entry_writes, filtered, p1_seen = self._sequential(
+                b_arr.tolist(), code.tolist()
+            )
             k = self._violation_pos(code, pos, p1_seen)
             self._flush_prefix(s, k, filtered + self._dups_before(dup_pos, k))
             raise self._safety_error(viol_b)
@@ -762,13 +1002,9 @@ class _HybridReplayer(_ExcludeLoopReplayer):
         self._vej = type(exclude) is VectorExcludeJetty
         if self._vej:
             self._dedup_pre_shift = exclude._vec_shift
-            self._vectors: list[dict[int, int]] = [
-                {} for _ in range(exclude.sets)
-            ]
+            self._vectors = _warm_vectors(exclude)
         else:
-            self._stacks: list[list[int]] = [
-                [] for _ in range(exclude.sets)
-            ]
+            self._stacks = _warm_stacks(exclude)
         self._dedup_mask = exclude._index_mask
 
     def _span(self, segment: PackedSegment, lo: int, hi: int) -> None:
@@ -788,19 +1024,49 @@ class _HybridReplayer(_ExcludeLoopReplayer):
             stop = int(_np.searchsorted(pos, under_k))
         else:
             stop = b_arr.size
-        if self._vej:
-            viol_b, entry_writes, filtered, p1_seen = self._loop_vej(
+        # The dedup (and so the residual item set) depends on IJ state,
+        # which differs between spans — the grouping cannot be memoised.
+        groups = self._set_groups(
+            segment, lo, hi,
+            b_arr[:stop], code[:stop], ok=ij_ok[:stop], memo=False,
+        )
+        bounds = groups["bounds"]
+        b_s, code_s, ok_s = groups["b"], groups["code"], groups["ok"]
+        exclude = self.snoop_filter.exclude
+        state = self._vectors if self._vej else self._stacks
+        entry_writes = filtered = 0
+        touched = []
+        violated = False
+        for gi, g in enumerate(groups["gids"]):
+            blist = b_s[bounds[gi]:bounds[gi + 1]]
+            clist = code_s[bounds[gi]:bounds[gi + 1]]
+            oklist = ok_s[bounds[gi]:bounds[gi + 1]]
+            if self._vej:
+                vecs = state[g]
+                touched.append((g, dict(vecs)))
+                res = self._group_hvej(
+                    vecs, blist, clist, oklist,
+                    exclude._vec_shift, exclude._vec_mask, exclude.ways,
+                )
+            else:
+                stack = state[g]
+                touched.append((g, stack.copy()))
+                res = self._group_hej(stack, blist, clist, oklist,
+                                      exclude.ways)
+            if res is None:
+                violated = True
+                break
+            entry_writes += res[0]
+            filtered += res[1]
+        if violated:
+            for g, saved in touched:
+                state[g] = saved
+            loop = self._loop_vej if self._vej else self._loop_ej
+            viol_b, entry_writes, filtered, p1_seen = loop(
                 b_arr[:stop].tolist(),
                 code[:stop].tolist(),
                 ij_ok[:stop].tolist(),
             )
-        else:
-            viol_b, entry_writes, filtered, p1_seen = self._loop_ej(
-                b_arr[:stop].tolist(),
-                code[:stop].tolist(),
-                ij_ok[:stop].tolist(),
-            )
-        if viol_b is not None:
             k = self._violation_pos(code, pos, p1_seen)
             self._flush_prefix(s, k, filtered + self._dups_before(dup_pos, k))
             raise self._safety_error(viol_b)
@@ -820,6 +1086,78 @@ class _HybridReplayer(_ExcludeLoopReplayer):
         )
         counts.pbit_writes += sp["pbw"]
         lanes.commit(s, sp)
+
+    @staticmethod
+    def _group_hej(stack: list, blist, clist, oklist, ways: int):
+        """One set's items through the HJ(EJ) machine; None = violation."""
+        entry_writes = filtered = 0
+        for b, c, ok in zip(blist, clist, oklist):
+            if c == 0:  # P0 snoop
+                if b in stack:  # EJ hit filters the hybrid, IJ moot
+                    if stack[0] != b:
+                        stack.remove(b)
+                        stack.insert(0, b)
+                    filtered += 1
+                elif ok:  # both passed: the outcome allocates an entry
+                    if len(stack) == ways:
+                        stack.pop()
+                    stack.insert(0, b)
+                    entry_writes += 1
+                else:  # IJ filtered; EJ learns nothing
+                    filtered += 1
+            elif c == 2:  # alloc
+                if b in stack:
+                    stack.remove(b)
+                    entry_writes += 1
+            else:  # P1 snoop: filtering from either side is a violation
+                if b in stack or not ok:
+                    return None
+        return entry_writes, filtered
+
+    @staticmethod
+    def _group_hvej(vecs: dict, blist, clist, oklist, vshift, vmask, ways):
+        """One set's items through the HJ(VEJ) machine; None = violation."""
+        entry_writes = filtered = 0
+        for b, c, ok in zip(blist, clist, oklist):
+            chunk = b >> vshift
+            if c == 0:  # P0 snoop
+                vector = vecs.pop(chunk, None)
+                if vector is not None:  # chunk hit: the probe touches
+                    bit = 1 << (b & vmask)
+                    if vector & bit:
+                        vecs[chunk] = vector
+                        filtered += 1
+                    elif ok:
+                        vecs[chunk] = vector | bit
+                        entry_writes += 1
+                    else:  # IJ filtered; the touch still happened
+                        vecs[chunk] = vector
+                        filtered += 1
+                elif ok:
+                    if len(vecs) == ways:
+                        del vecs[next(iter(vecs))]
+                    vecs[chunk] = 1 << (b & vmask)
+                    entry_writes += 1
+                else:
+                    filtered += 1
+            elif c == 2:  # alloc
+                vector = vecs.get(chunk)
+                if vector is not None:
+                    vector &= ~(1 << (b & vmask))
+                    if vector == 0:
+                        del vecs[chunk]
+                    else:
+                        vecs[chunk] = vector
+                    entry_writes += 1
+            else:  # P1 snoop
+                vector = vecs.pop(chunk, None)
+                if vector is not None:
+                    vecs[chunk] = vector
+                    if vector & (1 << (b & vmask)):
+                        return None
+                if not ok:
+                    return None
+        return entry_writes, filtered
 
     def _loop_ej(self, blist, clist, oklist):
         stacks = self._stacks

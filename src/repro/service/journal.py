@@ -35,7 +35,9 @@ import hashlib
 import json
 
 from repro.analysis.store import (
+    DEFAULT_SEGMENT_CODEC,
     JOB_KIND,
+    SEGMENT_CODECS,
     ExperimentStore,
     decode_job,
     encode_job,
@@ -133,6 +135,30 @@ def normalize_request(payload: dict) -> dict:
     if preset is not None:
         _require(isinstance(preset, str), "'preset' must be a string")
         request["preset"] = preset
+    codec = payload.get("codec")
+    if codec is not None:
+        _require(
+            codec in SEGMENT_CODECS,
+            f"'codec' must be one of {sorted(SEGMENT_CODECS)}, got {codec!r}",
+        )
+        if codec != DEFAULT_SEGMENT_CODEC:
+            _require(
+                mode == "replay",
+                "'codec' applies to replay submissions only "
+                "(streamed shards record no trace)",
+            )
+            request["codec"] = codec
+    if payload.get("measured_only"):
+        _require(
+            payload.get("measured_only") is True,
+            "'measured_only' must be a boolean",
+        )
+        _require(
+            mode == "replay",
+            "'measured_only' applies to replay submissions only "
+            "(streamed shards record no trace)",
+        )
+        request["measured_only"] = True
     return request
 
 
@@ -140,9 +166,12 @@ def shard_fingerprint(shard: dict) -> str:
     """Content hash of one shard's result-determining fields.
 
     Exactly the fields that participate in the shard's store keys:
-    execution hints (``chunk_size``, ``checkpoint_every``) are
-    excluded because results are invariant to them by the determinism
-    contract — two submissions differing only in hints share shards.
+    execution hints (``chunk_size``, ``checkpoint_every``, and the
+    trace-economics knobs ``codec``/``measured_only``) are excluded
+    because results are invariant to them by the determinism contract —
+    two submissions differing only in hints share shards, and a shard
+    recorded measured-only satisfies a later full-trace submission
+    byte-for-byte (and vice versa).
     """
     return hashlib.sha256(json.dumps({
         "workload": shard["workload"],
@@ -174,7 +203,8 @@ def build_shards(request: dict) -> list[dict]:
                 "mode": request["mode"],
             }
             for field in ("accesses", "warmup", "preset", "cpus",
-                          "chunk_size", "checkpoint_every"):
+                          "chunk_size", "checkpoint_every",
+                          "codec", "measured_only"):
                 if field in request:
                     shard[field] = request[field]
             shard["id"] = shard_fingerprint(shard)

@@ -102,6 +102,12 @@ class ServiceWorker:
                 workers=1,
                 backend="serial",
                 **(
+                    {"codec": shard["codec"]}
+                    if shard.get("codec")
+                    else {}
+                ),
+                measured_only=bool(shard.get("measured_only")),
+                **(
                     {"chunk_size": shard["chunk_size"]}
                     if shard.get("chunk_size")
                     else {}

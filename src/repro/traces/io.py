@@ -5,13 +5,21 @@ simulator).  This module gives the same workflow to library users:
 generate a synthetic stream once, archive it, and replay it across
 experiments — or import externally collected traces in the same format.
 
-Format: a compressed numpy archive with three equal-length arrays,
+Format (version 2): a compressed numpy archive with three equal-length
+arrays,
 
-* ``cpu``     — uint16 processor ids,
-* ``address`` — uint64 physical byte addresses,
-* ``is_write``— bool store flags,
+* ``cpu``           — uint16 processor ids,
+* ``address_delta`` — int64 first-order differences of the physical
+  byte addresses (first element is the first address itself); the
+  loader rebuilds absolutes with one ``np.cumsum``.  Address streams
+  have strong spatial locality, so deltas are small, repetitive
+  integers that deflate far better than raw 64-bit absolutes,
+* ``is_write``      — bool store flags,
 
-plus a ``meta`` array holding a format-version tag.
+plus a ``meta`` array holding a format-version tag.  Version-1 archives
+(absolute uint64 ``address`` array) are still read; version 1 is also
+still *written* for the pathological case of addresses at or above
+2^63, where an int64 delta could overflow.
 """
 
 from __future__ import annotations
@@ -23,8 +31,11 @@ import numpy as np
 
 from repro.errors import TraceError
 
-#: Format version written into every archive.
-FORMAT_VERSION = 1
+#: Format version written into every archive (see the fallback above).
+FORMAT_VERSION = 2
+
+#: Oldest version :func:`load_trace` still reads.
+_SUPPORTED_VERSIONS = (1, 2)
 
 _META_KEY = "jetty_trace_version"
 
@@ -43,14 +54,35 @@ def save_trace(
         cpus.append(cpu)
         addresses.append(address)
         writes.append(is_write)
+    address_arr = np.asarray(addresses, dtype=np.uint64)
+    columns = {
+        "cpu": np.asarray(cpus, dtype=np.uint16),
+        "is_write": np.asarray(writes, dtype=bool),
+    }
+    if address_arr.size and int(address_arr.max()) >= 1 << 63:
+        # Deltas between addresses in the top half of the 64-bit space
+        # can overflow int64 — fall back to absolute (version 1) form.
+        columns["address"] = address_arr
+        version = 1
+    else:
+        columns["address_delta"] = np.diff(
+            address_arr.astype(np.int64), prepend=np.int64(0)
+        )
+        version = FORMAT_VERSION
     np.savez_compressed(
         Path(path),
-        cpu=np.asarray(cpus, dtype=np.uint16),
-        address=np.asarray(addresses, dtype=np.uint64),
-        is_write=np.asarray(writes, dtype=bool),
-        **{_META_KEY: np.asarray([FORMAT_VERSION], dtype=np.int64)},
+        **columns,
+        **{_META_KEY: np.asarray([version], dtype=np.int64)},
     )
     return len(cpus)
+
+
+def _addresses(archive) -> np.ndarray:
+    """The archive's absolute address array, whatever its version."""
+    if int(archive[_META_KEY][0]) == 1:
+        return archive["address"]
+    deltas = archive["address_delta"]
+    return np.cumsum(deltas, dtype=np.int64).astype(np.uint64)
 
 
 def load_trace(path: str | Path) -> Iterator[tuple[int, int, bool]]:
@@ -61,7 +93,7 @@ def load_trace(path: str | Path) -> Iterator[tuple[int, int, bool]]:
     with np.load(path) as archive:
         _validate_archive(archive, path)
         cpus = archive["cpu"]
-        addresses = archive["address"]
+        addresses = _addresses(archive)
         writes = archive["is_write"]
     for cpu, address, is_write in zip(cpus, addresses, writes):
         yield int(cpu), int(address), bool(is_write)
@@ -75,18 +107,23 @@ def trace_length(path: str | Path) -> int:
 
 
 def _validate_archive(archive, path) -> None:
-    for key in ("cpu", "address", "is_write", _META_KEY):
+    for key in ("cpu", "is_write", _META_KEY):
         if key not in archive:
             raise TraceError(f"{path} is not a JETTY trace archive (missing {key})")
     version = int(archive[_META_KEY][0])
-    if version != FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise TraceError(
             f"{path} has trace format version {version}; "
-            f"this library reads version {FORMAT_VERSION}"
+            f"this library reads versions {_SUPPORTED_VERSIONS}"
+        )
+    address_key = "address" if version == 1 else "address_delta"
+    if address_key not in archive:
+        raise TraceError(
+            f"{path} is not a JETTY trace archive (missing {address_key})"
         )
     lengths = {
         archive["cpu"].shape[0],
-        archive["address"].shape[0],
+        archive[address_key].shape[0],
         archive["is_write"].shape[0],
     }
     if len(lengths) != 1:

@@ -318,3 +318,103 @@ class TestResilienceCommands:
         assert "chaos plan 'none'" in out
         assert "store byte-identical to clean run: yes" in out
         assert "poisoned-task demo" in out
+
+
+class TestTraceEconomicsCommands:
+    """``--codec`` / ``--measured-only`` / ``transcode`` and the
+    stored-vs-decoded accounting in ``trace info`` / ``cache info``."""
+
+    def test_codec_choices_are_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "record", "test-tiny", "--codec", "rle-v9"]
+            )
+
+    def test_record_replay_measured_only_with_warm_filters(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "mo.sqlite")
+        assert main(["--store", store, "trace", "record", "test-tiny",
+                     "--codec", "delta-v1", "--measured-only",
+                     "--warm-filters", "EJ-8x2"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded: test-tiny" in out
+        assert "(measured region only)" in out
+        # The warmed family replays without any new simulation.
+        assert main(["--store", store, "trace", "replay", "test-tiny",
+                     "--filters", "EJ-8x2"]) == 0
+        out = capsys.readouterr().out
+        assert "sims: 0 run" in out
+        assert "evals: 1 run" in out
+        # trace info reports the wire format and the recording mode.
+        assert main(["--store", store, "trace", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "delta-v1" in out
+        assert "measured" in out
+
+    def test_transcode_command_round_trips(self, tmp_path, capsys):
+        store = str(tmp_path / "tc.sqlite")
+        assert main(["--store", store, "trace", "record", "test-tiny"]) == 0
+        capsys.readouterr()
+        assert main(["--store", store, "trace", "transcode", "test-tiny",
+                     "--codec", "delta-v1"]) == 0
+        out = capsys.readouterr().out
+        assert "transcoded: test-tiny" in out
+        assert "segment bytes" in out
+        # The transcoded trace still replays with zero simulations.
+        assert main(["--store", store, "trace", "replay", "test-tiny",
+                     "--filters", "EJ-8x2"]) == 0
+        assert "sims: 0 run" in capsys.readouterr().out
+        assert main(["--store", store, "trace", "info"]) == 0
+        assert "delta-v1" in capsys.readouterr().out
+
+    def test_transcode_without_a_trace_fails_loudly(self, tmp_path, capsys):
+        store = str(tmp_path / "empty.sqlite")
+        assert main(["--store", store, "trace", "transcode", "test-tiny",
+                     "--codec", "delta-v1"]) == 2
+        assert "nothing to transcode" in capsys.readouterr().err
+
+    def test_trace_info_flags_incomplete_and_orphaned(self, tmp_path, capsys):
+        from repro.analysis import store as store_mod
+        from repro.analysis.store import ExperimentStore
+        from repro.coherence.config import SCALED_SYSTEM
+
+        store_path = str(tmp_path / "orphan.sqlite")
+        assert main(["--store", store_path, "trace", "record",
+                     "test-tiny"]) == 0
+        capsys.readouterr()
+        spec = WORKLOADS["test-tiny"]
+        tkey = store_mod.trace_key(spec, SCALED_SYSTEM, 1)
+        # Drop one segment: the manifest must be flagged incomplete.
+        with ExperimentStore(store_path) as surgery:
+            surgery._db.execute(
+                "DELETE FROM results WHERE key = ?",
+                (store_mod.trace_segment_key(tkey, 0, 0),),
+            )
+            surgery._db.commit()
+        assert main(["--store", store_path, "trace", "info"]) == 0
+        assert "(incomplete)" in capsys.readouterr().out
+        # Drop the manifest: the remaining segments become orphans.
+        with ExperimentStore(store_path) as surgery:
+            surgery._db.execute(
+                "DELETE FROM results WHERE key = ?", (tkey,)
+            )
+            surgery._db.commit()
+        assert main(["--store", store_path, "trace", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "orphaned segments" in out
+        assert "cache fsck removes them" in out
+
+    def test_cache_info_reports_stored_vs_decoded_economics(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "eco.sqlite")
+        assert main(["--store", store, "trace", "record", "test-tiny",
+                     "--codec", "delta-v1"]) == 0
+        capsys.readouterr()
+        assert main(["--store", store, "cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "KiB stored /" in out
+        assert "KiB decoded" in out
+        assert "bytes/access" in out
+        assert "delta-v1" in out

@@ -184,6 +184,40 @@ def test_job_identity_invariant_under_ordering():
     assert len(one["shards"]) == 4
 
 
+def test_normalize_request_trace_economics_fields():
+    # The default codec is an implicit no-op: never stored.
+    plain = normalize_request(make_request(codec="raw-v1"))
+    assert "codec" not in plain
+    tuned = normalize_request(make_request(codec="delta-v1",
+                                           measured_only=True))
+    assert tuned["codec"] == "delta-v1"
+    assert tuned["measured_only"] is True
+    with pytest.raises(ServiceError, match="'codec' must be one of"):
+        normalize_request(make_request(codec="rle-v9"))
+    with pytest.raises(ServiceError, match="replay submissions only"):
+        normalize_request(make_request(mode="stream", codec="delta-v1"))
+    with pytest.raises(ServiceError, match="replay submissions only"):
+        normalize_request(make_request(mode="stream", measured_only=True))
+    with pytest.raises(ServiceError, match="must be a boolean"):
+        normalize_request(make_request(measured_only="yes"))
+
+
+def test_shard_identity_ignores_trace_economics_hints():
+    """codec/measured_only are execution hints: results are invariant to
+    them, so two submissions differing only in hints share shards."""
+    plain = JobJournal.new_record(normalize_request(make_request()))
+    tuned = JobJournal.new_record(normalize_request(make_request(
+        codec="delta-v1", measured_only=True,
+    )))
+    assert [s["id"] for s in plain["shards"]] == (
+        [s["id"] for s in tuned["shards"]]
+    )
+    # ...but the granted shard still carries the hints for the worker.
+    assert all(s["codec"] == "delta-v1" and s["measured_only"] is True
+               for s in tuned["shards"])
+    assert all("codec" not in s for s in plain["shards"])
+
+
 def test_journal_round_trip_strips_runtime_state(tmp_path):
     store = ExperimentStore(tmp_path / "journal.sqlite")
     journal = JobJournal(store)

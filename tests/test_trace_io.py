@@ -62,6 +62,61 @@ class TestRoundTrip:
         assert result.accesses == 100
 
 
+class TestDeltaFormat:
+    def test_archives_are_written_as_version_2_deltas(
+        self, tmp_path, sample_trace
+    ):
+        path = tmp_path / "v2.npz"
+        save_trace(path, sample_trace)
+        with np.load(path) as archive:
+            assert int(archive["jetty_trace_version"][0]) == 2
+            assert "address" not in archive
+            deltas = archive["address_delta"]
+            assert deltas.dtype == np.int64
+            # First element is the first address; the rest are diffs.
+            assert int(deltas[0]) == sample_trace[0][1]
+            assert (deltas[2] < 0) if sample_trace[2][1] < (
+                sample_trace[1][1]) else (deltas[2] >= 0)
+
+    def test_legacy_v1_archives_still_load(self, tmp_path, sample_trace):
+        path = tmp_path / "v1.npz"
+        np.savez(
+            path,
+            cpu=np.asarray([a[0] for a in sample_trace], dtype=np.uint16),
+            address=np.asarray([a[1] for a in sample_trace], dtype=np.uint64),
+            is_write=np.asarray([a[2] for a in sample_trace], dtype=bool),
+            jetty_trace_version=np.asarray([1], dtype=np.int64),
+        )
+        assert list(load_trace(path)) == sample_trace
+        assert trace_length(path) == 4
+
+    def test_huge_addresses_fall_back_to_absolute_form(self, tmp_path):
+        # Deltas between top-half 64-bit addresses could overflow int64.
+        trace = [(0, (1 << 63) + 16, False), (1, 8, True)]
+        path = tmp_path / "huge.npz"
+        save_trace(path, trace)
+        with np.load(path) as archive:
+            assert int(archive["jetty_trace_version"][0]) == 1
+            assert "address_delta" not in archive
+        assert list(load_trace(path)) == trace
+
+    def test_deltas_shrink_a_local_stream(self, tmp_path):
+        trace = [(i % 4, 0x10_0000 + 64 * i, i % 5 == 0)
+                 for i in range(5_000)]
+        v2 = tmp_path / "v2.npz"
+        save_trace(v2, trace)
+        v1 = tmp_path / "v1.npz"
+        np.savez_compressed(
+            v1,
+            cpu=np.asarray([a[0] for a in trace], dtype=np.uint16),
+            address=np.asarray([a[1] for a in trace], dtype=np.uint64),
+            is_write=np.asarray([a[2] for a in trace], dtype=bool),
+            jetty_trace_version=np.asarray([1], dtype=np.int64),
+        )
+        assert v2.stat().st_size < v1.stat().st_size
+        assert list(load_trace(v2)) == trace
+
+
 class TestValidation:
     def test_missing_file(self, tmp_path):
         with pytest.raises(TraceError):

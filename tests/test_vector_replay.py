@@ -361,6 +361,85 @@ class TestOracleFlushOnRaise:
 
 
 # ----------------------------------------------------------------------
+# Grouped per-set loops: error ordering and fast-forward warm starts
+# ----------------------------------------------------------------------
+
+@requires_numpy
+class TestGroupedLoopErrorOrder:
+    """The EJ/VEJ kernels replay residual items set by set; a violation
+    discovered group-wise must still surface as the *original-order
+    first* violation — the grouped pass restores the touched sets and
+    re-runs sequentially for oracle-exact error accounting."""
+
+    @pytest.mark.parametrize(
+        "filter_name",
+        ("EJ-16x2", "VEJ-16x2-4", "HJ(IJ-8x4x7, EJ-16x2)",
+         "HJ(IJ-8x4x7, VEJ-16x2-4)"),
+    )
+    def test_interleaved_per_set_violations(self, filter_name):
+        # Two violating sets: the lower-indexed set's group is processed
+        # first, but its violation comes *later* in stream order.
+        high, low = 0x409, 0x102
+        events = [
+            _snoop(high),                 # allocates in the high set
+            _snoop(low),                  # allocates in the low set
+            _snoop(0x209),                # extra traffic in the high set
+            _snoop(high, present=True),   # the stream-order-first violation
+            _snoop(low, present=True),    # group-order-first violation
+            _snoop(0x300),                # must never be consumed
+        ]
+        oracle = EventReplayer(_single_filter(filter_name), 1)
+        vector = vector_replay.replayer_for(_single_filter(filter_name), 1)
+        assert vector is not None
+        messages = []
+        for replayer in (oracle, vector):
+            with pytest.raises(FilterSafetyError) as info:
+                replayer.feed(list(events))
+            messages.append(str(info.value))
+        assert messages[0] == messages[1]
+        assert f"block {high:#x}" in messages[1]
+        assert vars(vector.stats) == vars(oracle.stats)
+        assert vector.stats.snoops == 4  # flushed up to the first violation
+
+
+@requires_numpy
+class TestWarmStartParity:
+    """Restoring a warmed snapshot into fresh filters (the fast-forward
+    replay path) must reproduce the cold full-stream feed byte for byte,
+    on the oracle and on the vector kernels alike."""
+
+    @pytest.mark.parametrize("filter_name", PARITY_FILTERS)
+    def test_fast_forward_equals_full_feed(self, golden_streams, filter_name):
+        marker = pack_event(MARKER, 0)
+        for streams in golden_streams.values():
+            for node_id, stream in enumerate(streams[:2]):
+                events = list(stream.events)
+                cut = events.index(marker) + 1
+                warm, measured = events[:cut], events[cut:]
+
+                full = EventReplayer(_single_filter(filter_name), node_id)
+                full.feed(list(events))
+                expected = store_mod.encode_eval(full.finish())
+
+                # Warm through the MARKER (stats reset, state kept),
+                # snapshot, restore into fresh filters — exactly what a
+                # measured-only record + replay does.
+                warmer = EventReplayer(_single_filter(filter_name), node_id)
+                warmer.feed(list(warm))
+                state = warmer.snoop_filter.snapshot()
+
+                for make in (EventReplayer, vector_replay.replayer_for):
+                    fresh = _single_filter(filter_name)
+                    fresh.restore(state)
+                    replayer = make(fresh, node_id)
+                    assert replayer is not None
+                    replayer.feed(list(measured))
+                    assert store_mod.encode_eval(replayer.finish()) == (
+                        expected
+                    ), (filter_name, node_id, make)
+
+
+# ----------------------------------------------------------------------
 # Kernel / fallback selection
 # ----------------------------------------------------------------------
 
